@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures through
+:mod:`repro.experiments`.  A session-scoped context shares the expensive
+artifacts (compiled binaries, training profiles, annotated binaries)
+across benches; ``--scale`` style tuning is exposed through the
+``REPRO_BENCH_SCALE`` environment variable (default 0.15 — large enough
+for stable shapes, small enough to keep the suite in minutes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+DEFAULT_SCALE = 0.15
+
+
+@pytest.fixture(scope="session")
+def bench_context():
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+    return ExperimentContext(scale=scale)
+
+
+def run_and_print(benchmark, run, context):
+    """Time one run of an experiment and print its table."""
+    table = benchmark.pedantic(run, args=(context,), iterations=1, rounds=1)
+    print()
+    print(table.format())
+    return table

@@ -1,0 +1,16 @@
+"""Bench: saturating-counter width sweep (DESIGN.md ablation)."""
+
+from conftest import run_and_print
+from repro.experiments import ablation_fsm_bits
+
+
+def test_ablation_fsm_bits(benchmark, bench_context):
+    table = run_and_print(benchmark, ablation_fsm_bits.run, bench_context)
+    rows = table.row_map("counter")
+    # Shape: narrow counters react after a single miss, so they suppress
+    # mispredictions at least as well as wide ones; wide counters' extra
+    # hysteresis protects the kept-correct side instead.
+    assert rows["1-bit"][1] >= rows["3-bit"][1]
+    assert rows["3-bit"][2] >= rows["1-bit"][2] - 1.0
+    for row in table.rows:
+        assert 0.0 <= row[1] <= 100.0 and 0.0 <= row[2] <= 100.0

@@ -1,0 +1,17 @@
+"""Bench: hybrid split vs unified tables (DESIGN.md ablation)."""
+
+from conftest import run_and_print
+from repro.experiments import ablation_hybrid
+
+
+def test_ablation_hybrid(benchmark, bench_context):
+    table = run_and_print(benchmark, ablation_hybrid.run, bench_context)
+    for row in table.rows:
+        name, stride_ok, hybrid_ok, lv_ok, *_bad = row
+        # The hybrid must retain the bulk of the unified stride table's
+        # coverage with a quarter of the stride fields...
+        assert hybrid_ok >= 0.7 * stride_ok, name
+    # ...and across the suite it clearly beats pure last-value.
+    total_hybrid = sum(row[2] for row in table.rows)
+    total_lv = sum(row[3] for row in table.rows)
+    assert total_hybrid > total_lv

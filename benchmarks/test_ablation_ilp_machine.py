@@ -1,0 +1,18 @@
+"""Bench: abstract-machine parameter sensitivity (window, penalty)."""
+
+from conftest import run_and_print
+from repro.experiments import ablation_ilp_machine
+from repro.experiments.ablation_ilp_machine import PENALTIES, WINDOWS
+
+
+def test_ablation_ilp_machine(benchmark, bench_context):
+    table = run_and_print(benchmark, ablation_ilp_machine.run, bench_context)
+    n_windows = len(WINDOWS)
+    for row in table.rows:
+        name = row[0]
+        window_gains = row[2 : 2 + n_windows]
+        penalty_gains = row[2 + n_windows :]
+        # VP helps at every machine point.
+        assert all(gain > 0 for gain in window_gains), name
+        # A harsher penalty never increases the gain.
+        assert penalty_gains[0] >= penalty_gains[-1] - 1e-9, name

@@ -1,0 +1,14 @@
+"""Bench: predictor-family comparison (extension ablation)."""
+
+from conftest import run_and_print
+from repro.experiments import ablation_predictors
+
+
+def test_ablation_predictors(benchmark, bench_context):
+    table = run_and_print(benchmark, ablation_predictors.run, bench_context)
+    for row in table.rows:
+        name, last_value, stride, two_delta, _fcm = row
+        # Stride dominates last-value (it subsumes it: zero strides).
+        assert stride >= last_value - 1.0, name
+        # Two-delta stays in stride's neighbourhood.
+        assert abs(stride - two_delta) < 25.0, name

@@ -1,0 +1,16 @@
+"""Bench: stride-directive split sweep (DESIGN.md ablation)."""
+
+from conftest import run_and_print
+from repro.experiments import ablation_stride_threshold
+
+
+def test_ablation_stride_threshold(benchmark, bench_context):
+    table = run_and_print(benchmark, ablation_stride_threshold.run, bench_context)
+    # Shape: the stride-efficiency distribution is bimodal, so the
+    # directive mix barely moves across the middle splits (30..70).
+    middle = [row for row in table.rows if 30.0 <= row[0] <= 70.0]
+    stride_counts = [row[1] for row in middle]
+    assert max(stride_counts) - min(stride_counts) <= 0.2 * max(stride_counts)
+    # Total tags are constant: the accuracy threshold alone decides them.
+    totals = {row[1] + row[2] for row in table.rows}
+    assert len(totals) == 1

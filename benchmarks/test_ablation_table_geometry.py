@@ -1,0 +1,16 @@
+"""Bench: table-size sweep (pressure ablation from DESIGN.md)."""
+
+from conftest import run_and_print
+from repro.experiments import ablation_table_geometry
+
+
+def test_ablation_table_geometry(benchmark, bench_context):
+    table = run_and_print(benchmark, ablation_table_geometry.run, bench_context)
+    # Shape: for every benchmark, more capacity never hurts the hardware
+    # scheme badly, and at the smallest table the profile scheme's
+    # admission control is at its most valuable.
+    by_key = {}
+    for row in table.rows:
+        by_key[(row[0], row[1])] = row[2:]
+    for (name, scheme), series in by_key.items():
+        assert series[-1] >= series[0] * 0.95, (name, scheme)

@@ -1,0 +1,19 @@
+"""Bench: workload characterization table (Table 4.1 context)."""
+
+from conftest import run_and_print
+from repro.experiments import characterization
+
+
+def test_characterization(benchmark, bench_context):
+    table = run_and_print(benchmark, characterization.run, bench_context)
+    rows = table.row_map("benchmark")
+    assert len(rows) == 13
+    # gcc must be the table-pressure benchmark: the largest candidate
+    # footprint, beyond the 512-entry prediction table.
+    footprints = {name: row[8] for name, row in rows.items()}
+    assert footprints["126.gcc"] == max(footprints.values())
+    assert footprints["126.gcc"] > 512
+    # FP workloads actually execute FP work.
+    for name in ("101.tomcatv", "102.swim", "103.su2cor", "104.hydro2d",
+                 "107.mgrid"):
+        assert rows[name][3] > 0.0, name

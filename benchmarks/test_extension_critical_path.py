@@ -1,0 +1,19 @@
+"""Bench: profile-guided critical-path study (Section 6 future work)."""
+
+from conftest import run_and_print
+from repro.experiments import extension_critical_path
+
+
+def test_extension_critical_path(benchmark, bench_context):
+    table = run_and_print(benchmark, extension_critical_path.run, bench_context)
+    for row in table.rows:
+        name, _blocks, plain, at90, at50, short90, short50 = row
+        # Collapsing edges can only shorten paths, and the looser
+        # threshold collapses at least as much.
+        assert at90 <= plain and at50 <= at90 + 1e-9, name
+        assert short50 >= short90 - 1e-9, name
+        assert 0.0 <= short90 <= 100.0
+    # The study is non-trivial: on average a visible chunk of the path
+    # disappears at the loose threshold.
+    mean_short = sum(row[5] for row in table.rows) / len(table.rows)
+    assert mean_short > 5.0

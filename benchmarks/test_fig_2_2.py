@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 2.2 (prediction-accuracy distribution)."""
+
+from repro.experiments import fig_2_2
+from conftest import run_and_print
+
+
+def test_fig_2_2(benchmark, bench_context):
+    table = run_and_print(benchmark, fig_2_2.run, bench_context)
+    # Shape: bimodal — the two extreme intervals dominate the middle on
+    # average (paper: ~30% above 90% accuracy, ~40% below 10%).
+    lows = table.column("[0,10]")
+    highs = table.column("(90,100]")
+    middles = [
+        sum(row[2:-1]) / len(row[2:-1]) for row in table.rows
+    ]
+    average_extreme = (sum(lows) + sum(highs)) / (2 * len(lows))
+    average_middle = sum(middles) / len(middles)
+    assert average_extreme > average_middle

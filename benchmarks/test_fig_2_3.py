@@ -1,0 +1,15 @@
+"""Bench: regenerate Figure 2.3 (stride-efficiency-ratio distribution)."""
+
+from repro.experiments import fig_2_3
+from conftest import run_and_print
+
+
+def test_fig_2_3(benchmark, bench_context):
+    table = run_and_print(benchmark, fig_2_3.run, bench_context)
+    # Shape: bimodal — most instructions reuse their last value (ratio
+    # near 0), a small subset is purely stride-patterned (near 100).
+    for row in table.rows:
+        name, low, *rest = row
+        high = rest[-1]
+        middle = rest[:-1]
+        assert low + high > sum(middle), name

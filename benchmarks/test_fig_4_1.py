@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 4.1 (M(V)max across 5 input sets)."""
+
+from repro.experiments import fig_4_1
+from conftest import run_and_print
+
+
+def test_fig_4_1(benchmark, bench_context):
+    table = run_and_print(benchmark, fig_4_1.run, bench_context)
+    # Shape: most coordinates in the lowest intervals.
+    for row in table.rows:
+        name, *bins = row
+        assert sum(bins[:3]) > 50.0, name

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 4.2 (M(V)average across 5 input sets)."""
+
+from repro.experiments import fig_4_2
+from conftest import run_and_print
+
+
+def test_fig_4_2(benchmark, bench_context):
+    table = run_and_print(benchmark, fig_4_2.run, bench_context)
+    for row in table.rows:
+        name, low, *rest = row
+        # The average metric concentrates sharply at the bottom.
+        assert low >= max(rest), name

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 4.3 (M(S)average across 5 input sets)."""
+
+from repro.experiments import fig_4_3
+from conftest import run_and_print
+
+
+def test_fig_4_3(benchmark, bench_context):
+    table = run_and_print(benchmark, fig_4_3.run, bench_context)
+    for row in table.rows:
+        name, low, *rest = row
+        assert low > 50.0, name

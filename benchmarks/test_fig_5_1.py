@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 5.1 (% mispredictions classified correctly)."""
+
+from conftest import run_and_print
+from repro.experiments import fig_5_1
+
+
+def test_fig_5_1(benchmark, bench_context):
+    table = run_and_print(benchmark, fig_5_1.run, bench_context)
+    average = table.row_map("benchmark")["average"]
+    fsm, prof90, *_rest, prof50 = average[1:]
+    # Shape: profile@90 suppresses more mispredictions than the FSM, and
+    # the accuracy decays as the threshold loosens.
+    assert prof90 >= fsm
+    assert prof90 >= prof50

@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 5.2 (% correct predictions classified correctly)."""
+
+from conftest import run_and_print
+from repro.experiments import fig_5_2
+
+
+def test_fig_5_2(benchmark, bench_context):
+    table = run_and_print(benchmark, fig_5_2.run, bench_context)
+    average = table.row_map("benchmark")["average"]
+    fsm, prof90, *_rest, prof50 = average[1:]
+    # Shape: the trade-off's other side — loosening the threshold keeps
+    # more correct predictions; the FSM is competitive here.
+    assert prof50 >= prof90
+    assert fsm >= prof90

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 5.3 (increase in correct predictions)."""
+
+from conftest import run_and_print
+from repro.experiments import fig_5_3
+
+
+def test_fig_5_3(benchmark, bench_context):
+    table = run_and_print(benchmark, fig_5_3.run, bench_context)
+    rows = table.row_map("benchmark")
+    # Shape: the benefit concentrates in the large-working-set
+    # benchmarks; gcc (1600+ live candidates vs 512 entries) must find a
+    # threshold that *gains* correct predictions over the counters.
+    assert max(rows["126.gcc"][1:]) > 0.0

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 5.4 (increase in incorrect predictions)."""
+
+from conftest import run_and_print
+from repro.experiments import fig_5_4
+
+
+def test_fig_5_4(benchmark, bench_context):
+    table = run_and_print(benchmark, fig_5_4.run, bench_context)
+    # Shape: at the strict 90% threshold the profile scheme *reduces*
+    # mispredictions in nearly every benchmark.
+    reductions = [row[1] for row in table.rows]
+    assert sum(1 for delta in reductions if delta < 0) >= len(reductions) - 2

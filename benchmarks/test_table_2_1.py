@@ -1,0 +1,15 @@
+"""Bench: regenerate Table 2.1 (prediction accuracy by category)."""
+
+from repro.experiments import table_2_1
+from conftest import run_and_print
+
+
+def test_table_2_1(benchmark, bench_context):
+    table = run_and_print(benchmark, table_2_1.run, bench_context)
+    rows = table.row_map("category")
+    # Shape: a substantial fraction of values is predictable, and the
+    # stride predictor beats last-value on integer ALU instructions.
+    alu = rows["ALU instructions"]
+    stride_accuracy, last_value_accuracy = alu[3], alu[4]
+    assert stride_accuracy >= last_value_accuracy
+    assert stride_accuracy > 30.0

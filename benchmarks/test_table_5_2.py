@@ -1,0 +1,27 @@
+"""Bench: regenerate Table 5.2 (ILP increase on the abstract machine)."""
+
+from conftest import run_and_print
+from repro.experiments import table_5_2
+from repro.workloads import TABLE_4_1_NAMES
+
+
+def test_table_5_2(benchmark, bench_context):
+    table = run_and_print(benchmark, table_5_2.run, bench_context)
+    rows = table.row_map("benchmark")
+    wins = 0
+    for name in TABLE_4_1_NAMES:
+        _name, sc, *profile_columns = rows[name]
+        assert sc > 0.0, f"{name}: value prediction should increase ILP"
+        if max(profile_columns) >= sc:
+            wins += 1
+    # Shape: the profile scheme can be tuned to match or beat the
+    # hardware scheme "in most benchmarks".
+    assert wins >= len(TABLE_4_1_NAMES) // 2 + 1
+    # Shape: the highly repetitive benchmarks gain the most (the paper's
+    # outlier is m88ksim at 593%; in this substrate m88ksim stays among
+    # the top gainers while li and mgrid sit at the bottom, as in the
+    # paper's 11%/24% rows).
+    gains = {name: max(rows[name][1:]) for name in TABLE_4_1_NAMES}
+    ranked = sorted(gains.values())
+    assert gains["124.m88ksim"] >= ranked[-4]
+    assert gains["130.li"] <= ranked[2]

@@ -1,0 +1,85 @@
+"""Profile-guided critical-path analysis (the paper's future work).
+
+Section 6 of the paper: "We are examining the effect of the profiling
+information on the scheduling of instruction within a basic block and the
+analysis of the critical path."
+
+This example runs that study on one workload: it extracts basic blocks,
+computes each block's dataflow critical path, and recomputes it with
+profile-classified value-predictable producers collapsed — then prints
+the blocks that shorten the most, i.e. where a scheduler armed with the
+profile gains the most freedom.
+
+Run with: ``python examples/critical_path.py [workload] [threshold]``
+"""
+
+import sys
+
+from repro.analysis import (
+    analyze_blocks,
+    block_statistics,
+    format_schedule,
+    predictable_addresses,
+    schedule_block,
+    summarize_paths,
+)
+from repro.annotate import AnnotationPolicy
+from repro.profiling import collect_profile, merge_profiles
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "132.ijpeg"
+    threshold = float(sys.argv[2]) if len(sys.argv) > 2 else 70.0
+    workload = get_workload(name)
+    program = workload.compile()
+
+    count, mean_size, largest = block_statistics(program)
+    print(f"{name}: {count} basic blocks, mean size {mean_size:.1f}, "
+          f"largest {largest}")
+
+    images = [
+        collect_profile(program, inputs)
+        for inputs in workload.training_inputs(count=3, scale=0.3)
+    ]
+    image = merge_profiles(images)
+    policy = AnnotationPolicy(accuracy_threshold=threshold)
+
+    paths = analyze_blocks(program, image, policy, min_size=3)
+    summary = summarize_paths(paths)
+    print(
+        f"\nmean critical path over {summary.blocks} blocks: "
+        f"{summary.mean_length:.2f} -> {summary.mean_predicted_length:.2f} cycles "
+        f"({100 * summary.relative_shortening:.0f}% shorter at th={threshold:g}%)"
+    )
+
+    best = sorted(paths, key=lambda path: path.shortening, reverse=True)[:8]
+    print("\nblocks that shorten the most:")
+    print(f"  {'block':>12s} {'size':>5s} {'plain':>6s} {'with VP':>8s} {'saved':>6s}")
+    for path in best:
+        label = f"@{path.block.start}-{path.block.end - 1}"
+        print(
+            f"  {label:>12s} {len(path.block):5d} {path.length:6d} "
+            f"{path.predicted_length:8d} {path.shortening:6d}"
+        )
+    # Show the actual schedules of the best block, before and after.
+    winner = best[0]
+    predictable = predictable_addresses(program, image, policy)
+    print(f"\nASAP schedule of block @{winner.block.start} without prediction:")
+    print(format_schedule(program, schedule_block(program, winner.block)))
+    print(f"\n... and with profile-predicted producers collapsed:")
+    print(
+        format_schedule(
+            program, schedule_block(program, winner.block, predictable)
+        )
+    )
+    print(
+        "\nreading: the saved cycles are dependence edges a compiler could"
+        "\nschedule across once the profile marks the producer predictable -"
+        "\nexactly the intra-block scheduling opportunity the paper's"
+        "\nconclusion points at."
+    )
+
+
+if __name__ == "__main__":
+    main()

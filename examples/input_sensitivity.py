@@ -1,0 +1,73 @@
+"""Does value predictability transfer across inputs? (Section 4 study)
+
+Profiles one workload under its five training inputs, builds the paper's
+M(V)max / M(V)average / M(S)average similarity metrics, and prints their
+interval histograms — the reproduction of Figures 4.1-4.3 for a single
+benchmark, with ASCII bars.
+
+Run with: ``python examples/input_sensitivity.py [workload] [scale]``
+"""
+
+import sys
+
+from repro.profiling import (
+    HISTOGRAM_LABELS,
+    accuracy_vectors,
+    average_distance_metric,
+    collect_profile,
+    interval_percentages,
+    max_distance_metric,
+    stride_efficiency_vectors,
+)
+from repro.workloads import get_workload
+
+
+def bar(percent: float, width: int = 40) -> str:
+    filled = int(round(percent / 100.0 * width))
+    return "#" * filled
+
+
+def print_histogram(title: str, percentages: list) -> None:
+    print(f"\n{title}")
+    for label, percent in zip(HISTOGRAM_LABELS, percentages):
+        print(f"  {label:>9s} {percent:5.1f}% {bar(percent)}")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "134.perl"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.4
+    workload = get_workload(name)
+    program = workload.compile()
+
+    print(f"profiling {name} under 5 different inputs (scale={scale}) ...")
+    images = [
+        collect_profile(program, inputs, run_label=f"train-{index}")
+        for index, inputs in enumerate(workload.training_inputs(scale=scale))
+    ]
+
+    vectors = accuracy_vectors(images)
+    print(f"{len(vectors[0])} instructions common to all runs")
+
+    print_histogram(
+        "M(V)max  - max pairwise accuracy distance per instruction (fig 4.1)",
+        interval_percentages(max_distance_metric(vectors)),
+    )
+    print_histogram(
+        "M(V)avg  - mean pairwise accuracy distance per instruction (fig 4.2)",
+        interval_percentages(average_distance_metric(vectors)),
+    )
+    stride_vectors = stride_efficiency_vectors(images)
+    print_histogram(
+        "M(S)avg  - mean pairwise stride-efficiency distance (fig 4.3)",
+        interval_percentages(average_distance_metric(stride_vectors)),
+    )
+    print(
+        "\nreading: mass in the low intervals means per-instruction value"
+        "\npredictability barely moves across inputs - a profile collected on"
+        "\ntraining inputs describes unseen inputs too, which is the premise"
+        "\nof the whole profile-guided scheme."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Full benchmark study on one SPEC95-idiom workload (126.gcc).
+
+Reproduces the paper's Section 5 pipeline on a single benchmark:
+
+* profile five training runs and annotate at several thresholds,
+* compare prediction quality under a finite 512-entry 2-way stride table
+  (Figures 5.3/5.4 view),
+* compare extractable ILP on the abstract machine (Table 5.2 view).
+
+gcc is the interesting case: its ~1600 live candidate instructions
+overflow the 512-entry table, so the profile scheme's admission control
+pays off directly.
+
+Run with: ``python examples/spec_study.py [workload] [scale]``
+"""
+
+import sys
+
+from repro.core import (
+    HardwareClassification,
+    PredictionEngine,
+    ProfileClassification,
+    evaluate_hardware_scheme,
+    evaluate_profile_scheme,
+    run_methodology,
+)
+from repro.annotate import AnnotationPolicy
+from repro.ilp import ilp_increase, measure_ilp_many
+from repro.predictors import StridePredictor
+from repro.workloads import get_workload
+
+THRESHOLDS = (90.0, 70.0, 50.0)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "126.gcc"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    workload = get_workload(name)
+    program = workload.compile()
+    test_inputs = workload.test_inputs(scale=scale)
+    print(
+        f"{name}: {len(program)} instructions, "
+        f"{len(program.candidate_addresses)} prediction candidates"
+    )
+
+    print("\n-- finite 512-entry 2-way stride table --")
+    hardware = evaluate_hardware_scheme(program, test_inputs)
+    print(
+        f"  saturating counters : {hardware.taken_correct:7d} correct, "
+        f"{hardware.taken_incorrect:6d} wrong"
+    )
+    results = {}
+    for threshold in THRESHOLDS:
+        result = run_methodology(
+            program,
+            workload.training_inputs(scale=scale),
+            policy=AnnotationPolicy(accuracy_threshold=threshold),
+        )
+        results[threshold] = result
+        stats = evaluate_profile_scheme(result, test_inputs)
+        delta_ok = 100.0 * (stats.taken_correct - hardware.taken_correct) / max(
+            1, hardware.taken_correct
+        )
+        delta_bad = 100.0 * (stats.taken_incorrect - hardware.taken_incorrect) / max(
+            1, hardware.taken_incorrect
+        )
+        print(
+            f"  profile th={threshold:2.0f}%     : {stats.taken_correct:7d} correct "
+            f"({delta_ok:+5.1f}%), {stats.taken_incorrect:6d} wrong ({delta_bad:+5.1f}%)"
+        )
+
+    print("\n-- abstract machine ILP (40-entry window, 1-cycle penalty) --")
+    engines = {
+        "novp": None,
+        "sc": PredictionEngine(
+            program, StridePredictor(512, 2), HardwareClassification()
+        ),
+    }
+    for threshold in THRESHOLDS:
+        annotated = results[threshold].annotated
+        engines[f"prof{threshold:g}"] = PredictionEngine(
+            annotated, StridePredictor(512, 2), ProfileClassification(annotated)
+        )
+    ilp = measure_ilp_many(program, test_inputs, engines)
+    baseline = ilp["novp"]
+    print(f"  no value prediction : ILP = {baseline.ilp:.2f}")
+    print(
+        f"  VP + sat. counters  : ILP = {ilp['sc'].ilp:.2f} "
+        f"({ilp_increase(ilp['sc'], baseline):+.0f}%)"
+    )
+    for threshold in THRESHOLDS:
+        result = ilp[f"prof{threshold:g}"]
+        print(
+            f"  VP + profile th={threshold:2.0f}% : ILP = {result.ilp:.2f} "
+            f"({ilp_increase(result, baseline):+.0f}%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

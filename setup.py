@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` work offline.
+"""
+
+from setuptools import setup
+
+setup()

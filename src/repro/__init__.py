@@ -1,0 +1,84 @@
+"""repro — a reproduction of Gabbay & Mendelson, "Can Program Profiling
+Support Value Prediction?" (MICRO-30, 1997).
+
+Subpackages
+-----------
+
+* :mod:`repro.isa` — the RISC-like instruction set (SPARC stand-in),
+  including the ``stride``/``last-value`` opcode directives.
+* :mod:`repro.lang` — the mini-C compiler (gcc stand-in).
+* :mod:`repro.machine` — the tracing functional simulator (SHADE stand-in).
+* :mod:`repro.predictors` — last-value / stride / hybrid predictors and
+  the saturating-counter classifier.
+* :mod:`repro.profiling` — profile collection, the profile-image file
+  format, multi-run merging and the Section-4 similarity metrics.
+* :mod:`repro.annotate` — phase-3 directive insertion.
+* :mod:`repro.core` — the classified value-prediction simulation drivers
+  and the end-to-end three-phase methodology.
+* :mod:`repro.ilp` — the 40-entry-window abstract ILP machine.
+* :mod:`repro.workloads` — the 13 SPEC95-idiom workloads and their input
+  generators.
+* :mod:`repro.experiments` — one harness per paper table/figure.
+
+Quickstart::
+
+    from repro import run_methodology, evaluate_profile_scheme
+    from repro.workloads import get_workload
+
+    workload = get_workload("129.compress")
+    program = workload.compile()
+    result = run_methodology(program, workload.training_inputs())
+    stats = evaluate_profile_scheme(result, workload.test_inputs())
+    print(stats.taken_accuracy)
+"""
+
+from .annotate import AnnotationPolicy, annotate_program
+from .core import (
+    HardwareClassification,
+    ProfileClassification,
+    evaluate_hardware_scheme,
+    evaluate_profile_scheme,
+    run_methodology,
+    simulate_prediction,
+)
+from .ilp import IlpConfig, measure_ilp
+from .isa import Directive, Program, assemble, disassemble
+from .lang import compile_source
+from .machine import run_program, trace_program
+from .predictors import (
+    FsmClassifier,
+    HybridPredictor,
+    LastValuePredictor,
+    StridePredictor,
+)
+from .profiling import ProfileImage, collect_profile, merge_profiles
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotationPolicy",
+    "Directive",
+    "FsmClassifier",
+    "HardwareClassification",
+    "HybridPredictor",
+    "IlpConfig",
+    "LastValuePredictor",
+    "ProfileClassification",
+    "ProfileImage",
+    "Program",
+    "StridePredictor",
+    "annotate_program",
+    "assemble",
+    "collect_profile",
+    "compile_source",
+    "disassemble",
+    "evaluate_hardware_scheme",
+    "evaluate_profile_scheme",
+    "measure_ilp",
+    "merge_profiles",
+    "run_methodology",
+    "run_program",
+    "simulate_prediction",
+    "trace_program",
+    "__version__",
+]

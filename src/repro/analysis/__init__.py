@@ -1,0 +1,44 @@
+"""Static program analysis (the paper's Section 6 future work).
+
+Basic-block extraction, control-flow graphs, value-prediction-aware
+critical-path analysis and an ASAP list scheduler: how much does knowing
+(from the profile) which instructions are value-predictable shorten each
+basic block's dataflow critical path, and what does the corresponding
+schedule look like?
+"""
+
+from .blocks import (
+    BasicBlock,
+    basic_blocks,
+    block_of,
+    block_statistics,
+    control_flow_graph,
+    find_leaders,
+)
+from .critical_path import (
+    BlockPath,
+    PathSummary,
+    analyze_blocks,
+    block_critical_path,
+    predictable_addresses,
+    summarize_paths,
+)
+from .scheduler import BlockSchedule, format_schedule, schedule_block
+
+__all__ = [
+    "BasicBlock",
+    "BlockPath",
+    "BlockSchedule",
+    "PathSummary",
+    "analyze_blocks",
+    "basic_blocks",
+    "block_critical_path",
+    "block_of",
+    "block_statistics",
+    "control_flow_graph",
+    "find_leaders",
+    "format_schedule",
+    "predictable_addresses",
+    "schedule_block",
+    "summarize_paths",
+]

@@ -1,0 +1,123 @@
+"""Basic-block extraction and the control-flow graph.
+
+Substrate for the paper's stated future work (Section 6): "the effect of
+the profiling information on the scheduling of instruction within a basic
+block and the analysis of the critical path".
+
+A *leader* is the entry point, any branch/jump/call target, and any
+instruction following a control transfer.  A basic block runs from a
+leader up to (and including) the next control transfer or the instruction
+before the next leader.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Set, Tuple
+
+from ..isa import Opcode, Program
+
+
+@dataclasses.dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    Attributes:
+        start: address of the first instruction (the leader).
+        end: address one past the last instruction.
+    """
+
+    start: int
+    end: int
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    @property
+    def addresses(self) -> range:
+        return range(self.start, self.end)
+
+
+def find_leaders(program: Program) -> Set[int]:
+    """Addresses that begin a basic block."""
+    leaders = {0} if len(program) else set()
+    for address, instruction in enumerate(program.instructions):
+        if instruction.target is not None:
+            leaders.add(instruction.target)
+        if instruction.opcode.is_control or instruction.opcode is Opcode.HALT:
+            if address + 1 < len(program):
+                leaders.add(address + 1)
+    return leaders
+
+
+def basic_blocks(program: Program) -> List[BasicBlock]:
+    """Partition the code segment into basic blocks, in address order."""
+    if not len(program):
+        return []
+    leaders = sorted(find_leaders(program))
+    blocks = []
+    for index, start in enumerate(leaders):
+        end = leaders[index + 1] if index + 1 < len(leaders) else len(program)
+        blocks.append(BasicBlock(start=start, end=end))
+    return blocks
+
+
+def block_of(blocks: List[BasicBlock], address: int) -> BasicBlock:
+    """The block containing ``address`` (blocks must be address-ordered)."""
+    low, high = 0, len(blocks) - 1
+    while low <= high:
+        middle = (low + high) // 2
+        block = blocks[middle]
+        if address < block.start:
+            high = middle - 1
+        elif address >= block.end:
+            low = middle + 1
+        else:
+            return block
+    raise ValueError(f"address {address} not inside any block")
+
+
+def control_flow_graph(program: Program) -> Dict[int, List[int]]:
+    """Successor map over block start addresses.
+
+    Edges: a block ending in a branch has the branch target and the
+    fall-through; a jump only the target; a call its target *and* the
+    fall-through (the return continues there); a ``jr`` (function return)
+    and ``halt`` have no static successors.
+    """
+    blocks = basic_blocks(program)
+    starts = {block.start for block in blocks}
+    successors: Dict[int, List[int]] = {block.start: [] for block in blocks}
+
+    def add_edge(source: int, destination: int) -> None:
+        if destination in starts and destination not in successors[source]:
+            successors[source].append(destination)
+
+    for block in blocks:
+        last = program[block.end - 1]
+        opcode = last.opcode
+        if opcode in (Opcode.BEQZ, Opcode.BNEZ):
+            add_edge(block.start, last.target)
+            if block.end < len(program):
+                add_edge(block.start, block.end)
+        elif opcode is Opcode.JMP:
+            add_edge(block.start, last.target)
+        elif opcode is Opcode.CALL:
+            add_edge(block.start, last.target)
+            if block.end < len(program):
+                add_edge(block.start, block.end)
+        elif opcode is Opcode.JR or opcode is Opcode.HALT:
+            pass  # returns resolve dynamically; halt terminates
+        else:
+            if block.end < len(program):
+                add_edge(block.start, block.end)
+    return successors
+
+
+def block_statistics(program: Program) -> Tuple[int, float, int]:
+    """(block count, mean block size, largest block size)."""
+    blocks = basic_blocks(program)
+    if not blocks:
+        return (0, 0.0, 0)
+    sizes = [len(block) for block in blocks]
+    return (len(blocks), sum(sizes) / len(sizes), max(sizes))

@@ -1,0 +1,117 @@
+"""List scheduling within basic blocks, value-prediction aware.
+
+The critical-path analysis (:mod:`.critical_path`) bounds how fast a
+block *could* run; this module produces an actual schedule achieving that
+bound on an unlimited-unit machine: an ASAP (as-soon-as-possible) list
+schedule over the block's dependence DAG.  Producers classified as
+value-predictable release their consumers immediately — the compiler-side
+view of the paper's Section-6 "scheduling of instruction within a basic
+block" direction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set
+
+from ..isa import Program
+from .blocks import BasicBlock
+
+
+@dataclasses.dataclass(frozen=True)
+class BlockSchedule:
+    """An ASAP schedule of one basic block.
+
+    Attributes:
+        block: the scheduled block.
+        cycle_of: instruction address -> issue cycle (0-based).
+        cycles: list of cycles, each the addresses issuing that cycle, in
+            address order within a cycle.
+    """
+
+    block: BasicBlock
+    cycle_of: Dict[int, int]
+    cycles: List[List[int]]
+
+    @property
+    def makespan(self) -> int:
+        """Schedule length in cycles."""
+        return len(self.cycles)
+
+    def verify(self, program: Program, predictable: Optional[Set[int]] = None) -> None:
+        """Assert the schedule respects every dependence.
+
+        Raises:
+            AssertionError: if a consumer issues before its producer's
+                value is available.
+        """
+        predictable = predictable or set()
+        last_writer: Dict[int, int] = {}
+        last_store: Optional[int] = None
+        for address in self.block.addresses:
+            instruction = program[address]
+            cycle = self.cycle_of[address]
+            for source in instruction.srcs:
+                producer = last_writer.get(source)
+                if producer is None:
+                    continue
+                if producer in predictable:
+                    continue  # consumer speculates on the predicted value
+                assert cycle > self.cycle_of[producer], (
+                    f"@{address} issues at {cycle}, before its producer "
+                    f"@{producer} completes"
+                )
+            if instruction.opcode.reads_memory and last_store is not None:
+                assert cycle > self.cycle_of[last_store]
+            if instruction.dest is not None:
+                last_writer[instruction.dest] = address
+            if instruction.opcode.writes_memory:
+                last_store = address
+
+
+def schedule_block(
+    program: Program,
+    block: BasicBlock,
+    predictable: Optional[Set[int]] = None,
+) -> BlockSchedule:
+    """ASAP-schedule ``block`` with unit latencies and unlimited units.
+
+    ``predictable`` producers release their register consumers in the
+    producer's own issue cycle (the consumers use the predicted value);
+    memory stays conservatively serialized store→load.
+    """
+    predictable = predictable or set()
+    register_ready: Dict[int, int] = {}
+    memory_ready = 0
+    cycle_of: Dict[int, int] = {}
+    for address in block.addresses:
+        instruction = program[address]
+        start = 0
+        for source in instruction.srcs:
+            ready = register_ready.get(source, 0)
+            if ready > start:
+                start = ready
+        if instruction.opcode.reads_memory and memory_ready > start:
+            start = memory_ready
+        cycle_of[address] = start
+        finish = start + 1
+        if instruction.dest is not None:
+            register_ready[instruction.dest] = (
+                start if address in predictable else finish
+            )
+        if instruction.opcode.writes_memory:
+            memory_ready = finish
+    makespan = max((cycle + 1 for cycle in cycle_of.values()), default=0)
+    cycles: List[List[int]] = [[] for _ in range(makespan)]
+    for address in block.addresses:
+        cycles[cycle_of[address]].append(address)
+    return BlockSchedule(block=block, cycle_of=cycle_of, cycles=cycles)
+
+
+def format_schedule(program: Program, schedule: BlockSchedule) -> str:
+    """Render a schedule as one line per cycle."""
+    lines = []
+    for cycle, addresses in enumerate(schedule.cycles):
+        rendered = " ; ".join(program[a].render() for a in addresses)
+        lines.append(f"cycle {cycle:3d}: {rendered}")
+    return "\n".join(lines)

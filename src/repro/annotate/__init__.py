@@ -1,0 +1,17 @@
+"""Phase 3: profile-guided directive insertion (paper Section 3.2)."""
+
+from .annotator import (
+    AnnotationReport,
+    annotate_program,
+    annotation_report,
+    plan_directives,
+)
+from .policy import AnnotationPolicy
+
+__all__ = [
+    "AnnotationPolicy",
+    "AnnotationReport",
+    "annotate_program",
+    "annotation_report",
+    "plan_directives",
+]

@@ -1,0 +1,84 @@
+"""Phase 3 of the methodology: directive insertion.
+
+"In the final phase the compiler only inserts directives in the opcode of
+instructions.  It does not perform instruction scheduling or any form of
+code movement with respect to the code that was generated in the first
+phase."  Accordingly, :func:`annotate_program` returns a program with the
+*same* instruction sequence and addresses, differing only in directive
+bits.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..isa import Directive, Program
+from ..profiling import ProfileImage
+from .policy import AnnotationPolicy
+
+
+@dataclasses.dataclass(frozen=True)
+class AnnotationReport:
+    """What the annotation pass did."""
+
+    candidates: int
+    profiled: int
+    stride_tagged: int
+    last_value_tagged: int
+
+    @property
+    def tagged(self) -> int:
+        return self.stride_tagged + self.last_value_tagged
+
+    @property
+    def tagged_fraction(self) -> float:
+        """Tagged candidates as a fraction of all candidates (0..1)."""
+        if self.candidates == 0:
+            return 0.0
+        return self.tagged / self.candidates
+
+
+def plan_directives(
+    program: Program,
+    image: ProfileImage,
+    policy: Optional[AnnotationPolicy] = None,
+) -> Dict[int, Optional[Directive]]:
+    """Compute the directive for every candidate address.
+
+    Candidates missing from the profile image (never executed in training)
+    get no directive — they are unknown, hence not recommended.
+    """
+    policy = policy or AnnotationPolicy()
+    plan: Dict[int, Optional[Directive]] = {}
+    for address in program.candidate_addresses:
+        profile = image.instructions.get(address)
+        plan[address] = None if profile is None else policy.classify(profile)
+    return plan
+
+
+def annotate_program(
+    program: Program,
+    image: ProfileImage,
+    policy: Optional[AnnotationPolicy] = None,
+) -> Program:
+    """Return a re-tagged copy of ``program`` (no code motion)."""
+    return program.with_directives(plan_directives(program, image, policy))
+
+
+def annotation_report(
+    program: Program,
+    image: ProfileImage,
+    policy: Optional[AnnotationPolicy] = None,
+) -> AnnotationReport:
+    """Summarize what :func:`annotate_program` would do."""
+    plan = plan_directives(program, image, policy)
+    stride_tagged = sum(1 for d in plan.values() if d is Directive.STRIDE)
+    last_value_tagged = sum(1 for d in plan.values() if d is Directive.LAST_VALUE)
+    profiled = sum(1 for address in plan if address in image.instructions)
+    return AnnotationReport(
+        candidates=len(plan),
+        profiled=profiled,
+        stride_tagged=stride_tagged,
+        last_value_tagged=last_value_tagged,
+    )

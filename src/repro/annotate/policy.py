@@ -1,0 +1,57 @@
+"""Directive-selection policy (paper Section 3.2).
+
+Given an instruction's profiled statistics and a user-supplied threshold:
+
+* prediction accuracy below the threshold -> no directive (the instruction
+  is "not recommended to be value predicted");
+* accuracy at/above the threshold -> tagged; the directive *type* follows
+  the stride efficiency ratio — above the stride split (50% by default,
+  the paper's suggested heuristic: "the majority of the correct
+  predictions were non-zero strides") it is ``stride``, otherwise
+  ``last-value``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..isa import Directive
+from ..profiling import InstructionProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class AnnotationPolicy:
+    """Thresholds steering phase-3 directive insertion.
+
+    Attributes:
+        accuracy_threshold: prediction-accuracy cutoff in percent; the
+            paper sweeps 90 / 80 / 70 / 60 / 50.
+        stride_threshold: stride-efficiency split in percent deciding
+            between the ``stride`` and ``last-value`` directives.
+        min_attempts: minimum profiled prediction attempts required before
+            an instruction may be tagged at all; guards against tagging on
+            statistically meaningless single observations.
+    """
+
+    accuracy_threshold: float = 90.0
+    stride_threshold: float = 50.0
+    min_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.accuracy_threshold <= 100.0:
+            raise ValueError("accuracy_threshold must be within [0, 100]")
+        if not 0.0 <= self.stride_threshold <= 100.0:
+            raise ValueError("stride_threshold must be within [0, 100]")
+        if self.min_attempts < 0:
+            raise ValueError("min_attempts must be non-negative")
+
+    def classify(self, profile: InstructionProfile) -> Optional[Directive]:
+        """Return the directive for a profiled instruction, or ``None``."""
+        if profile.attempts < self.min_attempts:
+            return None
+        if profile.accuracy < self.accuracy_threshold:
+            return None
+        if profile.stride_efficiency > self.stride_threshold:
+            return Directive.STRIDE
+        return Directive.LAST_VALUE

@@ -1,0 +1,303 @@
+"""The ``repro`` toolchain CLI.
+
+Mirrors the paper's three-phase workflow as shell commands::
+
+    python -m repro compile  program.mc -o program.asm
+    python -m repro run      program.asm --inputs 3,4,5
+    python -m repro profile  program.asm --inputs in0.txt -o program.profile
+    python -m repro annotate program.asm program.profile --threshold 90 -o tagged.asm
+    python -m repro disasm   tagged.asm
+
+Programs on disk are stored in the textual assembly format
+(:mod:`repro.isa.assembler`); ``compile`` turns mini-C into it, and every
+other command consumes it.  Inputs may be given inline (``--inputs 1,2,3``)
+or as a whitespace-separated file (``--inputs @file``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .annotate import AnnotationPolicy, annotate_program, annotation_report
+from .isa import Program, assemble, disassemble
+from .lang import compile_source
+from .machine import run_program, save_trace, read_trace
+from .profiling import collect_profile, merge_profiles, read_profile, save_profile
+
+Number = Union[int, float]
+
+
+def _load_program(path: str) -> Program:
+    text = Path(path).read_text(encoding="utf-8")
+    return assemble(text, name=Path(path).stem)
+
+
+def _write_output(text: str, output: Optional[str]) -> None:
+    if output is None or output == "-":
+        sys.stdout.write(text)
+    else:
+        Path(output).write_text(text, encoding="utf-8")
+
+
+def _parse_number(token: str) -> Number:
+    try:
+        return int(token)
+    except ValueError:
+        return float(token)
+
+
+def _parse_inputs(spec: Optional[str]) -> List[Number]:
+    """``--inputs`` values: ``1,2,3.5`` inline or ``@file`` on disk."""
+    if not spec:
+        return []
+    if spec.startswith("@"):
+        text = Path(spec[1:]).read_text(encoding="utf-8")
+        return [_parse_number(token) for token in text.split()]
+    return [_parse_number(token) for token in spec.split(",") if token]
+
+
+def _command_compile(arguments: argparse.Namespace) -> int:
+    source = Path(arguments.source).read_text(encoding="utf-8")
+    program = compile_source(
+        source, name=Path(arguments.source).stem, optimize=not arguments.no_optimize
+    )
+    _write_output(disassemble(program), arguments.output)
+    print(
+        f"compiled {arguments.source}: {len(program)} instructions, "
+        f"{len(program.candidate_addresses)} prediction candidates",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_run(arguments: argparse.Namespace) -> int:
+    program = _load_program(arguments.program)
+    result = run_program(
+        program,
+        inputs=_parse_inputs(arguments.inputs),
+        max_instructions=arguments.max_instructions,
+    )
+    for value in result.outputs:
+        print(value)
+    print(
+        f"retired {result.instruction_count} instructions",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_profile(arguments: argparse.Namespace) -> int:
+    program = _load_program(arguments.program)
+    images = []
+    for index, path in enumerate(arguments.trace or []):
+        images.append(
+            collect_profile(
+                program, records=read_trace(path), run_label=f"trace-{index}"
+            )
+        )
+    input_specs = arguments.inputs or ([] if images else [""])
+    images.extend(
+        collect_profile(program, _parse_inputs(spec), run_label=f"run-{index}")
+        for index, spec in enumerate(input_specs)
+    )
+    image = images[0] if len(images) == 1 else merge_profiles(images)
+    if arguments.output:
+        save_profile(image, arguments.output)
+        print(
+            f"profiled {len(image)} instructions over {len(images)} run(s) "
+            f"-> {arguments.output}",
+            file=sys.stderr,
+        )
+    else:
+        from .profiling import dumps_profile
+
+        sys.stdout.write(dumps_profile(image))
+    return 0
+
+
+def _command_annotate(arguments: argparse.Namespace) -> int:
+    program = _load_program(arguments.program)
+    image = read_profile(arguments.profile)
+    policy = AnnotationPolicy(
+        accuracy_threshold=arguments.threshold,
+        stride_threshold=arguments.stride_threshold,
+    )
+    annotated = annotate_program(program, image, policy)
+    report = annotation_report(program, image, policy)
+    _write_output(disassemble(annotated), arguments.output)
+    print(
+        f"tagged {report.stride_tagged} stride + {report.last_value_tagged} "
+        f"last-value of {report.candidates} candidates "
+        f"(threshold {arguments.threshold:g}%)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_trace(arguments: argparse.Namespace) -> int:
+    program = _load_program(arguments.program)
+    count = save_trace(
+        program,
+        arguments.output,
+        inputs=_parse_inputs(arguments.inputs),
+        max_instructions=arguments.max_instructions,
+    )
+    print(f"wrote {count} records to {arguments.output}", file=sys.stderr)
+    return 0
+
+
+def _command_disasm(arguments: argparse.Namespace) -> int:
+    program = _load_program(arguments.program)
+    _write_output(disassemble(program), arguments.output)
+    return 0
+
+
+def _command_report(arguments: argparse.Namespace) -> int:
+    """Rank instructions by profiled value predictability."""
+    program = _load_program(arguments.program)
+    image = read_profile(arguments.profile)
+    rows = []
+    for address, profile in image.instructions.items():
+        if profile.attempts < arguments.min_attempts:
+            continue
+        rows.append((profile.accuracy, profile.stride_efficiency, profile, address))
+    rows.sort(key=lambda row: (row[0], row[1], row[3]), reverse=True)
+    limit = arguments.top
+
+    def print_section(title: str, section) -> None:
+        print(title)
+        print(f"  {'addr':>6s} {'exec':>8s} {'acc%':>7s} {'stride%':>8s}  instruction")
+        for accuracy, stride_ratio, profile, address in section:
+            print(
+                f"  {address:6d} {profile.executions:8d} {accuracy:7.1f} "
+                f"{stride_ratio:8.1f}  {program[address].render()}"
+            )
+
+    print_section(f"most predictable ({limit}):", rows[:limit])
+    print()
+    print_section(f"least predictable ({limit}):", rows[-limit:][::-1])
+    executed = sum(profile.executions for _, _, profile, _ in rows)
+    correct = sum(profile.correct for _, _, profile, _ in rows)
+    attempts = sum(profile.attempts for _, _, profile, _ in rows)
+    overall = 100.0 * correct / attempts if attempts else 0.0
+    print(
+        f"\n{len(rows)} instructions, {executed} dynamic executions, "
+        f"overall accuracy {overall:.1f}%"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Toolchain for the MICRO-30 1997 profiling/value-prediction "
+        "reproduction.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = commands.add_parser(
+        "compile", help="compile mini-C to textual assembly (phase 1)"
+    )
+    compile_parser.add_argument("source", help="mini-C source file")
+    compile_parser.add_argument("-o", "--output", help="assembly output (default stdout)")
+    compile_parser.add_argument(
+        "--no-optimize", action="store_true", help="disable -O2 stand-in passes"
+    )
+    compile_parser.set_defaults(handler=_command_compile)
+
+    run_parser = commands.add_parser("run", help="execute a program")
+    run_parser.add_argument("program", help="assembly file")
+    run_parser.add_argument(
+        "--inputs", help="input stream: '1,2,3' inline or '@file'"
+    )
+    run_parser.add_argument(
+        "--max-instructions", type=int, default=None, help="dynamic budget"
+    )
+    run_parser.set_defaults(handler=_command_run)
+
+    profile_parser = commands.add_parser(
+        "profile", help="collect a profile image (phase 2)"
+    )
+    profile_parser.add_argument("program", help="assembly file")
+    profile_parser.add_argument(
+        "--inputs",
+        action="append",
+        help="one training input stream per flag (repeatable)",
+    )
+    profile_parser.add_argument(
+        "--trace",
+        action="append",
+        help="profile a stored trace file instead of executing (repeatable)",
+    )
+    profile_parser.add_argument("-o", "--output", help="profile image file")
+    profile_parser.set_defaults(handler=_command_profile)
+
+    annotate_parser = commands.add_parser(
+        "annotate", help="insert value-prediction directives (phase 3)"
+    )
+    annotate_parser.add_argument("program", help="assembly file")
+    annotate_parser.add_argument("profile", help="profile image file")
+    annotate_parser.add_argument(
+        "--threshold", type=float, default=90.0, help="accuracy threshold [%%]"
+    )
+    annotate_parser.add_argument(
+        "--stride-threshold",
+        type=float,
+        default=50.0,
+        help="stride-efficiency split [%%]",
+    )
+    annotate_parser.add_argument("-o", "--output", help="annotated assembly output")
+    annotate_parser.set_defaults(handler=_command_annotate)
+
+    disasm_parser = commands.add_parser(
+        "disasm", help="canonicalize/inspect an assembly file"
+    )
+    disasm_parser.add_argument("program", help="assembly file")
+    disasm_parser.add_argument("-o", "--output", help="output (default stdout)")
+    disasm_parser.set_defaults(handler=_command_disasm)
+
+    trace_parser = commands.add_parser(
+        "trace", help="execute once and store the dynamic trace"
+    )
+    trace_parser.add_argument("program", help="assembly file")
+    trace_parser.add_argument(
+        "--inputs", help="input stream: '1,2,3' inline or '@file'"
+    )
+    trace_parser.add_argument(
+        "--max-instructions", type=int, default=None, help="dynamic budget"
+    )
+    trace_parser.add_argument(
+        "-o", "--output", required=True,
+        help="trace file (.gz suffix compresses)",
+    )
+    trace_parser.set_defaults(handler=_command_trace)
+
+    report_parser = commands.add_parser(
+        "report", help="rank instructions by profiled value predictability"
+    )
+    report_parser.add_argument("program", help="assembly file")
+    report_parser.add_argument("profile", help="profile image file")
+    report_parser.add_argument(
+        "--top", type=int, default=10, help="rows per section (default 10)"
+    )
+    report_parser.add_argument(
+        "--min-attempts",
+        type=int,
+        default=5,
+        help="ignore instructions profiled fewer times than this",
+    )
+    report_parser.set_defaults(handler=_command_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

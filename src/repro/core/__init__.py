@@ -1,0 +1,41 @@
+"""The paper's contribution: profile-guided classification for value
+prediction, plus the simulation drivers that evaluate it against the
+hardware (saturating-counter) baseline.
+"""
+
+from .pipeline import (
+    MethodologyResult,
+    evaluate_hardware_scheme,
+    evaluate_profile_scheme,
+    run_methodology,
+)
+from .results import AddressStats, PredictionStats
+from .schemes import (
+    AlwaysClassification,
+    ClassificationScheme,
+    HardwareClassification,
+    ProbeScheme,
+    ProfileClassification,
+)
+from .simulate import (
+    PredictionEngine,
+    simulate_prediction,
+    simulate_prediction_many,
+)
+
+__all__ = [
+    "AddressStats",
+    "AlwaysClassification",
+    "ClassificationScheme",
+    "HardwareClassification",
+    "MethodologyResult",
+    "PredictionEngine",
+    "PredictionStats",
+    "ProbeScheme",
+    "ProfileClassification",
+    "evaluate_hardware_scheme",
+    "evaluate_profile_scheme",
+    "run_methodology",
+    "simulate_prediction",
+    "simulate_prediction_many",
+]

@@ -1,0 +1,123 @@
+"""The complete three-phase methodology as one facade (paper Figure 3.1).
+
+Phase 1: compile the program (:func:`repro.lang.compile_source`).
+Phase 2: run it under the tracing simulator with training inputs and
+collect the profile image (:func:`repro.profiling.collect_profile`).
+Phase 3: re-tag the binary's opcodes with value-predictability directives
+(:func:`repro.annotate.annotate_program`).
+
+:func:`run_methodology` executes all three and returns the annotated
+binary plus everything collected along the way; evaluation helpers then
+measure the classified predictor and ILP on *test* inputs, never the
+training inputs — the cross-input transfer is the paper's whole point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional, Sequence
+
+from ..annotate import AnnotationPolicy, AnnotationReport, annotate_program, annotation_report
+from ..isa import Number, Program
+from ..lang import compile_source
+from ..profiling import ProfileImage, collect_profile, merge_profiles
+from ..predictors import StridePredictor
+from .schemes import HardwareClassification, ProfileClassification
+from .simulate import simulate_prediction
+from .results import PredictionStats
+
+InputSet = Sequence[Number]
+
+
+@dataclasses.dataclass
+class MethodologyResult:
+    """Everything the three phases produced."""
+
+    program: Program
+    annotated: Program
+    training_images: List[ProfileImage]
+    profile: ProfileImage
+    report: AnnotationReport
+    policy: AnnotationPolicy
+
+
+def run_methodology(
+    source_or_program,
+    train_inputs: Sequence[InputSet],
+    policy: Optional[AnnotationPolicy] = None,
+    name: str = "<minic>",
+    max_instructions: Optional[int] = None,
+) -> MethodologyResult:
+    """Run phases 1-3 and return the annotated binary.
+
+    Args:
+        source_or_program: mini-C source text, or an already compiled
+            :class:`~repro.isa.program.Program`.
+        train_inputs: one input stream per training run (the paper uses
+            n=5 distinct input sets).
+        policy: annotation thresholds (default: 90% accuracy, 50% stride
+            split).
+        name: program name if compiling from source.
+        max_instructions: optional per-run dynamic-instruction cap.
+    """
+    if not train_inputs:
+        raise ValueError("need at least one training input set")
+    policy = policy or AnnotationPolicy()
+    if isinstance(source_or_program, Program):
+        program = source_or_program
+    else:
+        program = compile_source(source_or_program, name=name)
+    images = [
+        collect_profile(
+            program,
+            inputs,
+            run_label=f"train-{index}",
+            max_instructions=max_instructions,
+        )
+        for index, inputs in enumerate(train_inputs)
+    ]
+    profile = images[0] if len(images) == 1 else merge_profiles(images)
+    annotated = annotate_program(program, profile, policy)
+    report = annotation_report(program, profile, policy)
+    return MethodologyResult(
+        program=program,
+        annotated=annotated,
+        training_images=images,
+        profile=profile,
+        report=report,
+        policy=policy,
+    )
+
+
+def evaluate_profile_scheme(
+    result: MethodologyResult,
+    test_inputs: InputSet,
+    entries: Optional[int] = 512,
+    ways: int = 2,
+    max_instructions: Optional[int] = None,
+) -> PredictionStats:
+    """Measure the profile-classified predictor on unseen inputs."""
+    return simulate_prediction(
+        result.annotated,
+        test_inputs,
+        predictor=StridePredictor(entries, ways),
+        scheme=ProfileClassification(result.annotated),
+        max_instructions=max_instructions,
+    )
+
+
+def evaluate_hardware_scheme(
+    program: Program,
+    test_inputs: InputSet,
+    entries: Optional[int] = 512,
+    ways: int = 2,
+    max_instructions: Optional[int] = None,
+) -> PredictionStats:
+    """Measure the saturating-counter baseline on the same inputs."""
+    return simulate_prediction(
+        program,
+        test_inputs,
+        predictor=StridePredictor(entries, ways),
+        scheme=HardwareClassification(),
+        max_instructions=max_instructions,
+    )

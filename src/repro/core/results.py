@@ -1,0 +1,98 @@
+"""Result records for value-prediction simulations."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass(slots=True)
+class AddressStats:
+    """Per-static-instruction prediction/classification counters."""
+
+    executions: int = 0
+    attempts: int = 0
+    would_correct: int = 0
+    taken: int = 0
+    taken_correct: int = 0
+    allocations: int = 0
+
+    @property
+    def would_incorrect(self) -> int:
+        return self.attempts - self.would_correct
+
+    @property
+    def taken_incorrect(self) -> int:
+        return self.taken - self.taken_correct
+
+
+@dataclasses.dataclass
+class PredictionStats:
+    """Aggregate outcome of one classified value-prediction simulation.
+
+    Terminology (paper Section 5.1):
+
+    * an *attempt* is a dynamic instance that hit in the prediction table —
+      the predictor had a suggestion, whether or not it was taken;
+    * ``would_correct`` / ``would_incorrect`` judge the suggestion itself;
+    * ``taken_*`` count only suggestions the classification accepted;
+    * ``avoided_incorrect`` (mispredictions the classifier suppressed) and
+      ``taken_correct`` are the two sides of the classification-accuracy
+      trade-off in Figures 5.1 and 5.2.
+    """
+
+    candidates: int = 0
+    executions: int = 0
+    attempts: int = 0
+    would_correct: int = 0
+    taken: int = 0
+    taken_correct: int = 0
+    allocations: int = 0
+    evictions: int = 0
+    per_address: Dict[int, AddressStats] = dataclasses.field(default_factory=dict)
+
+    @property
+    def would_incorrect(self) -> int:
+        return self.attempts - self.would_correct
+
+    @property
+    def taken_incorrect(self) -> int:
+        return self.taken - self.taken_correct
+
+    @property
+    def avoided(self) -> int:
+        """Suggestions the classification rejected."""
+        return self.attempts - self.taken
+
+    @property
+    def avoided_incorrect(self) -> int:
+        """Would-be mispredictions the classification suppressed."""
+        return self.would_incorrect - self.taken_incorrect
+
+    @property
+    def misprediction_classification_accuracy(self) -> float:
+        """Percent of would-be mispredictions classified correctly (Fig 5.1)."""
+        if self.would_incorrect == 0:
+            return 100.0
+        return 100.0 * self.avoided_incorrect / self.would_incorrect
+
+    @property
+    def correct_classification_accuracy(self) -> float:
+        """Percent of would-be correct predictions classified correctly (Fig 5.2)."""
+        if self.would_correct == 0:
+            return 100.0
+        return 100.0 * self.taken_correct / self.would_correct
+
+    @property
+    def taken_accuracy(self) -> float:
+        """Accuracy over taken predictions (effective prediction accuracy)."""
+        if self.taken == 0:
+            return 0.0
+        return 100.0 * self.taken_correct / self.taken
+
+    def address_stats(self, address: int) -> AddressStats:
+        stats = self.per_address.get(address)
+        if stats is None:
+            stats = AddressStats()
+            self.per_address[address] = stats
+        return stats

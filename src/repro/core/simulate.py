@@ -1,0 +1,161 @@
+"""The classified value-prediction simulation driver.
+
+Walks a program's dynamic trace and, for every value-prediction candidate,
+plays one step of the predictor + classification-scheme protocol:
+
+1. look the instruction up in the prediction table;
+2. on a hit, judge the suggestion against the actual outcome value
+   (``would_correct``), ask the scheme whether the suggestion is *taken*,
+   and let the scheme learn from the outcome;
+3. on a miss, allocate a new entry iff the scheme permits it
+   (``may_allocate`` — this is where profile-guided classification keeps
+   unpredictable instructions from polluting the table).
+
+The same driver serves the infinite-table classification-accuracy study
+(Figures 5.1/5.2), the finite-table pressure study (Figures 5.3/5.4,
+Table 5.1) and, through :class:`PredictionEngine`, the ILP model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple, Union
+
+from ..isa import Directive, Number, Program
+from ..machine import trace_program
+from ..predictors import HybridPredictor, StridePredictor, ValuePredictor
+from .results import PredictionStats
+from .schemes import AlwaysClassification, ClassificationScheme
+
+Predictor = Union[ValuePredictor, HybridPredictor]
+
+
+class PredictionEngine:
+    """Stateful per-dynamic-instance prediction pipeline.
+
+    Drives one (predictor, scheme) pair record by record; usable both for
+    whole-trace simulation (:func:`simulate_prediction`) and interleaved
+    with another consumer (the ILP scheduler).
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        predictor: Optional[Predictor] = None,
+        scheme: Optional[ClassificationScheme] = None,
+    ) -> None:
+        self.program = program
+        self.predictor: Predictor = predictor if predictor is not None else StridePredictor()
+        self.scheme = scheme or AlwaysClassification()
+        self.stats = PredictionStats(candidates=len(program.candidate_addresses))
+        self._is_candidate = [
+            instruction.is_prediction_candidate for instruction in program.instructions
+        ]
+        self._is_hybrid = isinstance(self.predictor, HybridPredictor)
+
+    def is_candidate(self, address: int) -> bool:
+        return self._is_candidate[address]
+
+    def step(self, address: int, value: Number) -> Tuple[bool, bool]:
+        """Process one dynamic candidate; return ``(taken, correct)``.
+
+        ``taken`` means the machine used the suggested value;
+        ``correct`` qualifies the suggestion (meaningful when taken).
+        """
+        scheme = self.scheme
+        stats = self.stats
+        allocate = scheme.may_allocate(address)
+        if self._is_hybrid:
+            kind = scheme.directive_of(address) or Directive.LAST_VALUE
+            result = self.predictor.access(
+                address, value, kind, allocate=allocate, on_evict=scheme.on_evict
+            )
+        else:
+            result = self.predictor.access(
+                address, value, allocate=allocate, on_evict=scheme.on_evict
+            )
+
+        address_stats = stats.address_stats(address)
+        stats.executions += 1
+        address_stats.executions += 1
+        if result.allocated:
+            stats.allocations += 1
+            address_stats.allocations += 1
+            if result.evicted_address is not None:
+                stats.evictions += 1
+        if not result.hit:
+            return (False, False)
+
+        stats.attempts += 1
+        address_stats.attempts += 1
+        if result.correct:
+            stats.would_correct += 1
+            address_stats.would_correct += 1
+        taken = scheme.should_take(address)
+        if taken:
+            stats.taken += 1
+            address_stats.taken += 1
+            if result.correct:
+                stats.taken_correct += 1
+                address_stats.taken_correct += 1
+        scheme.record(address, result.correct)
+        return (taken, result.correct)
+
+
+def simulate_prediction(
+    program: Program,
+    inputs: Iterable[Number] = (),
+    predictor: Optional[Predictor] = None,
+    scheme: Optional[ClassificationScheme] = None,
+    max_instructions: Optional[int] = None,
+) -> PredictionStats:
+    """Run the full classified value-prediction protocol over one run.
+
+    Args:
+        program: the binary to execute (for profile classification, the
+            *annotated* binary — though only the scheme reads directives).
+        inputs: the run's input stream.
+        predictor: defaults to an unbounded stride predictor.
+        scheme: defaults to :class:`AlwaysClassification`.
+        max_instructions: optional dynamic-instruction cap.
+    """
+    engine = PredictionEngine(program, predictor=predictor, scheme=scheme)
+    results = simulate_prediction_many(
+        program, inputs, {"only": engine}, max_instructions=max_instructions
+    )
+    return results["only"]
+
+
+def simulate_prediction_many(
+    program: Program,
+    inputs: Iterable[Number],
+    engines: "dict[str, PredictionEngine]",
+    max_instructions: Optional[int] = None,
+) -> "dict[str, PredictionStats]":
+    """Evaluate several (predictor, scheme) pairs against one execution.
+
+    The program runs exactly once; every engine observes the same dynamic
+    candidate stream.  This is how the experiment harness compares the
+    hardware classifier against five profile thresholds without paying
+    for six simulations.
+    """
+    if not engines:
+        raise ValueError("need at least one engine")
+    kwargs = {}
+    if max_instructions is not None:
+        kwargs["max_instructions"] = max_instructions
+    engine_list = list(engines.values())
+    is_candidate = engine_list[0].is_candidate
+    steps = [engine.step for engine in engine_list]
+    if len(steps) == 1:
+        step = steps[0]
+        for record in trace_program(program, inputs, **kwargs):
+            if is_candidate(record.address):
+                step(record.address, record.value)
+    else:
+        for record in trace_program(program, inputs, **kwargs):
+            if is_candidate(record.address):
+                address = record.address
+                value = record.value
+                for step in steps:
+                    step(address, value)
+    return {label: engine.stats for label, engine in engines.items()}

@@ -1,0 +1,59 @@
+"""Ablation — saturating-counter width of the hardware classifier.
+
+The paper fixes "a set of saturated counters" without exploring widths.
+This ablation sweeps 1/2/3-bit counters (take threshold at the counter
+midpoint) and measures both classification accuracies of Figures 5.1/5.2
+for the hardware scheme, averaged over the Table 4.1 benchmarks.
+
+Expected shape: *narrow* counters suppress more mispredictions — they
+drop to don't-take after a single miss — while wider counters' hysteresis
+protects the kept-correct side of the trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import HardwareClassification, PredictionEngine, ProbeScheme, simulate_prediction_many
+from ..predictors import StridePredictor
+from ..workloads import TABLE_4_1_NAMES
+from .context import ExperimentContext
+from .tables import ExperimentTable
+
+EXPERIMENT_ID = "ablation-fsm-bits"
+
+#: (bits, initial state, take threshold).
+VARIANTS = ((1, 0, 1), (2, 1, 2), (3, 3, 4))
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id=EXPERIMENT_ID,
+        title="FSM classifier width: classification accuracy "
+        "(avg over Table 4.1 benchmarks)",
+        headers=["counter", "mispredictions classified [%]",
+                 "correct classified [%]"],
+    )
+    sums = {bits: [0.0, 0.0] for bits, _, _ in VARIANTS}
+    for name in TABLE_4_1_NAMES:
+        program = context.program(name)
+        engines: Dict[str, PredictionEngine] = {
+            f"fsm{bits}": PredictionEngine(
+                program,
+                predictor=StridePredictor(),
+                scheme=ProbeScheme(
+                    HardwareClassification(
+                        bits=bits, initial=initial, take_threshold=threshold
+                    )
+                ),
+            )
+            for bits, initial, threshold in VARIANTS
+        }
+        stats = simulate_prediction_many(program, context.test_inputs(name), engines)
+        for bits, _, _ in VARIANTS:
+            sums[bits][0] += stats[f"fsm{bits}"].misprediction_classification_accuracy
+            sums[bits][1] += stats[f"fsm{bits}"].correct_classification_accuracy
+    count = len(TABLE_4_1_NAMES)
+    for bits, _, _ in VARIANTS:
+        table.add_row(f"{bits}-bit", sums[bits][0] / count, sums[bits][1] / count)
+    return table

@@ -1,0 +1,81 @@
+"""Ablation — the hybrid (split stride + last-value) predictor.
+
+The paper argues (Section 3.1, point 4) that because only a small subset
+of instructions exhibits stride patterns, a *hybrid* organization — a
+small stride table plus a larger last-value table, steered by the
+directives — utilizes the stride fields more efficiently than spending a
+stride field on every entry.
+
+This ablation holds total capacity at 512 entries and compares, under
+profile classification (threshold 70):
+
+* ``stride-512`` — one unified stride table (the paper's Section 5 setup);
+* ``hybrid-128/384`` — 128-entry stride + 384-entry last-value tables;
+* ``lv-512`` — one unified last-value table (no stride fields at all).
+
+Expected shape: the hybrid recovers nearly all of the unified stride
+table's correct predictions while giving 3/4 of the entries no stride
+field; the pure last-value table loses the stride-patterned instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import PredictionEngine, ProfileClassification, simulate_prediction_many
+from ..predictors import HybridPredictor, LastValuePredictor, StridePredictor
+from ..workloads import TABLE_4_1_NAMES
+from .context import ExperimentContext
+from .tables import ExperimentTable
+
+EXPERIMENT_ID = "ablation-hybrid"
+
+THRESHOLD = 70.0
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id=EXPERIMENT_ID,
+        title="Hybrid vs unified tables (profile classification, th=70): "
+        "taken correct / incorrect",
+        headers=[
+            "benchmark",
+            "stride-512 ok",
+            "hybrid-128/384 ok",
+            "lv-512 ok",
+            "stride-512 bad",
+            "hybrid-128/384 bad",
+            "lv-512 bad",
+        ],
+    )
+    for name in TABLE_4_1_NAMES:
+        annotated = context.annotated(name, THRESHOLD)
+        scheme = lambda: ProfileClassification(annotated)  # noqa: E731
+        engines: Dict[str, PredictionEngine] = {
+            "stride": PredictionEngine(
+                annotated, predictor=StridePredictor(512, 2), scheme=scheme()
+            ),
+            "hybrid": PredictionEngine(
+                annotated,
+                predictor=HybridPredictor(
+                    stride_entries=128, last_value_entries=384, ways=2
+                ),
+                scheme=scheme(),
+            ),
+            "lv": PredictionEngine(
+                annotated, predictor=LastValuePredictor(512, 2), scheme=scheme()
+            ),
+        }
+        stats = simulate_prediction_many(
+            annotated, context.test_inputs(name), engines
+        )
+        table.add_row(
+            name,
+            stats["stride"].taken_correct,
+            stats["hybrid"].taken_correct,
+            stats["lv"].taken_correct,
+            stats["stride"].taken_incorrect,
+            stats["hybrid"].taken_incorrect,
+            stats["lv"].taken_incorrect,
+        )
+    return table

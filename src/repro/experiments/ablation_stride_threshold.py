@@ -1,0 +1,72 @@
+"""Ablation — the stride-efficiency split for directive selection.
+
+The paper suggests tagging an instruction "stride" when the majority
+(>50%) of its correct predictions used a non-zero stride, and mentions a
+user-supplied threshold as the alternative.  This ablation sweeps that
+split and reports, for a hybrid 128/384 predictor at accuracy threshold
+70, how the directive mix and the delivered correct predictions move.
+
+Expected shape: the split barely matters across a wide middle range —
+the stride-efficiency distribution is bimodal (Figure 2.3), so almost
+every tagged instruction sits near 0% or near 100%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..annotate import AnnotationPolicy, annotate_program
+from ..core import PredictionEngine, ProfileClassification, simulate_prediction_many
+from ..isa import Directive
+from ..predictors import HybridPredictor
+from ..workloads import TABLE_4_1_NAMES
+from .context import ExperimentContext
+from .tables import ExperimentTable
+
+EXPERIMENT_ID = "ablation-stride-threshold"
+
+ACCURACY_THRESHOLD = 70.0
+SPLITS = (10.0, 30.0, 50.0, 70.0, 90.0)
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id=EXPERIMENT_ID,
+        title="Stride/last-value split sweep (hybrid 128/384, acc th=70): "
+        "totals over Table 4.1 benchmarks",
+        headers=["split [%]", "stride tags", "lv tags", "taken correct",
+                 "taken incorrect"],
+    )
+    for split in SPLITS:
+        stride_tags = 0
+        lv_tags = 0
+        correct = 0
+        incorrect = 0
+        for name in TABLE_4_1_NAMES:
+            policy = AnnotationPolicy(
+                accuracy_threshold=ACCURACY_THRESHOLD, stride_threshold=split
+            )
+            annotated = annotate_program(
+                context.program(name), context.merged_profile(name), policy
+            )
+            directives = annotated.directives()
+            stride_tags += sum(
+                1 for d in directives.values() if d is Directive.STRIDE
+            )
+            lv_tags += sum(
+                1 for d in directives.values() if d is Directive.LAST_VALUE
+            )
+            engines: Dict[str, PredictionEngine] = {
+                "hybrid": PredictionEngine(
+                    annotated,
+                    predictor=HybridPredictor(128, 384, ways=2),
+                    scheme=ProfileClassification(annotated),
+                )
+            }
+            stats = simulate_prediction_many(
+                annotated, context.test_inputs(name), engines
+            )
+            correct += stats["hybrid"].taken_correct
+            incorrect += stats["hybrid"].taken_incorrect
+        table.add_row(split, stride_tags, lv_tags, correct, incorrect)
+    return table

@@ -1,0 +1,64 @@
+"""Ablation — prediction-table geometry vs classification benefit.
+
+The paper claims the profile scheme's advantage is "most observable when
+the pressure on the prediction table ... is high".  This ablation sweeps
+the stride table size (2-way throughout) and compares taken-correct
+predictions under the hardware and the profile (threshold 70) schemes.
+
+Expected shape: at tiny tables the profile scheme's admission control
+wins clearly; as capacity grows past the working set the two converge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (
+    HardwareClassification,
+    PredictionEngine,
+    ProfileClassification,
+    simulate_prediction_many,
+)
+from ..predictors import StridePredictor
+from .context import ExperimentContext
+from .tables import ExperimentTable
+
+EXPERIMENT_ID = "ablation-table-geometry"
+
+THRESHOLD = 70.0
+SIZES = (64, 128, 256, 512, 1024)
+
+#: The large-working-set benchmarks where pressure matters.
+BENCHMARKS = ("126.gcc", "147.vortex", "099.go")
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id=EXPERIMENT_ID,
+        title="Taken-correct predictions by table size (2-way): "
+        "SC vs Prof th=70",
+        headers=["benchmark", "scheme"] + [str(size) for size in SIZES],
+    )
+    for name in BENCHMARKS:
+        program = context.program(name)
+        annotated = context.annotated(name, THRESHOLD)
+        engines: Dict[str, PredictionEngine] = {}
+        for size in SIZES:
+            engines[f"sc-{size}"] = PredictionEngine(
+                program,
+                predictor=StridePredictor(size, 2),
+                scheme=HardwareClassification(),
+            )
+            engines[f"prof-{size}"] = PredictionEngine(
+                annotated,
+                predictor=StridePredictor(size, 2),
+                scheme=ProfileClassification(annotated),
+            )
+        stats = simulate_prediction_many(program, context.test_inputs(name), engines)
+        table.add_row(
+            name, "SC", *[stats[f"sc-{size}"].taken_correct for size in SIZES]
+        )
+        table.add_row(
+            name, "Prof", *[stats[f"prof-{size}"].taken_correct for size in SIZES]
+        )
+    return table

@@ -1,0 +1,134 @@
+"""Shared state for the experiment harness.
+
+Most experiments need the same expensive artifacts — compiled binaries,
+the five training-run profile images per benchmark, merged profiles and
+annotated binaries per threshold.  :class:`ExperimentContext` memoizes
+them (optionally persisting profile images to a cache directory in the
+profile-image file format) so the full experiment suite pays for each
+artifact once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..annotate import AnnotationPolicy, annotate_program
+from ..isa import Number, Program
+from ..profiling import (
+    ProfileImage,
+    collect_profile,
+    merge_profiles,
+    read_profile,
+    save_profile,
+)
+from ..workloads import TRAINING_RUNS, Workload, get_workload
+
+#: The five classification thresholds swept in Section 5.
+THRESHOLDS = (90.0, 80.0, 70.0, 60.0, 50.0)
+
+#: The finite prediction-table geometry of Sections 5.2-5.3.
+TABLE_ENTRIES = 512
+TABLE_WAYS = 2
+
+
+@dataclasses.dataclass
+class ExperimentContext:
+    """Configuration + memoized artifacts for one experiment session.
+
+    Args:
+        scale: workload input scale; 1.0 is experiment grade
+            (~200-500k dynamic instructions per run), smaller values
+            shrink runs proportionally for quick checks and benchmarks.
+        training_runs: how many training input sets to profile (paper: 5).
+        cache_dir: optional directory for persisted profile images.
+        stride_threshold: stride-efficiency split for directive type.
+    """
+
+    scale: float = 1.0
+    training_runs: int = TRAINING_RUNS
+    cache_dir: Optional[Path] = None
+    stride_threshold: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.cache_dir is not None:
+            self.cache_dir = Path(self.cache_dir)
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._profiles: Dict[Tuple[str, int], ProfileImage] = {}
+        self._merged: Dict[str, ProfileImage] = {}
+        self._annotated: Dict[Tuple[str, float], Program] = {}
+
+    # -- basic artifacts -----------------------------------------------------
+
+    def workload(self, name: str) -> Workload:
+        return get_workload(name)
+
+    def program(self, name: str) -> Program:
+        return get_workload(name).compile()
+
+    def training_inputs(self, name: str) -> List[List[Number]]:
+        return get_workload(name).training_inputs(
+            count=self.training_runs, scale=self.scale
+        )
+
+    def test_inputs(self, name: str) -> List[Number]:
+        return get_workload(name).test_inputs(scale=self.scale)
+
+    # -- profiles ------------------------------------------------------------
+
+    def _cache_path(self, name: str, run_index: int) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        stem = f"{name}_run{run_index}_scale{self.scale:g}.profile"
+        return self.cache_dir / stem
+
+    def training_profile(self, name: str, run_index: int) -> ProfileImage:
+        """Profile image of one training run (unbounded stride predictor)."""
+        key = (name, run_index)
+        if key in self._profiles:
+            return self._profiles[key]
+        path = self._cache_path(name, run_index)
+        if path is not None and path.exists():
+            image = read_profile(path)
+        else:
+            workload = get_workload(name)
+            image = collect_profile(
+                workload.compile(),
+                workload.input_set(run_index, scale=self.scale),
+                run_label=f"train-{run_index}",
+            )
+            if path is not None:
+                save_profile(image, path)
+        self._profiles[key] = image
+        return image
+
+    def training_profiles(self, name: str) -> List[ProfileImage]:
+        return [
+            self.training_profile(name, run_index)
+            for run_index in range(self.training_runs)
+        ]
+
+    def merged_profile(self, name: str) -> ProfileImage:
+        """All training runs merged into one profile image."""
+        if name not in self._merged:
+            self._merged[name] = merge_profiles(
+                self.training_profiles(name), program_name=name
+            )
+        return self._merged[name]
+
+    # -- annotated binaries -----------------------------------------------------
+
+    def policy(self, threshold: float) -> AnnotationPolicy:
+        return AnnotationPolicy(
+            accuracy_threshold=threshold, stride_threshold=self.stride_threshold
+        )
+
+    def annotated(self, name: str, threshold: float) -> Program:
+        """The phase-3 binary for one benchmark at one threshold."""
+        key = (name, threshold)
+        if key not in self._annotated:
+            self._annotated[key] = annotate_program(
+                self.program(name), self.merged_profile(name), self.policy(threshold)
+            )
+        return self._annotated[key]

@@ -1,0 +1,42 @@
+"""Figure 2.3 — the spread of instructions by stride efficiency ratio.
+
+Paper: per benchmark (the integer suite plus 107.mgrid), the percentage
+of prediction-table instructions whose stride efficiency ratio — the
+share of their correct predictions that used a non-zero stride — falls in
+each ten-point interval.
+
+Expected shape: strongly bimodal — a large subset of instructions that
+always reuse their last value (ratio near 0) and a small subset with
+near-100% stride efficiency.  This is the observation motivating the
+hybrid two-table predictor.
+"""
+
+from __future__ import annotations
+
+from ..profiling import HISTOGRAM_LABELS, interval_percentages
+from ..workloads import TABLE_4_1_NAMES
+from .context import ExperimentContext
+from .tables import ExperimentTable
+
+EXPERIMENT_ID = "fig-2.3"
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id=EXPERIMENT_ID,
+        title="% of instructions per stride-efficiency-ratio interval",
+        headers=["benchmark"] + HISTOGRAM_LABELS,
+    )
+    for name in TABLE_4_1_NAMES:
+        image = context.merged_profile(name)
+        ratios = [
+            profile.stride_efficiency
+            for profile in image.instructions.values()
+            if profile.correct > 0
+        ]
+        table.add_row(name, *interval_percentages(ratios))
+    table.notes.append(
+        "instructions with at least one correct prediction, merged "
+        "training profile"
+    )
+    return table

@@ -1,0 +1,39 @@
+"""Figure 4.1 — the spread of the coordinates of M(V)max.
+
+Paper: run each benchmark n=5 times with different inputs, view each
+run's per-instruction prediction accuracies as a vector, and histogram
+the coordinates of the maximum-distance metric (Equation 4.1) into
+ten-point intervals.
+
+Expected shape: most coordinates in the lowest intervals — the tendency
+of instructions to be value-predictable is input-independent, so
+profiling transfers across inputs.
+"""
+
+from __future__ import annotations
+
+from ..profiling import (
+    HISTOGRAM_LABELS,
+    accuracy_vectors,
+    interval_percentages,
+    max_distance_metric,
+)
+from ..workloads import TABLE_4_1_NAMES
+from .context import ExperimentContext
+from .tables import ExperimentTable
+
+EXPERIMENT_ID = "fig-4.1"
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id=EXPERIMENT_ID,
+        title="% of M(V)max coordinates per distance interval (n=5)",
+        headers=["benchmark"] + HISTOGRAM_LABELS,
+    )
+    for name in TABLE_4_1_NAMES:
+        vectors = accuracy_vectors(context.training_profiles(name))
+        metric = max_distance_metric(vectors)
+        table.add_row(name, *interval_percentages(metric))
+    table.notes.append("instructions common to all 5 runs only (paper Section 4)")
+    return table

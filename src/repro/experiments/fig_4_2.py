@@ -1,0 +1,36 @@
+"""Figure 4.2 — the spread of the coordinates of M(V)average.
+
+Paper: as Figure 4.1, but with the (less strict) average-distance metric
+of Equation 4.2 over the prediction-accuracy vectors.
+
+Expected shape: mass concentrated even more tightly in the lowest
+intervals than M(V)max.
+"""
+
+from __future__ import annotations
+
+from ..profiling import (
+    HISTOGRAM_LABELS,
+    accuracy_vectors,
+    average_distance_metric,
+    interval_percentages,
+)
+from ..workloads import TABLE_4_1_NAMES
+from .context import ExperimentContext
+from .tables import ExperimentTable
+
+EXPERIMENT_ID = "fig-4.2"
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id=EXPERIMENT_ID,
+        title="% of M(V)average coordinates per distance interval (n=5)",
+        headers=["benchmark"] + HISTOGRAM_LABELS,
+    )
+    for name in TABLE_4_1_NAMES:
+        vectors = accuracy_vectors(context.training_profiles(name))
+        metric = average_distance_metric(vectors)
+        table.add_row(name, *interval_percentages(metric))
+    table.notes.append("instructions common to all 5 runs only (paper Section 4)")
+    return table

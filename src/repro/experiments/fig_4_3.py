@@ -1,0 +1,37 @@
+"""Figure 4.3 — the spread of the coordinates of M(S)average.
+
+Paper: the average-distance metric applied to the *stride efficiency
+ratio* vectors of the n=5 runs — does the set of stride-patterned
+instructions stay the same across inputs?
+
+Expected shape: most coordinates in the lowest intervals, confirming that
+profiling can steer the stride/last-value directive choice.
+"""
+
+from __future__ import annotations
+
+from ..profiling import (
+    HISTOGRAM_LABELS,
+    average_distance_metric,
+    interval_percentages,
+    stride_efficiency_vectors,
+)
+from ..workloads import TABLE_4_1_NAMES
+from .context import ExperimentContext
+from .tables import ExperimentTable
+
+EXPERIMENT_ID = "fig-4.3"
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id=EXPERIMENT_ID,
+        title="% of M(S)average coordinates per distance interval (n=5)",
+        headers=["benchmark"] + HISTOGRAM_LABELS,
+    )
+    for name in TABLE_4_1_NAMES:
+        vectors = stride_efficiency_vectors(context.training_profiles(name))
+        metric = average_distance_metric(vectors)
+        table.add_row(name, *interval_percentages(metric))
+    table.notes.append("instructions common to all 5 runs only (paper Section 4)")
+    return table

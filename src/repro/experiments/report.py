@@ -1,0 +1,86 @@
+"""Markdown report generation from saved experiment results.
+
+``repro-experiments all --output-dir results/tables`` leaves one
+``.tsv`` per experiment; :func:`build_markdown_report` folds them back
+into a single document (tables + the provenance notes), which is how
+EXPERIMENTS.md's raw numbers are regenerated after a new run.
+
+CLI: ``repro-experiments report --output-dir results/tables``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .tables import ExperimentTable
+
+#: Presentation order: paper results first, then ablations/extensions.
+PREFERRED_ORDER = [
+    "table-2.1",
+    "fig-2.2",
+    "fig-2.3",
+    "fig-4.1",
+    "fig-4.2",
+    "fig-4.3",
+    "fig-5.1",
+    "fig-5.2",
+    "table-5.1",
+    "fig-5.3",
+    "fig-5.4",
+    "table-5.2",
+    "characterization",
+    "ablation-hybrid",
+    "ablation-table-geometry",
+    "ablation-fsm-bits",
+    "ablation-stride-threshold",
+    "ablation-predictors",
+    "ablation-ilp-machine",
+    "extension-critical-path",
+]
+
+
+def load_saved_tables(tables_dir: Union[str, Path]) -> Dict[str, ExperimentTable]:
+    """Load every ``.tsv`` result in ``tables_dir``, keyed by experiment id."""
+    tables: Dict[str, ExperimentTable] = {}
+    for path in sorted(Path(tables_dir).glob("*.tsv")):
+        table = ExperimentTable.from_tsv(path.read_text(encoding="utf-8"))
+        if table.experiment_id:
+            tables[table.experiment_id] = table
+    return tables
+
+
+def _markdown_table(table: ExperimentTable) -> str:
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.1f}"
+        return str(cell)
+
+    lines = ["| " + " | ".join(table.headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in table.headers) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(render(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def build_markdown_report(
+    tables_dir: Union[str, Path],
+    title: str = "Experiment results",
+) -> str:
+    """Render all saved results as one markdown document."""
+    tables = load_saved_tables(tables_dir)
+    if not tables:
+        raise FileNotFoundError(f"no .tsv results under {tables_dir}")
+    ordered: List[str] = [key for key in PREFERRED_ORDER if key in tables]
+    ordered += sorted(set(tables) - set(ordered))
+    sections = [f"# {title}", ""]
+    for key in ordered:
+        table = tables[key]
+        sections.append(f"## {table.experiment_id} — {table.title}")
+        sections.append("")
+        sections.append(_markdown_table(table))
+        for note in table.notes:
+            sections.append("")
+            sections.append(f"*{note}*")
+        sections.append("")
+    return "\n".join(sections)

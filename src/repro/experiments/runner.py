@@ -1,0 +1,191 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    repro-experiments all                 # every table and figure
+    repro-experiments table-5.2 fig-5.3   # a subset
+    repro-experiments all --scale 0.3     # quicker, smaller runs
+    repro-experiments list                # what exists
+
+Each experiment prints a plain-text table mirroring the paper's table or
+figure, with a note on provenance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+from . import (
+    ablation_fsm_bits,
+    ablation_hybrid,
+    ablation_ilp_machine,
+    ablation_predictors,
+    ablation_stride_threshold,
+    ablation_table_geometry,
+    fig_2_2,
+    fig_2_3,
+    fig_4_1,
+    fig_4_2,
+    fig_4_3,
+    fig_5_1,
+    fig_5_2,
+    characterization,
+    extension_critical_path,
+    fig_5_3,
+    fig_5_4,
+    table_2_1,
+    table_5_1,
+    table_5_2,
+)
+from .context import ExperimentContext
+from .tables import ExperimentTable
+
+_MODULES = (
+    table_2_1,
+    fig_2_2,
+    fig_2_3,
+    fig_4_1,
+    fig_4_2,
+    fig_4_3,
+    fig_5_1,
+    fig_5_2,
+    table_5_1,
+    fig_5_3,
+    fig_5_4,
+    table_5_2,
+    ablation_hybrid,
+    ablation_table_geometry,
+    ablation_fsm_bits,
+    ablation_stride_threshold,
+    ablation_predictors,
+    ablation_ilp_machine,
+    extension_critical_path,
+    characterization,
+)
+
+EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentTable]] = {
+    module.EXPERIMENT_ID: module.run for module in _MODULES
+}
+
+
+def run_experiments(
+    names: List[str],
+    context: ExperimentContext,
+    stream=None,
+    output_dir=None,
+    chart: bool = False,
+) -> List[ExperimentTable]:
+    """Run the named experiments, printing each table as it completes.
+
+    With ``output_dir``, each table is also written there as
+    ``<id>.txt`` (formatted) and ``<id>.tsv`` (machine-readable, see
+    :meth:`ExperimentTable.to_tsv`).  With ``chart=True``, an ASCII chart
+    of the table follows it on the stream.
+    """
+    stream = stream or sys.stdout
+    if output_dir is not None:
+        output_dir = Path(output_dir)
+        output_dir.mkdir(parents=True, exist_ok=True)
+    results = []
+    for name in names:
+        if name not in EXPERIMENTS:
+            known = ", ".join(EXPERIMENTS)
+            raise SystemExit(f"unknown experiment {name!r}; known: {known}")
+        started = time.time()
+        table = EXPERIMENTS[name](context)
+        elapsed = time.time() - started
+        print(table.format(), file=stream)
+        if chart:
+            from ..viz import chart_table
+
+            try:
+                print(chart_table(table), file=stream)
+            except ValueError:
+                pass
+        print(f"[{name} finished in {elapsed:.1f}s]\n", file=stream)
+        if output_dir is not None:
+            stem = name.replace(".", "_")
+            (output_dir / f"{stem}.txt").write_text(
+                table.format() + "\n", encoding="utf-8"
+            )
+            (output_dir / f"{stem}.tsv").write_text(
+                table.to_tsv(), encoding="utf-8"
+            )
+        results.append(table)
+    return results
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of Gabbay & Mendelson, "
+        "MICRO-30 1997.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (e.g. table-5.2), 'all', 'list', or 'report' "
+        "(render saved --output-dir results as markdown)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload input scale (default 1.0; smaller = faster)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for persisted profile images (default: no disk cache)",
+    )
+    parser.add_argument(
+        "--training-runs",
+        type=int,
+        default=5,
+        help="number of training input sets to profile (default 5)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=None,
+        help="also write each result as <id>.txt and <id>.tsv here",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="follow each table with an ASCII chart",
+    )
+    arguments = parser.parse_args(argv)
+
+    names = list(arguments.experiments)
+    if names == ["list"]:
+        for identifier in EXPERIMENTS:
+            print(identifier)
+        return 0
+    if names == ["report"]:
+        from .report import build_markdown_report
+
+        if arguments.output_dir is None:
+            raise SystemExit("report requires --output-dir with saved .tsv results")
+        print(build_markdown_report(arguments.output_dir))
+        return 0
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+
+    context = ExperimentContext(
+        scale=arguments.scale,
+        training_runs=arguments.training_runs,
+        cache_dir=arguments.cache_dir,
+    )
+    run_experiments(
+        names, context, output_dir=arguments.output_dir, chart=arguments.chart
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,147 @@
+"""Computations shared between experiment modules.
+
+Figures 5.1/5.2 are two views of one simulation, as are Figures 5.3/5.4
+and the columns of Table 5.2 — so the heavy work lives here, memoized on
+the :class:`~repro.experiments.context.ExperimentContext`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core import (
+    HardwareClassification,
+    PredictionEngine,
+    PredictionStats,
+    ProbeScheme,
+    ProfileClassification,
+    simulate_prediction_many,
+)
+from ..ilp import IlpConfig, IlpResult, measure_ilp_many
+from ..predictors import StridePredictor
+from .context import TABLE_ENTRIES, TABLE_WAYS, THRESHOLDS, ExperimentContext
+
+#: Engine label for the saturating-counter baseline.
+FSM_LABEL = "fsm"
+
+
+def threshold_label(threshold: float) -> str:
+    return f"prof{threshold:g}"
+
+
+_MEMO_ATTR = "_shared_memo"
+
+
+def _memo(context: ExperimentContext) -> Dict:
+    memo = getattr(context, _MEMO_ATTR, None)
+    if memo is None:
+        memo = {}
+        setattr(context, _MEMO_ATTR, memo)
+    return memo
+
+
+def classification_accuracy_stats(
+    context: ExperimentContext, name: str
+) -> Dict[str, PredictionStats]:
+    """Infinite-table take/avoid study for one benchmark (Figs 5.1/5.2).
+
+    Every scheme sees the identical, fully allocated unbounded stride
+    predictor (via :class:`ProbeScheme`); only the take decision differs.
+    """
+    memo = _memo(context)
+    key = ("classification", name)
+    if key in memo:
+        return memo[key]
+    program = context.program(name)
+    engines: Dict[str, PredictionEngine] = {
+        FSM_LABEL: PredictionEngine(
+            program,
+            predictor=StridePredictor(),
+            scheme=ProbeScheme(HardwareClassification()),
+        )
+    }
+    for threshold in THRESHOLDS:
+        annotated = context.annotated(name, threshold)
+        engines[threshold_label(threshold)] = PredictionEngine(
+            program,
+            predictor=StridePredictor(),
+            scheme=ProbeScheme(ProfileClassification(annotated)),
+        )
+    stats = simulate_prediction_many(program, context.test_inputs(name), engines)
+    memo[key] = stats
+    return stats
+
+
+def finite_table_stats(
+    context: ExperimentContext,
+    name: str,
+    entries: int = TABLE_ENTRIES,
+    ways: int = TABLE_WAYS,
+) -> Dict[str, PredictionStats]:
+    """Finite-table pressure study for one benchmark (Figs 5.3/5.4).
+
+    The hardware scheme allocates every candidate; the profile schemes
+    allocate only directive-tagged instructions.  Same 512-entry 2-way
+    stride table geometry for everyone.
+    """
+    memo = _memo(context)
+    key = ("finite", name, entries, ways)
+    if key in memo:
+        return memo[key]
+    program = context.program(name)
+    engines: Dict[str, PredictionEngine] = {
+        FSM_LABEL: PredictionEngine(
+            program,
+            predictor=StridePredictor(entries, ways),
+            scheme=HardwareClassification(),
+        )
+    }
+    for threshold in THRESHOLDS:
+        annotated = context.annotated(name, threshold)
+        engines[threshold_label(threshold)] = PredictionEngine(
+            program,
+            predictor=StridePredictor(entries, ways),
+            scheme=ProfileClassification(annotated),
+        )
+    stats = simulate_prediction_many(program, context.test_inputs(name), engines)
+    memo[key] = stats
+    return stats
+
+
+def ilp_results(
+    context: ExperimentContext,
+    name: str,
+    config: Optional[IlpConfig] = None,
+    entries: int = TABLE_ENTRIES,
+    ways: int = TABLE_WAYS,
+) -> Dict[str, IlpResult]:
+    """Abstract-machine ILP for one benchmark (Table 5.2).
+
+    Labels: ``novp`` (baseline), ``fsm`` (VP+SC) and ``profX`` per
+    threshold — all scheduled against a single execution.
+    """
+    memo = _memo(context)
+    key = ("ilp", name, config, entries, ways)
+    if key in memo:
+        return memo[key]
+    program = context.program(name)
+    engines: Dict[str, Optional[PredictionEngine]] = {
+        "novp": None,
+        FSM_LABEL: PredictionEngine(
+            program,
+            predictor=StridePredictor(entries, ways),
+            scheme=HardwareClassification(),
+        ),
+    }
+    for threshold in THRESHOLDS:
+        annotated = context.annotated(name, threshold)
+        engines[threshold_label(threshold)] = PredictionEngine(
+            annotated,
+            predictor=StridePredictor(entries, ways),
+            scheme=ProfileClassification(annotated),
+        )
+    results = measure_ilp_many(
+        program, context.test_inputs(name), engines, config=config
+    )
+    memo[key] = results
+    return results

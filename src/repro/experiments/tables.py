@@ -1,0 +1,140 @@
+"""Plain-text result tables for the experiment harness."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+@dataclasses.dataclass
+class ExperimentTable:
+    """One reproduced table/figure: headers, rows, provenance notes."""
+
+    experiment_id: str           # e.g. "table-2.1", "fig-5.3"
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]] = dataclasses.field(default_factory=list)
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(cells)} cells, "
+                f"expected {len(self.headers)}"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, header: str) -> List[Cell]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def row_map(self, key_header: str) -> Dict[Cell, List[Cell]]:
+        index = self.headers.index(key_header)
+        return {row[index]: row for row in self.rows}
+
+    def format(self) -> str:
+        """Render as an aligned monospace table."""
+        cells = [self.headers] + [
+            [_render_cell(cell) for cell in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[column]) for row in cells)
+            for column in range(len(self.headers))
+        ]
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        lines.append(
+            "  ".join(header.ljust(width) for header, width in zip(cells[0], widths))
+        )
+        lines.append("  ".join("-" * width for width in widths))
+        for row in cells[1:]:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.format()
+
+
+    # -- serialization -----------------------------------------------------
+
+    def to_tsv(self) -> str:
+        """Serialize as tab-separated values with ``#`` metadata lines."""
+        lines = [
+            f"# experiment: {self.experiment_id}",
+            f"# title: {self.title}",
+        ]
+        for note in self.notes:
+            lines.append(f"# note: {note}")
+        lines.append("\t".join(self.headers))
+        for row in self.rows:
+            lines.append("\t".join(_render_tsv_cell(cell) for cell in row))
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_tsv(cls, text: str) -> "ExperimentTable":
+        """Parse a table previously produced by :meth:`to_tsv`."""
+        experiment_id = ""
+        title = ""
+        notes: List[str] = []
+        headers: List[str] = []
+        rows: List[List[Cell]] = []
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("experiment:"):
+                    experiment_id = body[len("experiment:"):].strip()
+                elif body.startswith("title:"):
+                    title = body[len("title:"):].strip()
+                elif body.startswith("note:"):
+                    notes.append(body[len("note:"):].strip())
+                continue
+            fields = line.split("\t")
+            if not headers:
+                headers = fields
+            else:
+                rows.append([_parse_tsv_cell(field) for field in fields])
+        if not headers:
+            raise ValueError("TSV table has no header row")
+        table = cls(
+            experiment_id=experiment_id, title=title, headers=headers, notes=notes
+        )
+        for row in rows:
+            table.add_row(*row)
+        return table
+
+
+def _render_tsv_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return repr(cell)
+    return str(cell)
+
+
+def _parse_tsv_cell(text: str) -> Cell:
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _render_cell(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def percent_change(new: float, old: float) -> float:
+    """Percent change of ``new`` relative to ``old`` (0 when old == 0)."""
+    if old == 0:
+        return 0.0
+    return 100.0 * (new - old) / old

@@ -1,0 +1,19 @@
+"""Trace-driven ILP model (the paper's Section 5.3 abstract machine)."""
+
+from .model import (
+    IlpConfig,
+    IlpResult,
+    WindowScheduler,
+    ilp_increase,
+    measure_ilp,
+    measure_ilp_many,
+)
+
+__all__ = [
+    "IlpConfig",
+    "IlpResult",
+    "WindowScheduler",
+    "ilp_increase",
+    "measure_ilp",
+    "measure_ilp_many",
+]

@@ -1,0 +1,275 @@
+"""The abstract ILP machine of the paper's Section 5.3.
+
+"Our experiments consider an abstract machine with a finite instruction
+window of 40 entries, unlimited number of execution units and a perfect
+branch prediction mechanism. ... In case of value-misprediction, the
+penalty in our abstract machine is 1 clock cycle."
+
+:class:`WindowScheduler` walks the dynamic trace once and assigns each
+instruction:
+
+* an *enter* cycle — bounded by the 40-entry window (an instruction enters
+  when the instruction 40 positions earlier retires);
+* an *issue* cycle — when its operands are ready (unit execution latency,
+  unlimited execution units, so issue = ready);
+* a *retire* cycle — in order.
+
+Value prediction changes when a producer's destination value becomes
+visible to consumers: a correctly predicted (and taken) value is available
+the moment the producer enters the window — the true-data dependence is
+collapsed; a mispredicted taken value is available only after the producer
+executes plus the misprediction penalty; an unpredicted value after the
+producer executes.
+
+Branches constrain nothing (perfect branch prediction).  Loads optionally
+depend on the last store to the same address (perfect memory
+disambiguation with store-to-load forwarding); disable
+``track_memory_dependencies`` to treat memory as unconstrained, closer to
+a pure register-dataflow limit study.
+
+:func:`measure_ilp_many` schedules several machine configurations (e.g.
+no-VP, VP+SC, VP+Prof at five thresholds) against a *single* execution of
+the program — the trace is by far the dominant cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..isa import NUM_REGISTERS, Number, Opcode, Program, RA, ZERO
+from ..machine import TraceRecord, trace_program
+from ..core.simulate import PredictionEngine
+
+
+@dataclasses.dataclass(frozen=True)
+class IlpConfig:
+    """Machine parameters (defaults = the paper's abstract machine)."""
+
+    window_size: int = 40
+    misprediction_penalty: int = 1
+    track_memory_dependencies: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_size < 1:
+            raise ValueError("window_size must be positive")
+        if self.misprediction_penalty < 0:
+            raise ValueError("misprediction_penalty must be non-negative")
+
+
+@dataclasses.dataclass(frozen=True)
+class IlpResult:
+    """Outcome of one scheduled run."""
+
+    instructions: int
+    cycles: int
+    taken_predictions: int
+    correct_predictions: int
+    mispredictions: int
+
+    @property
+    def ilp(self) -> float:
+        """Retired instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+_Decoded = Tuple[Tuple[int, ...], Optional[int], bool, bool, bool]
+
+
+def _decode_for_scheduling(program: Program) -> List[_Decoded]:
+    decoded: List[_Decoded] = []
+    for instruction in program.instructions:
+        dest = instruction.dest
+        if instruction.opcode is Opcode.CALL:
+            dest = RA  # call writes the return-address register
+        decoded.append(
+            (
+                instruction.srcs,
+                dest,
+                instruction.opcode.reads_memory,
+                instruction.opcode.writes_memory,
+                instruction.is_prediction_candidate,
+            )
+        )
+    return decoded
+
+
+class WindowScheduler:
+    """Schedules one dynamic instruction stream on the abstract machine.
+
+    Feed it records in program order via :meth:`feed`, then read
+    :meth:`result`.  Several schedulers (different engines/configs) can
+    consume the same trace.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        engine: Optional[PredictionEngine] = None,
+        config: Optional[IlpConfig] = None,
+        decoded: Optional[List[_Decoded]] = None,
+    ) -> None:
+        self.config = config or IlpConfig()
+        self.engine = engine
+        self._decoded = decoded if decoded is not None else _decode_for_scheduling(program)
+        self._register_ready = [0] * NUM_REGISTERS
+        self._memory_ready: Dict[int, int] = {}
+        self._window: deque[int] = deque()
+        self._retire_prev = 0
+        self._instruction_count = 0
+        self._taken = 0
+        self._correct = 0
+        self._mispredicted = 0
+
+    def feed(self, record: TraceRecord) -> None:
+        """Schedule one retired dynamic instruction."""
+        srcs, dest, reads_memory, writes_memory, is_candidate = self._decoded[
+            record.address
+        ]
+        self._instruction_count += 1
+        config = self.config
+        register_ready = self._register_ready
+
+        window = self._window
+        if len(window) >= config.window_size:
+            enter = window.popleft()
+        else:
+            enter = 0
+
+        ready = enter
+        for source in srcs:
+            source_ready = register_ready[source]
+            if source_ready > ready:
+                ready = source_ready
+        if (
+            config.track_memory_dependencies
+            and reads_memory
+            and record.mem_address is not None
+        ):
+            memory_time = self._memory_ready.get(record.mem_address, 0)
+            if memory_time > ready:
+                ready = memory_time
+
+        complete = ready + 1
+
+        taken = False
+        correct = False
+        if self.engine is not None and is_candidate:
+            taken, correct = self.engine.step(record.address, record.value)
+            if taken:
+                self._taken += 1
+                if correct:
+                    self._correct += 1
+                else:
+                    self._mispredicted += 1
+
+        if dest is not None and dest != ZERO:
+            if taken and correct:
+                # Collapsed dependence: consumers see the predicted value
+                # as soon as the producer is in flight.
+                register_ready[dest] = enter
+            elif taken:
+                register_ready[dest] = complete + config.misprediction_penalty
+            else:
+                register_ready[dest] = complete
+        if (
+            config.track_memory_dependencies
+            and writes_memory
+            and record.mem_address is not None
+        ):
+            self._memory_ready[record.mem_address] = complete
+
+        retire = complete if complete > self._retire_prev else self._retire_prev
+        self._retire_prev = retire
+        window.append(retire)
+
+    def result(self) -> IlpResult:
+        return IlpResult(
+            instructions=self._instruction_count,
+            cycles=self._retire_prev,
+            taken_predictions=self._taken,
+            correct_predictions=self._correct,
+            mispredictions=self._mispredicted,
+        )
+
+
+def measure_ilp(
+    program: Program,
+    inputs: Iterable[Number] = (),
+    engine: Optional[PredictionEngine] = None,
+    config: Optional[IlpConfig] = None,
+    max_instructions: Optional[int] = None,
+) -> IlpResult:
+    """Schedule one run on the abstract machine and measure its ILP.
+
+    Args:
+        program: the binary to execute.
+        inputs: the run's input stream.
+        engine: value-prediction engine (predictor + classification
+            scheme); ``None`` disables value prediction entirely — the
+            pure dataflow baseline the paper's Table 5.2 normalizes to.
+        config: machine parameters.
+        max_instructions: optional dynamic-instruction cap.
+    """
+    results = measure_ilp_many(
+        program,
+        inputs,
+        engines={"only": engine},
+        config=config,
+        max_instructions=max_instructions,
+    )
+    return results["only"]
+
+
+def measure_ilp_many(
+    program: Program,
+    inputs: Iterable[Number] = (),
+    engines: Optional[Mapping[str, Optional[PredictionEngine]]] = None,
+    config: Optional[IlpConfig] = None,
+    configs: Optional[Mapping[str, IlpConfig]] = None,
+    max_instructions: Optional[int] = None,
+) -> Dict[str, IlpResult]:
+    """Schedule several machine configurations against one execution.
+
+    ``engines`` maps a label to a :class:`PredictionEngine` or ``None``
+    (no value prediction).  All schedulers consume the same trace, so the
+    program executes exactly once.  ``configs`` optionally overrides the
+    shared ``config`` per label — e.g. to sweep window sizes or penalties
+    in the same pass.
+    """
+    if engines is None:
+        engines = {"baseline": None}
+    configs = configs or {}
+    decoded = _decode_for_scheduling(program)
+    schedulers = {
+        label: WindowScheduler(
+            program,
+            engine=engine,
+            config=configs.get(label, config),
+            decoded=decoded,
+        )
+        for label, engine in engines.items()
+    }
+    kwargs = {}
+    if max_instructions is not None:
+        kwargs["max_instructions"] = max_instructions
+    feeders = [scheduler.feed for scheduler in schedulers.values()]
+    if len(feeders) == 1:
+        feed = feeders[0]
+        for record in trace_program(program, inputs, **kwargs):
+            feed(record)
+    else:
+        for record in trace_program(program, inputs, **kwargs):
+            for feed in feeders:
+                feed(record)
+    return {label: scheduler.result() for label, scheduler in schedulers.items()}
+
+
+def ilp_increase(with_prediction: IlpResult, baseline: IlpResult) -> float:
+    """Percent ILP increase of ``with_prediction`` over ``baseline`` (Table 5.2)."""
+    if baseline.ilp == 0:
+        return 0.0
+    return 100.0 * (with_prediction.ilp - baseline.ilp) / baseline.ilp

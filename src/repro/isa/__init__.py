@@ -1,0 +1,56 @@
+"""The reproduction's RISC-like instruction set (the paper's SPARC stand-in).
+
+Public surface:
+
+* :class:`Opcode`, :class:`Category` — operations and their measurement
+  classes (integer ALU, FP computation, int/FP loads, ...).
+* :class:`Instruction` — immutable instruction record.
+* :class:`Program` — executable image (code + data + symbols).
+* :class:`Directive` — the ``stride`` / ``last-value`` opcode hints of the
+  profile-guided classification scheme.
+* :func:`assemble` / :func:`disassemble` — textual format round-trip.
+"""
+
+from .directives import Directive
+from .instruction import Instruction, Number
+from .opcodes import Category, Opcode, opcode_from_mnemonic
+from .program import Program, ProgramError, build_program
+from .registers import (
+    FP,
+    GP,
+    NUM_REGISTERS,
+    RA,
+    SP,
+    TEMP_FIRST,
+    TEMP_LAST,
+    ZERO,
+    parse_register,
+    register_name,
+)
+from .assembler import AssemblerError, assemble
+from .disassembler import disassemble
+
+__all__ = [
+    "AssemblerError",
+    "Category",
+    "Directive",
+    "FP",
+    "GP",
+    "Instruction",
+    "NUM_REGISTERS",
+    "Number",
+    "Opcode",
+    "Program",
+    "ProgramError",
+    "RA",
+    "SP",
+    "TEMP_FIRST",
+    "TEMP_LAST",
+    "ZERO",
+    "assemble",
+    "build_program",
+    "disassemble",
+    "opcode_from_mnemonic",
+    "parse_register",
+    "register_name",
+]

@@ -1,0 +1,239 @@
+"""A two-pass assembler for the reproduction ISA's textual format.
+
+The format (also produced by :mod:`repro.isa.disassembler`)::
+
+    ; line comment
+    .name my_program
+    .data
+    table: 0 1 2 3          ; words at consecutive data addresses
+    seed:  42
+    .text
+    loop:
+        ld   r1, gp, 0
+        addi r1, r1, 1
+        st   r1, gp, 0
+        bnez r1, loop
+        add.s r2, r1, r1    ; ".s" = stride directive, ".lv" = last-value
+        halt
+
+Branch/jump/call targets may be labels or absolute ``@addr`` references.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .directives import SUFFIXES, Directive
+from .formats import FLOAT_IMMEDIATE, FORMATS
+from .instruction import Instruction, Number
+from .opcodes import Opcode, opcode_from_mnemonic
+from .program import Program, build_program
+from .registers import parse_register
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, line_number: int, message: str) -> None:
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _strip_comment(line: str) -> str:
+    index = line.find(";")
+    if index >= 0:
+        return line[:index]
+    return line
+
+
+def _parse_number(text: str, line_number: int) -> Number:
+    try:
+        if any(ch in text for ch in ".eE") and not text.lstrip("+-").isdigit():
+            return float(text)
+        return int(text, 0)
+    except ValueError:
+        raise AssemblerError(line_number, f"invalid numeric literal {text!r}") from None
+
+
+def _split_mnemonic(word: str, line_number: int) -> Tuple[Opcode, Optional[Directive]]:
+    base, dot, suffix = word.partition(".")
+    directive = None
+    if dot:
+        if suffix not in SUFFIXES:
+            raise AssemblerError(line_number, f"unknown directive suffix {suffix!r}")
+        directive = SUFFIXES[suffix]
+    try:
+        opcode = opcode_from_mnemonic(base)
+    except KeyError:
+        raise AssemblerError(line_number, f"unknown mnemonic {base!r}") from None
+    if directive is not None and not opcode.is_prediction_candidate:
+        raise AssemblerError(
+            line_number, f"{base!r} cannot carry a value-prediction directive"
+        )
+    return opcode, directive
+
+
+class _PendingInstruction:
+    """An instruction whose target may still be an unresolved label."""
+
+    __slots__ = ("opcode", "directive", "dest", "srcs", "imm", "target", "line")
+
+    def __init__(self, line_number: int) -> None:
+        self.opcode: Optional[Opcode] = None
+        self.directive: Optional[Directive] = None
+        self.dest: Optional[int] = None
+        self.srcs: List[int] = []
+        self.imm: Optional[Number] = None
+        self.target: Optional[object] = None  # int or unresolved label str
+        self.line = line_number
+
+
+def assemble(source: str, name: str = "<asm>") -> Program:
+    """Assemble ``source`` into a :class:`Program`.
+
+    Raises:
+        AssemblerError: on any syntax or semantic error, with line number.
+    """
+    code_labels: Dict[str, int] = {}
+    data_symbols: Dict[str, int] = {}
+    data: Dict[int, Number] = {}
+    pending: List[_PendingInstruction] = []
+    section = ".text"
+    program_name = name
+    next_data_address = 0
+
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if line.startswith("."):
+            if line.split(None, 1)[0] == ".org":
+                next_data_address = _parse_org(line, line_number)
+                continue
+            section, program_name = _handle_dot_line(
+                line, line_number, section, program_name
+            )
+            continue
+        label, has_label, rest = _take_label(line)
+        if has_label:
+            if section == ".text":
+                if label in code_labels:
+                    raise AssemblerError(line_number, f"duplicate label {label!r}")
+                code_labels[label] = len(pending)
+            else:
+                if label in data_symbols:
+                    raise AssemblerError(line_number, f"duplicate symbol {label!r}")
+                data_symbols[label] = next_data_address
+            line = rest.strip()
+            if not line:
+                continue
+        if section == ".data":
+            for word in line.split():
+                data[next_data_address] = _parse_number(word, line_number)
+                next_data_address += 1
+        else:
+            pending.append(_parse_instruction(line, line_number))
+
+    instructions = [
+        _resolve(entry, code_labels, len(pending)) for entry in pending
+    ]
+    return build_program(
+        instructions,
+        data=data,
+        symbols=data_symbols,
+        labels=code_labels,
+        name=program_name,
+    )
+
+
+def _handle_dot_line(
+    line: str, line_number: int, section: str, program_name: str
+) -> Tuple[str, str]:
+    parts = line.split(None, 1)
+    keyword = parts[0]
+    if keyword in (".data", ".text"):
+        return keyword, program_name
+    if keyword == ".name":
+        if len(parts) != 2:
+            raise AssemblerError(line_number, ".name requires a value")
+        return section, parts[1].strip()
+    raise AssemblerError(line_number, f"unknown directive {keyword!r}")
+
+
+def _parse_org(line: str, line_number: int) -> int:
+    parts = line.split()
+    if len(parts) != 2:
+        raise AssemblerError(line_number, ".org requires one address")
+    address = _parse_number(parts[1], line_number)
+    if not isinstance(address, int) or address < 0:
+        raise AssemblerError(line_number, ".org address must be a non-negative int")
+    return address
+
+
+def _take_label(line: str) -> Tuple[str, bool, str]:
+    colon = line.find(":")
+    if colon < 0:
+        return "", False, line
+    candidate = line[:colon].strip()
+    if candidate and all(ch.isalnum() or ch == "_" for ch in candidate):
+        return candidate, True, line[colon + 1 :]
+    return "", False, line
+
+
+def _parse_instruction(line: str, line_number: int) -> _PendingInstruction:
+    parts = line.replace(",", " ").split()
+    opcode, directive = _split_mnemonic(parts[0], line_number)
+    operands = parts[1:]
+    signature = FORMATS[opcode]
+    if len(operands) != len(signature):
+        raise AssemblerError(
+            line_number,
+            f"{opcode.value} expects {len(signature)} operand(s), "
+            f"got {len(operands)}",
+        )
+    entry = _PendingInstruction(line_number)
+    entry.opcode = opcode
+    entry.directive = directive
+    for kind, text in zip(signature, operands):
+        if kind == "d":
+            entry.dest = _parse_register_operand(text, line_number)
+        elif kind == "s":
+            entry.srcs.append(_parse_register_operand(text, line_number))
+        elif kind == "i":
+            value = _parse_number(text, line_number)
+            if opcode in FLOAT_IMMEDIATE:
+                value = float(value)
+            entry.imm = value
+        else:  # "t"
+            if text.startswith("@"):
+                entry.target = int(text[1:])
+            else:
+                entry.target = text
+    return entry
+
+
+def _parse_register_operand(text: str, line_number: int) -> int:
+    try:
+        return parse_register(text)
+    except ValueError as error:
+        raise AssemblerError(line_number, str(error)) from None
+
+
+def _resolve(
+    entry: _PendingInstruction, labels: Dict[str, int], code_size: int
+) -> Instruction:
+    target = entry.target
+    if isinstance(target, str):
+        if target not in labels:
+            raise AssemblerError(entry.line, f"undefined label {target!r}")
+        target = labels[target]
+    if isinstance(target, int) and not 0 <= target < code_size:
+        raise AssemblerError(entry.line, f"target @{target} out of range")
+    return Instruction(
+        opcode=entry.opcode,
+        dest=entry.dest,
+        srcs=tuple(entry.srcs),
+        imm=entry.imm,
+        target=target,
+        directive=entry.directive,
+    )

@@ -1,0 +1,39 @@
+"""Value-predictability opcode directives (the paper's Section 3.2).
+
+The profile-guided scheme communicates classification results to the
+hardware through two opcode directives:
+
+* ``STRIDE`` — the instruction tends to exhibit stride patterns and should
+  be allocated into the stride prediction table;
+* ``LAST_VALUE`` — the instruction tends to repeat its most recent value
+  and should be allocated into the last-value prediction table.
+
+An instruction carrying *no* directive is "not recommended to be value
+predicted" and is never allocated into a prediction table by the
+profile-guided classifier.
+
+The paper considers such directives feasible because contemporary
+processors (PowerPC 601) already consumed branch hints from opcode bits.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Directive(enum.Enum):
+    """A value-predictability hint carried in an instruction's opcode."""
+
+    STRIDE = "stride"
+    LAST_VALUE = "last_value"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Directive.{self.name}"
+
+
+#: Assembler suffix -> directive.  The assembler writes directives as
+#: ``add.s`` (stride) / ``add.lv`` (last-value).
+SUFFIXES: dict[str, Directive] = {"s": Directive.STRIDE, "lv": Directive.LAST_VALUE}
+
+#: Directive -> assembler suffix.
+SUFFIX_OF: dict[Directive, str] = {d: s for s, d in SUFFIXES.items()}

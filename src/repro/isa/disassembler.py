@@ -1,0 +1,74 @@
+"""Disassembler: render a :class:`~repro.isa.program.Program` back to text.
+
+The output round-trips through :func:`repro.isa.assembler.assemble` —
+re-assembling a disassembly yields an equivalent program (same
+instructions, same data image).  Branch targets are rendered as generated
+labels so the output stays readable after annotation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .instruction import Instruction
+from .program import Program
+from .registers import register_name
+from .directives import SUFFIX_OF
+from .formats import FORMATS
+
+
+def disassemble(program: Program) -> str:
+    """Return assembler text for ``program``."""
+    lines: List[str] = [f".name {program.name}"]
+    if program.data:
+        lines.append(".data")
+        address_to_symbol = {addr: sym for sym, addr in program.symbols.items()}
+        expected = 0
+        for address in sorted(program.data):
+            if address != expected:
+                lines.append(f".org {address}")
+            expected = address + 1
+            prefix = ""
+            if address in address_to_symbol:
+                prefix = f"{address_to_symbol[address]}: "
+            lines.append(f"{prefix}{program.data[address]!r}")
+    lines.append(".text")
+    target_labels = _target_labels(program)
+    for address, instruction in enumerate(program.instructions):
+        if address in target_labels:
+            lines.append(f"{target_labels[address]}:")
+        lines.append("    " + _render(instruction, target_labels))
+    return "\n".join(lines) + "\n"
+
+
+def _target_labels(program: Program) -> Dict[int, str]:
+    """Map every branch/jump/call target address to a stable label name."""
+    address_to_label = {addr: name for name, addr in program.labels.items()}
+    labels: Dict[int, str] = {}
+    for instruction in program.instructions:
+        target = instruction.target
+        if target is None or target in labels:
+            continue
+        labels[target] = address_to_label.get(target, f"L{target}")
+    return labels
+
+
+def _render(instruction: Instruction, labels: Dict[int, str]) -> str:
+    mnemonic = instruction.opcode.value
+    if instruction.directive is not None:
+        mnemonic = f"{mnemonic}.{SUFFIX_OF[instruction.directive]}"
+    signature = FORMATS[instruction.opcode]
+    operands: List[str] = []
+    src_iter = iter(instruction.srcs)
+    for kind in signature:
+        if kind == "d":
+            operands.append(register_name(instruction.dest))
+        elif kind == "s":
+            operands.append(register_name(next(src_iter)))
+        elif kind == "i":
+            operands.append(repr(instruction.imm))
+        else:  # "t"
+            operands.append(labels[instruction.target])
+    if operands:
+        return f"{mnemonic} " + ", ".join(operands)
+    return mnemonic

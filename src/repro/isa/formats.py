@@ -1,0 +1,63 @@
+"""Operand-format signatures for each opcode.
+
+Shared by the assembler (parsing), the disassembler (rendering) and the
+executor (operand validation).  A signature is a string over:
+
+* ``d`` — destination register
+* ``s`` — source register
+* ``i`` — immediate (int or float depending on opcode)
+* ``t`` — code target (label or ``@addr``)
+"""
+
+from __future__ import annotations
+
+from .opcodes import Opcode
+
+FORMATS: dict[Opcode, str] = {}
+
+_TRIPLE = (
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+    Opcode.SLT, Opcode.SLE, Opcode.SEQ, Opcode.SNE,
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV,
+    Opcode.FSLT, Opcode.FSLE, Opcode.FSEQ, Opcode.FSNE,
+)
+_IMMEDIATE = (
+    Opcode.ADDI, Opcode.SUBI, Opcode.MULI, Opcode.DIVI, Opcode.MODI,
+    Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SHLI, Opcode.SHRI,
+    Opcode.SLTI, Opcode.SLEI, Opcode.SEQI, Opcode.SNEI,
+)
+_UNARY = (
+    Opcode.MOV, Opcode.NEG, Opcode.NOT,
+    Opcode.FMOV, Opcode.FNEG, Opcode.CVTIF, Opcode.CVTFI,
+)
+
+FORMATS.update({op: "dss" for op in _TRIPLE})
+FORMATS.update({op: "dsi" for op in _IMMEDIATE})
+FORMATS.update({op: "ds" for op in _UNARY})
+FORMATS.update(
+    {
+        Opcode.LI: "di",
+        Opcode.FLI: "di",
+        Opcode.LD: "dsi",
+        Opcode.FLD: "dsi",
+        Opcode.ST: "ssi",   # value register, address register, offset
+        Opcode.FST: "ssi",
+        Opcode.BEQZ: "st",
+        Opcode.BNEZ: "st",
+        Opcode.JMP: "t",
+        Opcode.CALL: "t",
+        Opcode.JR: "s",
+        Opcode.IN: "d",
+        Opcode.FIN: "d",
+        Opcode.OUT: "s",
+        Opcode.PHASE: "i",
+        Opcode.NOP: "",
+        Opcode.HALT: "",
+    }
+)
+
+#: Opcodes whose immediate operand is a float.
+FLOAT_IMMEDIATE = frozenset({Opcode.FLI})
+
+assert set(FORMATS) == set(Opcode), "every opcode needs an operand format"

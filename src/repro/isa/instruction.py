@@ -1,0 +1,77 @@
+"""The :class:`Instruction` record.
+
+Instructions are immutable value objects.  The phase-3 annotator never
+mutates a program in place; it builds a new one with re-tagged instructions
+(see :mod:`repro.annotate`), mirroring the paper's constraint that phase 3
+"only inserts directives in the opcode" and performs no code motion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple, Union
+
+from .directives import Directive
+from .opcodes import Category, Opcode
+from .registers import register_name
+
+Number = Union[int, float]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Instruction:
+    """One machine instruction.
+
+    Attributes:
+        opcode: the operation.
+        dest: destination register index, or ``None``.
+        srcs: source register indices (0, 1 or 2 of them).
+        imm: immediate operand (int or float), or ``None``.
+        target: branch/jump/call target address, or ``None``.  Targets are
+            resolved instruction addresses; the assembler resolves labels.
+        directive: value-predictability hint, or ``None``.
+    """
+
+    opcode: Opcode
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: Optional[Number] = None
+    target: Optional[int] = None
+    directive: Optional[Directive] = None
+
+    @property
+    def category(self) -> Category:
+        return self.opcode.category
+
+    @property
+    def writes_register(self) -> bool:
+        return self.opcode.writes_register
+
+    @property
+    def is_prediction_candidate(self) -> bool:
+        return self.opcode.is_prediction_candidate
+
+    def with_directive(self, directive: Optional[Directive]) -> "Instruction":
+        """Return a copy of this instruction carrying ``directive``."""
+        return dataclasses.replace(self, directive=directive)
+
+    def render(self) -> str:
+        """Return the canonical assembler text of this instruction."""
+        mnemonic = self.opcode.value
+        if self.directive is not None:
+            suffix = {Directive.STRIDE: "s", Directive.LAST_VALUE: "lv"}
+            mnemonic = f"{mnemonic}.{suffix[self.directive]}"
+        operands = []
+        if self.dest is not None:
+            operands.append(register_name(self.dest))
+        operands.extend(register_name(src) for src in self.srcs)
+        if self.imm is not None:
+            operands.append(repr(self.imm))
+        if self.target is not None:
+            operands.append(f"@{self.target}")
+        if operands:
+            return f"{mnemonic} " + ", ".join(operands)
+        return mnemonic
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,220 @@
+"""Opcode definitions for the reproduction's RISC-like instruction set.
+
+The paper ran SPEC95 binaries compiled for a Sun SPARC machine.  The value
+prediction mechanisms it studies only observe three things about an
+instruction: its *address*, its *category* (integer ALU, FP computation,
+integer load, FP load) and the *destination value* it produces.  This module
+defines a small register-based RISC ISA that exposes exactly that surface.
+
+Opcode categories drive two things downstream:
+
+* which instructions are *value-prediction candidates* (instructions that
+  write a computed value to a destination register — see
+  :func:`Opcode.is_prediction_candidate`), matching the paper's "we only
+  refer to instructions which write a computed value to a destination
+  register";
+* the row grouping of Table 2.1 (integer ALU / loads / FP computation /
+  FP loads).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Category(enum.Enum):
+    """Coarse instruction classes used by the paper's measurements."""
+
+    INT_ALU = "int_alu"
+    FP_ALU = "fp_alu"
+    INT_LOAD = "int_load"
+    FP_LOAD = "fp_load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CALL = "call"
+    RETURN = "return"
+    MISC = "misc"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Category.{self.name}"
+
+
+class Opcode(enum.Enum):
+    """Every operation the functional simulator can execute.
+
+    The enum *value* is the assembler mnemonic.
+    """
+
+    # Integer ALU, register-register.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"          # truncating toward zero, like C
+    MOD = "mod"          # sign follows the dividend, like C
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"          # arithmetic right shift
+    SLT = "slt"          # set if less-than (signed)
+    SLE = "sle"
+    SEQ = "seq"
+    SNE = "sne"
+    # Integer ALU, register-immediate.
+    ADDI = "addi"
+    SUBI = "subi"
+    MULI = "muli"
+    DIVI = "divi"
+    MODI = "modi"
+    ANDI = "andi"
+    ORI = "ori"
+    XORI = "xori"
+    SHLI = "shli"
+    SHRI = "shri"
+    SLTI = "slti"
+    SLEI = "slei"
+    SEQI = "seqi"
+    SNEI = "snei"
+    LI = "li"            # load immediate
+    MOV = "mov"
+    NEG = "neg"
+    NOT = "not"          # logical not (result 0/1)
+    # Floating point computation.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+    FLI = "fli"          # load FP immediate
+    FMOV = "fmov"
+    FSLT = "fslt"        # FP compares produce integer 0/1
+    FSLE = "fsle"
+    FSEQ = "fseq"
+    FSNE = "fsne"
+    CVTIF = "cvtif"      # int -> float
+    CVTFI = "cvtfi"      # float -> int (truncate)
+    # Memory.
+    LD = "ld"            # integer load:   rd <- mem[rs + imm]
+    ST = "st"            # integer store:  mem[rs + imm] <- rt
+    FLD = "fld"          # FP load
+    FST = "fst"          # FP store
+    # Control.
+    BEQZ = "beqz"        # branch if rs == 0
+    BNEZ = "bnez"        # branch if rs != 0
+    JMP = "jmp"
+    CALL = "call"        # ra <- pc + 1 ; pc <- target
+    JR = "jr"            # pc <- rs (function return)
+    # Miscellaneous / environment.
+    IN = "in"            # rd <- next value from the run's input stream
+    FIN = "fin"          # rd <- next value from the input stream, as float
+    OUT = "out"          # append rs to the run's output
+    PHASE = "phase"      # mark execution phase (init=1 / computation=2)
+    NOP = "nop"
+    HALT = "halt"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Opcode.{self.name}"
+
+    @property
+    def category(self) -> Category:
+        """The instruction class this opcode belongs to."""
+        return _CATEGORY[self]
+
+    @property
+    def writes_register(self) -> bool:
+        """Whether the opcode produces a destination-register value."""
+        return self in _WRITES_REGISTER
+
+    @property
+    def is_prediction_candidate(self) -> bool:
+        """Whether the paper's mechanisms would consider predicting it.
+
+        The paper predicts destination values of register-writing
+        instructions: integer ALU results, FP results and loaded values.
+        Moves of constants and register copies compute nothing new but do
+        write registers; they stay candidates (their values are trivially
+        last-value predictable, just as SPARC ``mov`` was in the original
+        traces).  Calls write the return-address register but are excluded,
+        as are environment reads (``in``), which have no computed value.
+        """
+        return self.category in _PREDICTABLE_CATEGORIES
+
+    @property
+    def reads_memory(self) -> bool:
+        return self in (Opcode.LD, Opcode.FLD)
+
+    @property
+    def writes_memory(self) -> bool:
+        return self in (Opcode.ST, Opcode.FST)
+
+    @property
+    def is_control(self) -> bool:
+        return self.category in (
+            Category.BRANCH,
+            Category.JUMP,
+            Category.CALL,
+            Category.RETURN,
+        )
+
+
+_PREDICTABLE_CATEGORIES = frozenset(
+    {Category.INT_ALU, Category.FP_ALU, Category.INT_LOAD, Category.FP_LOAD}
+)
+
+_INT_ALU_OPS = (
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.MOD,
+    Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR,
+    Opcode.SLT, Opcode.SLE, Opcode.SEQ, Opcode.SNE,
+    Opcode.ADDI, Opcode.SUBI, Opcode.MULI, Opcode.DIVI, Opcode.MODI,
+    Opcode.ANDI, Opcode.ORI, Opcode.XORI, Opcode.SHLI, Opcode.SHRI,
+    Opcode.SLTI, Opcode.SLEI, Opcode.SEQI, Opcode.SNEI,
+    Opcode.LI, Opcode.MOV, Opcode.NEG, Opcode.NOT, Opcode.CVTFI,
+)
+
+_FP_ALU_OPS = (
+    Opcode.FADD, Opcode.FSUB, Opcode.FMUL, Opcode.FDIV, Opcode.FNEG,
+    Opcode.FLI, Opcode.FMOV, Opcode.FSLT, Opcode.FSLE, Opcode.FSEQ,
+    Opcode.FSNE, Opcode.CVTIF,
+)
+
+_CATEGORY: dict[Opcode, Category] = {}
+_CATEGORY.update({op: Category.INT_ALU for op in _INT_ALU_OPS})
+_CATEGORY.update({op: Category.FP_ALU for op in _FP_ALU_OPS})
+_CATEGORY.update(
+    {
+        Opcode.LD: Category.INT_LOAD,
+        Opcode.FLD: Category.FP_LOAD,
+        Opcode.ST: Category.STORE,
+        Opcode.FST: Category.STORE,
+        Opcode.BEQZ: Category.BRANCH,
+        Opcode.BNEZ: Category.BRANCH,
+        Opcode.JMP: Category.JUMP,
+        Opcode.CALL: Category.CALL,
+        Opcode.JR: Category.RETURN,
+        Opcode.IN: Category.MISC,
+        Opcode.FIN: Category.MISC,
+        Opcode.OUT: Category.MISC,
+        Opcode.PHASE: Category.MISC,
+        Opcode.NOP: Category.MISC,
+        Opcode.HALT: Category.MISC,
+    }
+)
+
+_WRITES_REGISTER = frozenset(
+    set(_INT_ALU_OPS)
+    | set(_FP_ALU_OPS)
+    | {Opcode.LD, Opcode.FLD, Opcode.IN, Opcode.FIN, Opcode.CALL}
+)
+
+#: Mnemonic -> Opcode lookup used by the assembler.
+MNEMONICS: dict[str, Opcode] = {op.value: op for op in Opcode}
+
+
+def opcode_from_mnemonic(mnemonic: str) -> Opcode:
+    """Return the opcode for ``mnemonic``, case-insensitively.
+
+    Raises:
+        KeyError: if the mnemonic names no opcode.
+    """
+    return MNEMONICS[mnemonic.lower()]

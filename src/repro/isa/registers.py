@@ -1,0 +1,65 @@
+"""Register-file conventions for the reproduction ISA.
+
+The machine has 32 general-purpose registers, ``r0`` .. ``r31``.  Registers
+hold Python numbers (int or float); the *opcode*, not the register file,
+decides whether an instruction counts as integer or floating point — the
+same split the paper's measurements use.
+
+Software conventions (fixed by the mini-C code generator):
+
+========  =====  ==========================================
+Register  Alias  Role
+========  =====  ==========================================
+r0        zero   hardwired zero; writes are discarded
+r1..r23   t0..   expression temporaries (caller-saved)
+r24..r27  a0..a3 scratch used around calls
+r28       gp     global pointer (base of the data segment)
+r29       sp     stack pointer
+r30       fp     frame pointer
+r31       ra     return address
+========  =====  ==========================================
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+ZERO = 0
+GP = 28
+SP = 29
+FP = 30
+RA = 31
+
+#: First and one-past-last register of the temporary pool available to the
+#: expression code generator.
+TEMP_FIRST = 1
+TEMP_LAST = 24  # exclusive
+
+_ALIASES = {"zero": ZERO, "gp": GP, "sp": SP, "fp": FP, "ra": RA}
+_NAMES = {ZERO: "zero", GP: "gp", SP: "sp", FP: "fp", RA: "ra"}
+
+
+def register_name(index: int) -> str:
+    """Return the canonical assembler name for register ``index``."""
+    if index in _NAMES:
+        return _NAMES[index]
+    return f"r{index}"
+
+
+def parse_register(name: str) -> int:
+    """Parse an assembler register name (``r7``, ``sp``, ...) to its index.
+
+    Raises:
+        ValueError: if the name is not a valid register.
+    """
+    lowered = name.lower()
+    if lowered in _ALIASES:
+        return _ALIASES[lowered]
+    if lowered.startswith("r"):
+        try:
+            index = int(lowered[1:])
+        except ValueError:
+            raise ValueError(f"invalid register name: {name!r}") from None
+        if 0 <= index < NUM_REGISTERS:
+            return index
+    raise ValueError(f"invalid register name: {name!r}")

@@ -1,0 +1,30 @@
+"""Mini-C: the reproduction's compiler substrate (the gcc 2.7.2 stand-in).
+
+A small C-like language — ``int``/``float`` scalars, global arrays,
+functions, loops, the ``in``/``fin``/``out``/``phase`` environment
+builtins — compiled to the reproduction ISA through a classic pipeline:
+lexer, recursive-descent parser, semantic analysis, code generation, and a
+constant-folding + peephole optimizer.
+
+The 13 paper workloads in :mod:`repro.workloads` are written in this
+language.
+"""
+
+from .astnodes import Type
+from .compiler import compile_source
+from .errors import CompileError, LexError, ParseError, SemanticError
+from .lexer import tokenize
+from .parser import parse
+from .semantics import analyze
+
+__all__ = [
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+    "Type",
+    "analyze",
+    "compile_source",
+    "parse",
+    "tokenize",
+]

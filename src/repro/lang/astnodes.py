@@ -1,0 +1,195 @@
+"""Abstract syntax tree for mini-C.
+
+All nodes are plain dataclasses; the semantic pass (:mod:`.semantics`)
+decorates expression nodes with an inferred ``type`` attribute rather than
+rebuilding the tree.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+class Type(enum.Enum):
+    """The mini-C value types."""
+
+    INT = "int"
+    FLOAT = "float"
+    VOID = "void"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Type.{self.name}"
+
+
+@dataclasses.dataclass
+class Node:
+    """Base class carrying the source line for diagnostics."""
+
+    line: int = dataclasses.field(default=0, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Expr(Node):
+    """Base class for expressions; ``type`` is set by the semantic pass."""
+
+    type: Optional[Type] = dataclasses.field(default=None, kw_only=True, compare=False)
+
+
+@dataclasses.dataclass
+class IntLiteral(Expr):
+    value: int = 0
+
+
+@dataclasses.dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+
+
+@dataclasses.dataclass
+class VarRef(Expr):
+    """A scalar variable reference (global, local or parameter)."""
+
+    name: str = ""
+
+
+@dataclasses.dataclass
+class IndexRef(Expr):
+    """An array element reference ``name[index]``."""
+
+    name: str = ""
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclasses.dataclass
+class Unary(Expr):
+    """``-x``, ``!x`` or a cast ``(int)x`` / ``(float)x``."""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclasses.dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclasses.dataclass
+class Call(Expr):
+    """A function call; also covers the builtins ``in``/``fin``/``out``/``phase``."""
+
+    name: str = ""
+    args: List[Expr] = dataclasses.field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Stmt(Node):
+    pass
+
+
+Target = Union[VarRef, IndexRef]
+
+
+@dataclasses.dataclass
+class Assign(Stmt):
+    target: Target = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclasses.dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclasses.dataclass
+class LocalDecl(Stmt):
+    """A local scalar declaration, optionally initialized."""
+
+    var_type: Type = Type.INT
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: "Block" = None  # type: ignore[assignment]
+    else_body: Optional["Block"] = None
+
+
+@dataclasses.dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: "Block" = None  # type: ignore[assignment]
+
+
+@dataclasses.dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: "Block" = None  # type: ignore[assignment]
+
+
+@dataclasses.dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclasses.dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclasses.dataclass
+class Block(Stmt):
+    statements: List[Stmt] = dataclasses.field(default_factory=list)
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class GlobalDecl(Node):
+    """A global scalar (``size is None``) or array declaration."""
+
+    var_type: Type = Type.INT
+    name: str = ""
+    size: Optional[int] = None
+    init: Sequence[Union[int, float]] = ()
+
+
+@dataclasses.dataclass
+class FunctionDecl(Node):
+    return_type: Type = Type.VOID
+    name: str = ""
+    params: List[Tuple[Type, str]] = dataclasses.field(default_factory=list)
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclasses.dataclass
+class TranslationUnit(Node):
+    """A whole mini-C source file."""
+
+    globals: List[GlobalDecl] = dataclasses.field(default_factory=list)
+    functions: List[FunctionDecl] = dataclasses.field(default_factory=list)

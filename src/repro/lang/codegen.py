@@ -1,0 +1,520 @@
+"""Code generation: analyzed mini-C AST -> reproduction ISA.
+
+Calling convention (see :mod:`repro.isa.registers` for the register map):
+
+* Arguments are passed on the stack.  The caller allocates ``nargs`` words
+  below ``sp``, stores argument ``k`` at ``sp + (nargs-1-k)`` and invokes
+  ``call``; it deallocates after return.
+* ``r24`` carries the return value.
+* Callee prologue saves ``ra`` at ``sp-1`` and the old ``fp`` at ``sp-2``,
+  sets ``fp = sp`` and opens a frame of ``2 + nlocals`` words.  Parameter
+  ``k`` lives at ``fp + (nargs-1-k)``; local ``j`` at ``fp - (3+j)``.
+* Expression temporaries come from ``r1..r23`` with stack discipline; any
+  temporaries live across a call are caller-saved (spilled below ``sp``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import GP, FP, Opcode, Program, RA, SP, TEMP_FIRST, TEMP_LAST
+from . import astnodes as ast
+from .emitter import Emitter
+from .errors import CompileError, SemanticError
+from .semantics import (
+    BUILTINS,
+    FunctionInfo,
+    GlobalArray,
+    GlobalScalar,
+    LocalVar,
+    ParamVar,
+    ProgramInfo,
+)
+
+#: Return-value register.
+RV = 24
+
+_INT_BINARY: Dict[str, Opcode] = {
+    "+": Opcode.ADD,
+    "-": Opcode.SUB,
+    "*": Opcode.MUL,
+    "/": Opcode.DIV,
+    "%": Opcode.MOD,
+    "&": Opcode.AND,
+    "|": Opcode.OR,
+    "^": Opcode.XOR,
+    "<<": Opcode.SHL,
+    ">>": Opcode.SHR,
+    "<": Opcode.SLT,
+    "<=": Opcode.SLE,
+    "==": Opcode.SEQ,
+    "!=": Opcode.SNE,
+}
+
+_INT_IMMEDIATE: Dict[str, Opcode] = {
+    "+": Opcode.ADDI,
+    "-": Opcode.SUBI,
+    "*": Opcode.MULI,
+    "/": Opcode.DIVI,
+    "%": Opcode.MODI,
+    "&": Opcode.ANDI,
+    "|": Opcode.ORI,
+    "^": Opcode.XORI,
+    "<<": Opcode.SHLI,
+    ">>": Opcode.SHRI,
+    "<": Opcode.SLTI,
+    "<=": Opcode.SLEI,
+    "==": Opcode.SEQI,
+    "!=": Opcode.SNEI,
+}
+
+_COMMUTATIVE = frozenset({"+", "*", "&", "|", "^", "==", "!="})
+
+_FLOAT_BINARY: Dict[str, Opcode] = {
+    "+": Opcode.FADD,
+    "-": Opcode.FSUB,
+    "*": Opcode.FMUL,
+    "/": Opcode.FDIV,
+    "<": Opcode.FSLT,
+    "<=": Opcode.FSLE,
+    "==": Opcode.FSEQ,
+    "!=": Opcode.FSNE,
+}
+
+
+class _TempPool:
+    """Stack-disciplined allocator over the temporary registers."""
+
+    def __init__(self) -> None:
+        self._top = TEMP_FIRST
+
+    def alloc(self, line: int) -> int:
+        if self._top >= TEMP_LAST:
+            raise CompileError("expression too complex (out of temporaries)", line)
+        register = self._top
+        self._top += 1
+        return register
+
+    def free(self, register: int) -> None:
+        if register != self._top - 1:
+            raise CompileError(
+                f"internal: temporaries freed out of order (r{register})"
+            )
+        self._top -= 1
+
+    @property
+    def live(self) -> List[int]:
+        return list(range(TEMP_FIRST, self._top))
+
+
+class CodeGenerator:
+    """Generates a complete Program from an analyzed translation unit."""
+
+    def __init__(
+        self, info: ProgramInfo, name: str = "<minic>", optimize: bool = True
+    ) -> None:
+        self._info = info
+        self._name = name
+        self._optimize = optimize
+        self._emitter = Emitter()
+        self._temps = _TempPool()
+        self._function: Optional[FunctionInfo] = None
+        self._epilogue_label = ""
+        self._break_labels: List[str] = []
+        self._continue_labels: List[str] = []
+
+    def generate(self) -> Program:
+        emit = self._emitter.emit
+        # Entry stub: call main, halt.
+        emit(Opcode.CALL, target="main")
+        emit(Opcode.HALT)
+        for function in self._info.unit.functions:
+            self._generate_function(self._info.functions[function.name])
+        if self._optimize:
+            from .optimizer import peephole
+
+            self._emitter.stream = peephole(self._emitter.stream)
+        symbols = {
+            name: symbol.address if isinstance(symbol, GlobalScalar) else symbol.base_address
+            for name, symbol in self._info.globals.items()
+        }
+        return self._emitter.finalize(
+            data=dict(self._info.data), symbols=symbols, name=self._name
+        )
+
+    # -- functions ------------------------------------------------------------
+
+    def _generate_function(self, info: FunctionInfo) -> None:
+        emit = self._emitter.emit
+        self._function = info
+        self._epilogue_label = self._emitter.new_label(f"epi_{info.name}_")
+        self._emitter.mark(info.name)
+        frame_size = 2 + len(info.locals)
+        emit(Opcode.ST, srcs=(RA, SP), imm=-1)
+        emit(Opcode.ST, srcs=(FP, SP), imm=-2)
+        emit(Opcode.MOV, dest=FP, srcs=(SP,))
+        emit(Opcode.SUBI, dest=SP, srcs=(SP,), imm=frame_size)
+        self._generate_block(info.decl.body)
+        self._emitter.mark(self._epilogue_label)
+        emit(Opcode.MOV, dest=SP, srcs=(FP,))
+        emit(Opcode.LD, dest=RA, srcs=(SP,), imm=-1)
+        emit(Opcode.LD, dest=FP, srcs=(SP,), imm=-2)
+        emit(Opcode.JR, srcs=(RA,))
+        self._function = None
+
+    # -- statements -------------------------------------------------------------
+
+    def _generate_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self._generate_statement(statement)
+
+    def _generate_statement(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Block):
+            self._generate_block(statement)
+        elif isinstance(statement, ast.LocalDecl):
+            if statement.init is not None:
+                self._store_scalar(statement.name, statement.init, statement.line)
+        elif isinstance(statement, ast.Assign):
+            self._generate_assign(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            register = self._generate_expr(statement.expr)
+            if register is not None:
+                self._temps.free(register)
+        elif isinstance(statement, ast.If):
+            self._generate_if(statement)
+        elif isinstance(statement, ast.While):
+            self._generate_while(statement)
+        elif isinstance(statement, ast.For):
+            self._generate_for(statement)
+        elif isinstance(statement, ast.Return):
+            self._generate_return(statement)
+        elif isinstance(statement, ast.Break):
+            self._emitter.emit(Opcode.JMP, target=self._break_labels[-1])
+        elif isinstance(statement, ast.Continue):
+            self._emitter.emit(Opcode.JMP, target=self._continue_labels[-1])
+        else:  # pragma: no cover - statement kinds are closed
+            raise CompileError(f"internal: unknown statement {statement!r}")
+
+    def _generate_assign(self, statement: ast.Assign) -> None:
+        target = statement.target
+        if isinstance(target, ast.VarRef):
+            self._store_scalar(target.name, statement.value, statement.line)
+            return
+        # Array element.
+        array = self._info.globals[target.name]
+        assert isinstance(array, GlobalArray)
+        index = self._require_reg(self._generate_expr(target.index), target.line)
+        value = self._require_reg(self._generate_expr(statement.value), statement.line)
+        store = Opcode.FST if array.type is ast.Type.FLOAT else Opcode.ST
+        self._emitter.emit(store, srcs=(value, index), imm=array.base_address)
+        self._temps.free(value)
+        self._temps.free(index)
+
+    def _store_scalar(self, name: str, value: ast.Expr, line: int) -> None:
+        register = self._require_reg(self._generate_expr(value), line)
+        symbol = self._lookup(name, line)
+        opcode, base, offset = self._scalar_slot(symbol, for_store=True)
+        self._emitter.emit(opcode, srcs=(register, base), imm=offset)
+        self._temps.free(register)
+
+    def _generate_if(self, statement: ast.If) -> None:
+        emit = self._emitter.emit
+        else_label = self._emitter.new_label("else")
+        end_label = self._emitter.new_label("endif")
+        cond = self._require_reg(self._generate_expr(statement.cond), statement.line)
+        emit(Opcode.BEQZ, srcs=(cond,), target=else_label if statement.else_body else end_label)
+        self._temps.free(cond)
+        self._generate_block(statement.then_body)
+        if statement.else_body is not None:
+            emit(Opcode.JMP, target=end_label)
+            self._emitter.mark(else_label)
+            self._generate_block(statement.else_body)
+        self._emitter.mark(end_label)
+
+    def _generate_while(self, statement: ast.While) -> None:
+        emit = self._emitter.emit
+        head = self._emitter.new_label("while")
+        end = self._emitter.new_label("endwhile")
+        self._emitter.mark(head)
+        cond = self._require_reg(self._generate_expr(statement.cond), statement.line)
+        emit(Opcode.BEQZ, srcs=(cond,), target=end)
+        self._temps.free(cond)
+        self._break_labels.append(end)
+        self._continue_labels.append(head)
+        self._generate_block(statement.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        emit(Opcode.JMP, target=head)
+        self._emitter.mark(end)
+
+    def _generate_for(self, statement: ast.For) -> None:
+        emit = self._emitter.emit
+        head = self._emitter.new_label("for")
+        step_label = self._emitter.new_label("forstep")
+        end = self._emitter.new_label("endfor")
+        if statement.init is not None:
+            self._generate_statement(statement.init)
+        self._emitter.mark(head)
+        if statement.cond is not None:
+            cond = self._require_reg(self._generate_expr(statement.cond), statement.line)
+            emit(Opcode.BEQZ, srcs=(cond,), target=end)
+            self._temps.free(cond)
+        self._break_labels.append(end)
+        self._continue_labels.append(step_label)
+        self._generate_block(statement.body)
+        self._break_labels.pop()
+        self._continue_labels.pop()
+        self._emitter.mark(step_label)
+        if statement.step is not None:
+            self._generate_statement(statement.step)
+        emit(Opcode.JMP, target=head)
+        self._emitter.mark(end)
+
+    def _generate_return(self, statement: ast.Return) -> None:
+        if statement.value is not None:
+            register = self._require_reg(
+                self._generate_expr(statement.value), statement.line
+            )
+            self._emitter.emit(Opcode.MOV, dest=RV, srcs=(register,))
+            self._temps.free(register)
+        self._emitter.emit(Opcode.JMP, target=self._epilogue_label)
+
+    # -- expressions --------------------------------------------------------------
+
+    def _generate_expr(self, expr: ast.Expr) -> Optional[int]:
+        """Generate code for ``expr``; return the temp holding its value.
+
+        Returns ``None`` only for void calls.
+        """
+        if isinstance(expr, ast.IntLiteral):
+            register = self._temps.alloc(expr.line)
+            self._emitter.emit(Opcode.LI, dest=register, imm=expr.value)
+            return register
+        if isinstance(expr, ast.FloatLiteral):
+            register = self._temps.alloc(expr.line)
+            self._emitter.emit(Opcode.FLI, dest=register, imm=float(expr.value))
+            return register
+        if isinstance(expr, ast.VarRef):
+            return self._generate_var_ref(expr)
+        if isinstance(expr, ast.IndexRef):
+            return self._generate_index_ref(expr)
+        if isinstance(expr, ast.Unary):
+            return self._generate_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._generate_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._generate_call(expr)
+        raise CompileError(f"internal: unknown expression {expr!r}", expr.line)
+
+    def _generate_var_ref(self, expr: ast.VarRef) -> int:
+        symbol = self._lookup(expr.name, expr.line)
+        opcode, base, offset = self._scalar_slot(symbol, for_store=False)
+        register = self._temps.alloc(expr.line)
+        self._emitter.emit(opcode, dest=register, srcs=(base,), imm=offset)
+        return register
+
+    def _generate_index_ref(self, expr: ast.IndexRef) -> int:
+        array = self._info.globals[expr.name]
+        assert isinstance(array, GlobalArray)
+        index = self._require_reg(self._generate_expr(expr.index), expr.line)
+        load = Opcode.FLD if array.type is ast.Type.FLOAT else Opcode.LD
+        self._emitter.emit(load, dest=index, srcs=(index,), imm=array.base_address)
+        return index
+
+    def _generate_unary(self, expr: ast.Unary) -> int:
+        operand_type = expr.operand.type
+        register = self._require_reg(self._generate_expr(expr.operand), expr.line)
+        if expr.op == "-":
+            opcode = Opcode.FNEG if expr.type is ast.Type.FLOAT else Opcode.NEG
+            self._emitter.emit(opcode, dest=register, srcs=(register,))
+        elif expr.op == "!":
+            self._emitter.emit(Opcode.NOT, dest=register, srcs=(register,))
+        elif expr.op == "(int)":
+            if operand_type is ast.Type.FLOAT:
+                self._emitter.emit(Opcode.CVTFI, dest=register, srcs=(register,))
+        elif expr.op == "(float)":
+            if operand_type is ast.Type.INT:
+                self._emitter.emit(Opcode.CVTIF, dest=register, srcs=(register,))
+        else:  # pragma: no cover - operator set is closed
+            raise CompileError(f"internal: unary {expr.op!r}", expr.line)
+        return register
+
+    def _generate_binary(self, expr: ast.Binary) -> int:
+        if expr.op in ("&&", "||"):
+            return self._generate_short_circuit(expr)
+        operand_type = expr.left.type
+        if operand_type is ast.Type.FLOAT:
+            return self._generate_float_binary(expr)
+        return self._generate_int_binary(expr)
+
+    def _generate_int_binary(self, expr: ast.Binary) -> int:
+        emit = self._emitter.emit
+        op = expr.op
+        left, right = expr.left, expr.right
+        # Immediate form when one side is a literal.
+        if isinstance(right, ast.IntLiteral) and op in _INT_IMMEDIATE:
+            register = self._require_reg(self._generate_expr(left), expr.line)
+            emit(_INT_IMMEDIATE[op], dest=register, srcs=(register,), imm=right.value)
+            return register
+        if (
+            isinstance(left, ast.IntLiteral)
+            and op in _INT_IMMEDIATE
+            and op in _COMMUTATIVE
+        ):
+            register = self._require_reg(self._generate_expr(right), expr.line)
+            emit(_INT_IMMEDIATE[op], dest=register, srcs=(register,), imm=left.value)
+            return register
+        if op in (">", ">="):
+            # a > b  ==  b < a ;  a >= b  ==  b <= a
+            swapped = Opcode.SLT if op == ">" else Opcode.SLE
+            left_reg = self._require_reg(self._generate_expr(left), expr.line)
+            right_reg = self._require_reg(self._generate_expr(right), expr.line)
+            emit(swapped, dest=left_reg, srcs=(right_reg, left_reg))
+            self._temps.free(right_reg)
+            return left_reg
+        opcode = _INT_BINARY[op]
+        left_reg = self._require_reg(self._generate_expr(left), expr.line)
+        right_reg = self._require_reg(self._generate_expr(right), expr.line)
+        emit(opcode, dest=left_reg, srcs=(left_reg, right_reg))
+        self._temps.free(right_reg)
+        return left_reg
+
+    def _generate_float_binary(self, expr: ast.Binary) -> int:
+        emit = self._emitter.emit
+        op = expr.op
+        if op in (">", ">="):
+            swapped = Opcode.FSLT if op == ">" else Opcode.FSLE
+            left_reg = self._require_reg(self._generate_expr(expr.left), expr.line)
+            right_reg = self._require_reg(self._generate_expr(expr.right), expr.line)
+            emit(swapped, dest=left_reg, srcs=(right_reg, left_reg))
+            self._temps.free(right_reg)
+            return left_reg
+        opcode = _FLOAT_BINARY[op]
+        left_reg = self._require_reg(self._generate_expr(expr.left), expr.line)
+        right_reg = self._require_reg(self._generate_expr(expr.right), expr.line)
+        emit(opcode, dest=left_reg, srcs=(left_reg, right_reg))
+        self._temps.free(right_reg)
+        return left_reg
+
+    def _generate_short_circuit(self, expr: ast.Binary) -> int:
+        emit = self._emitter.emit
+        end = self._emitter.new_label("sc")
+        register = self._require_reg(self._generate_expr(expr.left), expr.line)
+        emit(Opcode.SNEI, dest=register, srcs=(register,), imm=0)
+        branch = Opcode.BEQZ if expr.op == "&&" else Opcode.BNEZ
+        emit(branch, srcs=(register,), target=end)
+        right = self._require_reg(self._generate_expr(expr.right), expr.line)
+        emit(Opcode.SNEI, dest=right, srcs=(right,), imm=0)
+        emit(Opcode.MOV, dest=register, srcs=(right,))
+        self._temps.free(right)
+        self._emitter.mark(end)
+        return register
+
+    # -- calls ------------------------------------------------------------------
+
+    def _generate_call(self, expr: ast.Call) -> Optional[int]:
+        if expr.name in BUILTINS:
+            return self._generate_builtin(expr)
+        emit = self._emitter.emit
+        nargs = len(expr.args)
+        # Caller-save every live temporary first.  Temps stay valid while
+        # the arguments are evaluated (any nested call performs its own
+        # save/restore), so spilling here keeps sp fixed between the
+        # argument block and the call — the callee's fp-relative parameter
+        # offsets depend on that.
+        live = self._temps.live
+        for slot, register in enumerate(live):
+            emit(Opcode.ST, srcs=(register, SP), imm=-(slot + 1))
+        if live:
+            emit(Opcode.SUBI, dest=SP, srcs=(SP,), imm=len(live))
+        if nargs:
+            emit(Opcode.SUBI, dest=SP, srcs=(SP,), imm=nargs)
+        for position, arg in enumerate(expr.args):
+            register = self._require_reg(self._generate_expr(arg), expr.line)
+            store = Opcode.FST if arg.type is ast.Type.FLOAT else Opcode.ST
+            emit(store, srcs=(register, SP), imm=nargs - 1 - position)
+            self._temps.free(register)
+        emit(Opcode.CALL, target=expr.name)
+        if nargs:
+            emit(Opcode.ADDI, dest=SP, srcs=(SP,), imm=nargs)
+        if live:
+            emit(Opcode.ADDI, dest=SP, srcs=(SP,), imm=len(live))
+        for slot, register in enumerate(live):
+            emit(Opcode.LD, dest=register, srcs=(SP,), imm=-(slot + 1))
+        callee = self._info.functions[expr.name]
+        if callee.return_type is ast.Type.VOID:
+            return None
+        register = self._temps.alloc(expr.line)
+        move = Opcode.FMOV if callee.return_type is ast.Type.FLOAT else Opcode.MOV
+        emit(move, dest=register, srcs=(RV,))
+        return register
+
+    def _generate_builtin(self, expr: ast.Call) -> Optional[int]:
+        emit = self._emitter.emit
+        if expr.name == "in":
+            register = self._temps.alloc(expr.line)
+            emit(Opcode.IN, dest=register)
+            return register
+        if expr.name == "fin":
+            register = self._temps.alloc(expr.line)
+            emit(Opcode.FIN, dest=register)
+            return register
+        if expr.name == "out":
+            register = self._require_reg(self._generate_expr(expr.args[0]), expr.line)
+            emit(Opcode.OUT, srcs=(register,))
+            self._temps.free(register)
+            return None
+        if expr.name == "phase":
+            argument = expr.args[0]
+            if not isinstance(argument, ast.IntLiteral):
+                raise SemanticError(
+                    "phase() requires a constant phase number", expr.line
+                )
+            emit(Opcode.PHASE, imm=argument.value)
+            return None
+        raise CompileError(f"internal: builtin {expr.name!r}", expr.line)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _lookup(self, name: str, line: int):
+        info = self._function
+        assert info is not None
+        if name in info.locals:
+            return info.locals[name]
+        if name in info.params:
+            return info.params[name]
+        if name in self._info.globals:
+            return self._info.globals[name]
+        raise CompileError(f"internal: unknown symbol {name!r}", line)
+
+    def _scalar_slot(self, symbol, for_store: bool) -> Tuple[Opcode, int, int]:
+        """Return (opcode, base register, offset) addressing a scalar."""
+        if isinstance(symbol, GlobalScalar):
+            is_float = symbol.type is ast.Type.FLOAT
+            base, offset = GP, symbol.address
+        elif isinstance(symbol, LocalVar):
+            is_float = symbol.type is ast.Type.FLOAT
+            base, offset = FP, -(3 + symbol.index)
+        elif isinstance(symbol, ParamVar):
+            info = self._function
+            assert info is not None
+            is_float = symbol.type is ast.Type.FLOAT
+            base, offset = FP, len(info.params) - 1 - symbol.index
+        else:
+            raise CompileError(f"internal: not a scalar: {symbol!r}")
+        if for_store:
+            return (Opcode.FST if is_float else Opcode.ST, base, offset)
+        return (Opcode.FLD if is_float else Opcode.LD, base, offset)
+
+    @staticmethod
+    def _require_reg(register: Optional[int], line: int) -> int:
+        if register is None:
+            raise SemanticError("void value used in an expression", line)
+        return register
+
+
+def generate(
+    info: ProgramInfo, name: str = "<minic>", optimize: bool = True
+) -> Program:
+    """Generate a Program from analyzed mini-C."""
+    return CodeGenerator(info, name=name, optimize=optimize).generate()

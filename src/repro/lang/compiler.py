@@ -1,0 +1,36 @@
+"""The compilation facade: mini-C source text -> executable Program.
+
+This is phase 1 of the paper's methodology — the stand-in for
+"gcc 2.7.2 with -O2".  Phase 3 (directive insertion) lives in
+:mod:`repro.annotate` and operates on the *compiled* program, never on the
+source, matching the paper's requirement that the final phase performs no
+instruction scheduling or code movement.
+"""
+
+from __future__ import annotations
+
+from ..isa import Program
+from .codegen import generate
+from .optimizer import fold_unit
+from .parser import parse
+from .semantics import analyze
+
+
+def compile_source(source: str, name: str = "<minic>", optimize: bool = True) -> Program:
+    """Compile mini-C ``source`` into a :class:`~repro.isa.program.Program`.
+
+    Args:
+        source: mini-C source text.
+        name: program name recorded in the binary.
+        optimize: run constant folding and the peephole pass (the "-O2"
+            stand-in).  Disable for compiler-debugging only.
+
+    Raises:
+        CompileError: (or a subclass — LexError / ParseError /
+            SemanticError) on any malformed program.
+    """
+    unit = parse(source)
+    if optimize:
+        fold_unit(unit)
+    info = analyze(unit)
+    return generate(info, name=name, optimize=optimize)

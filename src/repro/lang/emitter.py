@@ -1,0 +1,110 @@
+"""Instruction-stream emitter with symbolic labels.
+
+The code generator emits a *stream* of items — pending instructions and
+label marks.  Labels are stream items (not addresses), so the peephole
+optimizer can delete or rewrite instructions freely; addresses are assigned
+only at finalization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..isa import Instruction, Number, Opcode, build_program, Program
+from .errors import CompileError
+
+
+@dataclasses.dataclass
+class PendingInstruction:
+    """A mutable instruction whose target may be a symbolic label."""
+
+    opcode: Opcode
+    dest: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    imm: Optional[Number] = None
+    target: Optional[Union[int, str]] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class LabelMark:
+    """Marks the position of a label in the stream."""
+
+    name: str
+
+
+StreamItem = Union[PendingInstruction, LabelMark]
+
+
+class Emitter:
+    """Accumulates the instruction stream and resolves it into a Program."""
+
+    def __init__(self) -> None:
+        self.stream: List[StreamItem] = []
+        self._label_counter = 0
+
+    def new_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f".{hint}{self._label_counter}"
+
+    def mark(self, label: str) -> None:
+        self.stream.append(LabelMark(label))
+
+    def emit(
+        self,
+        opcode: Opcode,
+        dest: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        imm: Optional[Number] = None,
+        target: Optional[Union[int, str]] = None,
+    ) -> PendingInstruction:
+        instruction = PendingInstruction(opcode, dest, srcs, imm, target)
+        self.stream.append(instruction)
+        return instruction
+
+    def finalize(
+        self,
+        data: Dict[int, Number],
+        symbols: Dict[str, int],
+        name: str,
+    ) -> Program:
+        """Assign addresses, resolve labels and build the Program.
+
+        Labels that fall at the very end of the stream resolve to the final
+        instruction (functions always end with an epilogue, so this arises
+        only for degenerate streams).
+        """
+        addresses: Dict[str, int] = {}
+        address = 0
+        for item in self.stream:
+            if isinstance(item, LabelMark):
+                addresses[item.name] = address
+            else:
+                address += 1
+        code_size = address
+        instructions: List[Instruction] = []
+        for item in self.stream:
+            if isinstance(item, LabelMark):
+                continue
+            target = item.target
+            if isinstance(target, str):
+                if target not in addresses:
+                    raise CompileError(f"internal: unresolved label {target!r}")
+                target = addresses[target]
+                if target >= code_size:
+                    target = code_size - 1
+            instructions.append(
+                Instruction(
+                    opcode=item.opcode,
+                    dest=item.dest,
+                    srcs=item.srcs,
+                    imm=item.imm,
+                    target=target,
+                )
+            )
+        public_labels = {
+            label: addr for label, addr in addresses.items() if not label.startswith(".")
+        }
+        return build_program(
+            instructions, data=data, symbols=symbols, labels=public_labels, name=name
+        )

@@ -1,0 +1,24 @@
+"""Compilation errors for the mini-C front end."""
+
+from __future__ import annotations
+
+
+class CompileError(ValueError):
+    """Base class for all mini-C compilation failures."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        location = f"line {line}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+
+
+class LexError(CompileError):
+    """Invalid character sequence in the source text."""
+
+
+class ParseError(CompileError):
+    """The token stream does not match the grammar."""
+
+
+class SemanticError(CompileError):
+    """The program is grammatical but ill-typed or ill-formed."""

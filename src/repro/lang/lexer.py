@@ -1,0 +1,133 @@
+"""Hand-written lexer for mini-C."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import LexError
+from .tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split ``source`` into tokens, ending with an EOF token.
+
+    Supports ``//`` line comments and ``/* ... */`` block comments, decimal
+    and hexadecimal integer literals, float literals (``1.5``, ``2e3``,
+    ``1.5e-2``) and character literals (``'a'``, which lex as the integer
+    code point, C-style).
+
+    Raises:
+        LexError: on any unrecognized character sequence.
+    """
+    tokens: List[Token] = []
+    line = 1
+    position = 0
+    length = len(source)
+
+    while position < length:
+        char = source[position]
+        if char == "\n":
+            line += 1
+            position += 1
+            continue
+        if char in " \t\r":
+            position += 1
+            continue
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            position = length if end < 0 else end
+            continue
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", position, end)
+            position = end + 2
+            continue
+        if char == "'":
+            token, position = _lex_char(source, position, line)
+            tokens.append(token)
+            continue
+        if char.isdigit() or (
+            char == "." and position + 1 < length and source[position + 1].isdigit()
+        ):
+            token, position = _lex_number(source, position, line)
+            tokens.append(token)
+            continue
+        if char.isalpha() or char == "_":
+            start = position
+            while position < length and (
+                source[position].isalnum() or source[position] == "_"
+            ):
+                position += 1
+            text = source[start:position]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENTIFIER
+            tokens.append(Token(kind, text, line))
+            continue
+        for punct in PUNCTUATORS:
+            if source.startswith(punct, position):
+                tokens.append(Token(TokenKind.PUNCT, punct, line))
+                position += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line)
+
+    tokens.append(Token(TokenKind.EOF, "", line))
+    return tokens
+
+
+def _lex_char(source: str, position: int, line: int) -> tuple[Token, int]:
+    """Lex a character literal starting at the opening quote."""
+    cursor = position + 1
+    if cursor >= len(source):
+        raise LexError("unterminated character literal", line)
+    char = source[cursor]
+    if char == "\\":
+        cursor += 1
+        if cursor >= len(source):
+            raise LexError("unterminated character literal", line)
+        escapes = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", "'": "'"}
+        if source[cursor] not in escapes:
+            raise LexError(f"unknown escape \\{source[cursor]}", line)
+        char = escapes[source[cursor]]
+    cursor += 1
+    if cursor >= len(source) or source[cursor] != "'":
+        raise LexError("unterminated character literal", line)
+    return Token(TokenKind.INT_LITERAL, ord(char), line), cursor + 1
+
+
+def _lex_number(source: str, position: int, line: int) -> tuple[Token, int]:
+    """Lex an integer or float literal starting at ``position``."""
+    length = len(source)
+    start = position
+    if source.startswith(("0x", "0X"), position):
+        position += 2
+        while position < length and source[position] in "0123456789abcdefABCDEF":
+            position += 1
+        text = source[start:position]
+        if len(text) == 2:
+            raise LexError("malformed hex literal", line)
+        return Token(TokenKind.INT_LITERAL, int(text, 16), line), position
+
+    is_float = False
+    while position < length and source[position].isdigit():
+        position += 1
+    if position < length and source[position] == ".":
+        is_float = True
+        position += 1
+        while position < length and source[position].isdigit():
+            position += 1
+    if position < length and source[position] in "eE":
+        is_float = True
+        position += 1
+        if position < length and source[position] in "+-":
+            position += 1
+        digits_start = position
+        while position < length and source[position].isdigit():
+            position += 1
+        if position == digits_start:
+            raise LexError("malformed exponent", line)
+    text = source[start:position]
+    if is_float:
+        return Token(TokenKind.FLOAT_LITERAL, float(text), line), position
+    return Token(TokenKind.INT_LITERAL, int(text), line), position

@@ -1,0 +1,310 @@
+"""Optimization passes (the reproduction's "-O2" stand-in).
+
+Two layers, both deliberately conservative:
+
+* **AST constant folding** — evaluates literal subexpressions (with C
+  semantics for integer division/remainder) and the identity operations
+  ``x+0``, ``x-0``, ``x*1``, ``x/1``.  Runs before semantic analysis.
+* **Stream peephole** — rewrites the emitter's instruction stream before
+  label resolution: drops no-op moves and zero-adjustments, merges adjacent
+  stack-pointer adjustments, removes jumps to the immediately following
+  label and unreachable code after an unconditional transfer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from ..isa import Opcode, SP
+from . import astnodes as ast
+from .emitter import LabelMark, PendingInstruction, StreamItem
+
+
+# --------------------------------------------------------------------------
+# AST constant folding
+# --------------------------------------------------------------------------
+
+
+def fold_unit(unit: ast.TranslationUnit) -> ast.TranslationUnit:
+    """Fold constants in every function body, in place. Returns ``unit``."""
+    for function in unit.functions:
+        _fold_block(function.body)
+    return unit
+
+
+def _fold_block(block: ast.Block) -> None:
+    for statement in block.statements:
+        _fold_statement(statement)
+
+
+def _fold_statement(statement: ast.Stmt) -> None:
+    if isinstance(statement, ast.Block):
+        _fold_block(statement)
+    elif isinstance(statement, ast.LocalDecl):
+        if statement.init is not None:
+            statement.init = _fold_expr(statement.init)
+    elif isinstance(statement, ast.Assign):
+        if isinstance(statement.target, ast.IndexRef):
+            statement.target.index = _fold_expr(statement.target.index)
+        statement.value = _fold_expr(statement.value)
+    elif isinstance(statement, ast.ExprStmt):
+        statement.expr = _fold_expr(statement.expr)
+    elif isinstance(statement, ast.If):
+        statement.cond = _fold_expr(statement.cond)
+        _fold_block(statement.then_body)
+        if statement.else_body is not None:
+            _fold_block(statement.else_body)
+    elif isinstance(statement, ast.While):
+        statement.cond = _fold_expr(statement.cond)
+        _fold_block(statement.body)
+    elif isinstance(statement, ast.For):
+        if statement.init is not None:
+            _fold_statement(statement.init)
+        if statement.cond is not None:
+            statement.cond = _fold_expr(statement.cond)
+        if statement.step is not None:
+            _fold_statement(statement.step)
+        _fold_block(statement.body)
+    elif isinstance(statement, ast.Return):
+        if statement.value is not None:
+            statement.value = _fold_expr(statement.value)
+
+
+def _literal_value(expr: ast.Expr) -> Optional[Union[int, float]]:
+    if isinstance(expr, ast.IntLiteral):
+        return expr.value
+    if isinstance(expr, ast.FloatLiteral):
+        return expr.value
+    return None
+
+
+def _make_literal(value: Union[int, float], line: int) -> ast.Expr:
+    if isinstance(value, bool):  # comparisons produce Python bools
+        value = int(value)
+    if isinstance(value, int):
+        return ast.IntLiteral(value=value, line=line)
+    return ast.FloatLiteral(value=value, line=line)
+
+
+def _c_div(a: int, b: int) -> int:
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _fold_expr(expr: ast.Expr) -> ast.Expr:
+    if isinstance(expr, ast.Unary):
+        expr.operand = _fold_expr(expr.operand)
+        value = _literal_value(expr.operand)
+        if value is None:
+            return expr
+        if expr.op == "-":
+            return _make_literal(-value, expr.line)
+        if expr.op == "!" and isinstance(value, int):
+            return _make_literal(0 if value else 1, expr.line)
+        if expr.op == "(int)":
+            return _make_literal(int(value), expr.line)
+        if expr.op == "(float)":
+            return _make_literal(float(value), expr.line)
+        return expr
+    if isinstance(expr, ast.Binary):
+        expr.left = _fold_expr(expr.left)
+        expr.right = _fold_expr(expr.right)
+        return _fold_binary(expr)
+    if isinstance(expr, ast.Call):
+        expr.args = [_fold_expr(arg) for arg in expr.args]
+        return expr
+    if isinstance(expr, ast.IndexRef):
+        expr.index = _fold_expr(expr.index)
+        return expr
+    return expr
+
+
+def _fold_binary(expr: ast.Binary) -> ast.Expr:
+    left = _literal_value(expr.left)
+    right = _literal_value(expr.right)
+    op = expr.op
+    if left is not None and right is not None:
+        folded = _evaluate(op, left, right, expr.line)
+        if folded is not None:
+            return folded
+    # Identity simplifications that keep the non-literal operand.
+    if right is not None:
+        if op in ("+", "-") and right == 0 and not isinstance(right, float):
+            return expr.left
+        if op in ("*", "/") and right == 1 and not isinstance(right, float):
+            return expr.left
+    if left == 0 and op == "+" and not isinstance(left, float):
+        return expr.right
+    if left == 1 and op == "*" and not isinstance(left, float):
+        return expr.right
+    return expr
+
+
+def _evaluate(
+    op: str, left: Union[int, float], right: Union[int, float], line: int
+) -> Optional[ast.Expr]:
+    both_int = isinstance(left, int) and isinstance(right, int)
+    try:
+        if op == "+":
+            return _make_literal(left + right, line)
+        if op == "-":
+            return _make_literal(left - right, line)
+        if op == "*":
+            return _make_literal(left * right, line)
+        if op == "/":
+            if right == 0:
+                return None  # let it fail at run time, like a real compiler
+            if both_int:
+                return _make_literal(_c_div(left, right), line)
+            return _make_literal(left / right, line)
+        if op == "%" and both_int:
+            if right == 0:
+                return None
+            return _make_literal(left - _c_div(left, right) * right, line)
+        if both_int:
+            if op == "<<":
+                return _make_literal(left << (right & 63), line)
+            if op == ">>":
+                return _make_literal(left >> (right & 63), line)
+            if op == "&":
+                return _make_literal(left & right, line)
+            if op == "|":
+                return _make_literal(left | right, line)
+            if op == "^":
+                return _make_literal(left ^ right, line)
+            if op == "&&":
+                return _make_literal(1 if (left and right) else 0, line)
+            if op == "||":
+                return _make_literal(1 if (left or right) else 0, line)
+        if op == "==":
+            return _make_literal(left == right, line)
+        if op == "!=":
+            return _make_literal(left != right, line)
+        if op == "<":
+            return _make_literal(left < right, line)
+        if op == "<=":
+            return _make_literal(left <= right, line)
+        if op == ">":
+            return _make_literal(left > right, line)
+        if op == ">=":
+            return _make_literal(left >= right, line)
+    except (OverflowError, ValueError):  # pragma: no cover - defensive
+        return None
+    return None
+
+
+# --------------------------------------------------------------------------
+# Stream peephole
+# --------------------------------------------------------------------------
+
+_UNCONDITIONAL = (Opcode.JMP, Opcode.JR, Opcode.HALT)
+_SP_ADJUST = {Opcode.ADDI: 1, Opcode.SUBI: -1}
+
+
+def peephole(stream: List[StreamItem], max_passes: int = 8) -> List[StreamItem]:
+    """Run the peephole rules to a bounded fixpoint. Returns a new stream."""
+    current = list(stream)
+    for _ in range(max_passes):
+        rewritten = _peephole_once(current)
+        if rewritten == current:
+            return rewritten
+        current = rewritten
+    return current
+
+
+def _peephole_once(stream: List[StreamItem]) -> List[StreamItem]:
+    output: List[StreamItem] = []
+    index = 0
+    size = len(stream)
+    while index < size:
+        item = stream[index]
+        if isinstance(item, LabelMark):
+            output.append(item)
+            index += 1
+            continue
+        # mov x, x  -> drop.
+        if (
+            item.opcode in (Opcode.MOV, Opcode.FMOV)
+            and item.srcs
+            and item.dest == item.srcs[0]
+        ):
+            index += 1
+            continue
+        # addi/subi r, r, 0 -> drop.
+        if (
+            item.opcode in (Opcode.ADDI, Opcode.SUBI)
+            and item.imm == 0
+            and item.srcs
+            and item.dest == item.srcs[0]
+        ):
+            index += 1
+            continue
+        # Merge adjacent sp adjustments.
+        merged = _merge_sp_adjust(item, stream, index)
+        if merged is not None:
+            replacement, consumed = merged
+            if replacement is not None:
+                output.append(replacement)
+            index += consumed
+            continue
+        # jmp L where L is the next label -> drop.
+        if item.opcode is Opcode.JMP and _jumps_to_next(item, stream, index):
+            index += 1
+            continue
+        output.append(item)
+        index += 1
+        # Unreachable code: after an unconditional transfer, skip until the
+        # next label.
+        if item.opcode in _UNCONDITIONAL:
+            while index < size and not isinstance(stream[index], LabelMark):
+                index += 1
+    return output
+
+
+def _is_sp_adjust(item: StreamItem) -> bool:
+    return (
+        isinstance(item, PendingInstruction)
+        and item.opcode in _SP_ADJUST
+        and item.dest == SP
+        and item.srcs == (SP,)
+        and isinstance(item.imm, int)
+    )
+
+
+def _merge_sp_adjust(
+    item: PendingInstruction, stream: List[StreamItem], index: int
+) -> Optional[tuple[Optional[PendingInstruction], int]]:
+    """Merge a run of consecutive sp adjustments starting at ``index``."""
+    if not _is_sp_adjust(item):
+        return None
+    total = _SP_ADJUST[item.opcode] * item.imm
+    consumed = 1
+    while index + consumed < len(stream) and _is_sp_adjust(stream[index + consumed]):
+        follower = stream[index + consumed]
+        assert isinstance(follower, PendingInstruction)
+        total += _SP_ADJUST[follower.opcode] * follower.imm
+        consumed += 1
+    if consumed == 1:
+        return None
+    if total == 0:
+        return (None, consumed)
+    opcode = Opcode.ADDI if total > 0 else Opcode.SUBI
+    return (
+        PendingInstruction(opcode, dest=SP, srcs=(SP,), imm=abs(total)),
+        consumed,
+    )
+
+
+def _jumps_to_next(
+    item: PendingInstruction, stream: List[StreamItem], index: int
+) -> bool:
+    """True if ``item`` jumps to a label that directly follows it."""
+    target = item.target
+    if not isinstance(target, str):
+        return False
+    cursor = index + 1
+    while cursor < len(stream) and isinstance(stream[cursor], LabelMark):
+        if stream[cursor].name == target:  # type: ignore[union-attr]
+            return True
+        cursor += 1
+    return False

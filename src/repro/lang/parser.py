@@ -1,0 +1,356 @@
+"""Recursive-descent parser for mini-C."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from . import astnodes as ast
+from .errors import ParseError
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+#: Binary operator precedence tiers, loosest first.
+_PRECEDENCE: List[Tuple[str, ...]] = [
+    ("||",),
+    ("&&",),
+    ("|",),
+    ("^",),
+    ("&",),
+    ("==", "!="),
+    ("<", "<=", ">", ">="),
+    ("<<", ">>"),
+    ("+", "-"),
+    ("*", "/", "%"),
+]
+
+_TYPE_KEYWORDS = {"int": ast.Type.INT, "float": ast.Type.FLOAT, "void": ast.Type.VOID}
+
+
+class Parser:
+    """Parses a token stream into a :class:`~repro.lang.astnodes.TranslationUnit`."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _check(self, kind: TokenKind, value: object = None) -> bool:
+        return self._current.matches(kind, value)
+
+    def _accept(self, kind: TokenKind, value: object = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, value: object = None) -> Token:
+        if self._check(kind, value):
+            return self._advance()
+        want = value if value is not None else kind.value
+        raise ParseError(
+            f"expected {want!r}, found {self._current.value!r}", self._current.line
+        )
+
+    def _expect_punct(self, punct: str) -> Token:
+        return self._expect(TokenKind.PUNCT, punct)
+
+    # -- top level ---------------------------------------------------------
+
+    def parse_unit(self) -> ast.TranslationUnit:
+        unit = ast.TranslationUnit(line=1)
+        while not self._check(TokenKind.EOF):
+            if not self._check(TokenKind.KEYWORD) or self._current.value not in (
+                "int",
+                "float",
+                "void",
+            ):
+                raise ParseError(
+                    f"expected declaration, found {self._current.value!r}",
+                    self._current.line,
+                )
+            # A declaration is a function iff '(' follows the name.
+            if self._peek(2).matches(TokenKind.PUNCT, "("):
+                unit.functions.append(self._parse_function())
+            else:
+                unit.globals.append(self._parse_global())
+        return unit
+
+    def _parse_type(self) -> ast.Type:
+        token = self._expect(TokenKind.KEYWORD)
+        if token.value not in _TYPE_KEYWORDS:
+            raise ParseError(f"expected a type, found {token.value!r}", token.line)
+        return _TYPE_KEYWORDS[token.value]
+
+    def _parse_global(self) -> ast.GlobalDecl:
+        line = self._current.line
+        var_type = self._parse_type()
+        if var_type is ast.Type.VOID:
+            raise ParseError("variables cannot be void", line)
+        name = self._expect(TokenKind.IDENTIFIER).value
+        size: Optional[int] = None
+        init: List[Union[int, float]] = []
+        if self._accept(TokenKind.PUNCT, "["):
+            size_token = self._expect(TokenKind.INT_LITERAL)
+            size = int(size_token.value)
+            if size <= 0:
+                raise ParseError("array size must be positive", size_token.line)
+            self._expect_punct("]")
+        if self._accept(TokenKind.PUNCT, "="):
+            init = self._parse_global_init(size is not None)
+        self._expect_punct(";")
+        return ast.GlobalDecl(var_type=var_type, name=name, size=size, init=init, line=line)
+
+    def _parse_global_init(self, is_array: bool) -> List[Union[int, float]]:
+        values: List[Union[int, float]] = []
+        if is_array:
+            self._expect_punct("{")
+            values.append(self._parse_constant())
+            while self._accept(TokenKind.PUNCT, ","):
+                values.append(self._parse_constant())
+            self._expect_punct("}")
+        else:
+            values.append(self._parse_constant())
+        return values
+
+    def _parse_constant(self) -> Union[int, float]:
+        negative = self._accept(TokenKind.PUNCT, "-") is not None
+        token = self._advance()
+        if token.kind not in (TokenKind.INT_LITERAL, TokenKind.FLOAT_LITERAL):
+            raise ParseError("expected a numeric constant", token.line)
+        value = token.value
+        return -value if negative else value
+
+    def _parse_function(self) -> ast.FunctionDecl:
+        line = self._current.line
+        return_type = self._parse_type()
+        name = self._expect(TokenKind.IDENTIFIER).value
+        self._expect_punct("(")
+        params: List[Tuple[ast.Type, str]] = []
+        if not self._check(TokenKind.PUNCT, ")"):
+            params.append(self._parse_param())
+            while self._accept(TokenKind.PUNCT, ","):
+                params.append(self._parse_param())
+        self._expect_punct(")")
+        body = self._parse_block()
+        return ast.FunctionDecl(
+            return_type=return_type, name=name, params=params, body=body, line=line
+        )
+
+    def _parse_param(self) -> Tuple[ast.Type, str]:
+        param_type = self._parse_type()
+        if param_type is ast.Type.VOID:
+            raise ParseError("parameters cannot be void", self._current.line)
+        name = self._expect(TokenKind.IDENTIFIER).value
+        return (param_type, name)
+
+    # -- statements ----------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        line = self._current.line
+        self._expect_punct("{")
+        statements: List[ast.Stmt] = []
+        while not self._check(TokenKind.PUNCT, "}"):
+            if self._check(TokenKind.EOF):
+                raise ParseError("unterminated block", line)
+            statements.append(self._parse_statement())
+        self._expect_punct("}")
+        return ast.Block(statements=statements, line=line)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self._current
+        if token.matches(TokenKind.PUNCT, "{"):
+            return self._parse_block()
+        if token.kind is TokenKind.KEYWORD:
+            keyword = token.value
+            if keyword in ("int", "float"):
+                return self._parse_local_decl()
+            if keyword == "if":
+                return self._parse_if()
+            if keyword == "while":
+                return self._parse_while()
+            if keyword == "for":
+                return self._parse_for()
+            if keyword == "return":
+                return self._parse_return()
+            if keyword == "break":
+                self._advance()
+                self._expect_punct(";")
+                return ast.Break(line=token.line)
+            if keyword == "continue":
+                self._advance()
+                self._expect_punct(";")
+                return ast.Continue(line=token.line)
+            raise ParseError(f"unexpected keyword {keyword!r}", token.line)
+        statement = self._parse_simple_statement()
+        self._expect_punct(";")
+        return statement
+
+    def _parse_local_decl(self) -> ast.LocalDecl:
+        line = self._current.line
+        var_type = self._parse_type()
+        name = self._expect(TokenKind.IDENTIFIER).value
+        init: Optional[ast.Expr] = None
+        if self._accept(TokenKind.PUNCT, "="):
+            init = self._parse_expression()
+        self._expect_punct(";")
+        return ast.LocalDecl(var_type=var_type, name=name, init=init, line=line)
+
+    def _parse_if(self) -> ast.If:
+        line = self._advance().line  # 'if'
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        then_body = self._as_block(self._parse_statement())
+        else_body: Optional[ast.Block] = None
+        if self._accept(TokenKind.KEYWORD, "else"):
+            else_body = self._as_block(self._parse_statement())
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body, line=line)
+
+    def _parse_while(self) -> ast.While:
+        line = self._advance().line  # 'while'
+        self._expect_punct("(")
+        cond = self._parse_expression()
+        self._expect_punct(")")
+        body = self._as_block(self._parse_statement())
+        return ast.While(cond=cond, body=body, line=line)
+
+    def _parse_for(self) -> ast.For:
+        line = self._advance().line  # 'for'
+        self._expect_punct("(")
+        init: Optional[ast.Stmt] = None
+        if not self._check(TokenKind.PUNCT, ";"):
+            init = self._parse_simple_statement()
+        self._expect_punct(";")
+        cond: Optional[ast.Expr] = None
+        if not self._check(TokenKind.PUNCT, ";"):
+            cond = self._parse_expression()
+        self._expect_punct(";")
+        step: Optional[ast.Stmt] = None
+        if not self._check(TokenKind.PUNCT, ")"):
+            step = self._parse_simple_statement()
+        self._expect_punct(")")
+        body = self._as_block(self._parse_statement())
+        return ast.For(init=init, cond=cond, step=step, body=body, line=line)
+
+    def _parse_return(self) -> ast.Return:
+        line = self._advance().line  # 'return'
+        value: Optional[ast.Expr] = None
+        if not self._check(TokenKind.PUNCT, ";"):
+            value = self._parse_expression()
+        self._expect_punct(";")
+        return ast.Return(value=value, line=line)
+
+    def _parse_simple_statement(self) -> ast.Stmt:
+        """An assignment or a bare expression (must be a call)."""
+        line = self._current.line
+        expr = self._parse_expression()
+        if self._accept(TokenKind.PUNCT, "="):
+            if not isinstance(expr, (ast.VarRef, ast.IndexRef)):
+                raise ParseError("assignment target must be a variable or element", line)
+            value = self._parse_expression()
+            return ast.Assign(target=expr, value=value, line=line)
+        if not isinstance(expr, ast.Call):
+            raise ParseError("expression statement must be a call", line)
+        return ast.ExprStmt(expr=expr, line=line)
+
+    @staticmethod
+    def _as_block(statement: ast.Stmt) -> ast.Block:
+        if isinstance(statement, ast.Block):
+            return statement
+        return ast.Block(statements=[statement], line=statement.line)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, tier: int) -> ast.Expr:
+        if tier >= len(_PRECEDENCE):
+            return self._parse_unary()
+        left = self._parse_binary(tier + 1)
+        operators = _PRECEDENCE[tier]
+        while self._current.kind is TokenKind.PUNCT and self._current.value in operators:
+            op_token = self._advance()
+            right = self._parse_binary(tier + 1)
+            left = ast.Binary(op=op_token.value, left=left, right=right, line=op_token.line)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self._current
+        if token.kind is TokenKind.PUNCT and token.value in ("-", "!"):
+            self._advance()
+            operand = self._parse_unary()
+            return ast.Unary(op=token.value, operand=operand, line=token.line)
+        if (
+            token.matches(TokenKind.PUNCT, "(")
+            and self._peek(1).kind is TokenKind.KEYWORD
+            and self._peek(1).value in ("int", "float")
+            and self._peek(2).matches(TokenKind.PUNCT, ")")
+        ):
+            self._advance()
+            cast_type = self._advance().value  # 'int' or 'float'
+            self._advance()  # ')'
+            operand = self._parse_unary()
+            return ast.Unary(op=f"({cast_type})", operand=operand, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._check(TokenKind.PUNCT, "["):
+                if not isinstance(expr, ast.VarRef):
+                    raise ParseError("only named arrays can be indexed", self._current.line)
+                self._advance()
+                index = self._parse_expression()
+                self._expect_punct("]")
+                expr = ast.IndexRef(name=expr.name, index=index, line=expr.line)
+            elif self._check(TokenKind.PUNCT, "("):
+                if not isinstance(expr, ast.VarRef):
+                    raise ParseError("call target must be a name", self._current.line)
+                self._advance()
+                args: List[ast.Expr] = []
+                if not self._check(TokenKind.PUNCT, ")"):
+                    args.append(self._parse_expression())
+                    while self._accept(TokenKind.PUNCT, ","):
+                        args.append(self._parse_expression())
+                self._expect_punct(")")
+                expr = ast.Call(name=expr.name, args=args, line=expr.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._advance()
+        if token.kind is TokenKind.INT_LITERAL:
+            return ast.IntLiteral(value=int(token.value), line=token.line)
+        if token.kind is TokenKind.FLOAT_LITERAL:
+            return ast.FloatLiteral(value=float(token.value), line=token.line)
+        if token.kind is TokenKind.IDENTIFIER:
+            return ast.VarRef(name=str(token.value), line=token.line)
+        if token.matches(TokenKind.PUNCT, "("):
+            expr = self._parse_expression()
+            self._expect_punct(")")
+            return expr
+        raise ParseError(f"unexpected token {token.value!r}", token.line)
+
+
+def parse(source: str) -> ast.TranslationUnit:
+    """Parse mini-C ``source`` into an AST.
+
+    Raises:
+        LexError, ParseError: on malformed input.
+    """
+    return Parser(tokenize(source)).parse_unit()

@@ -1,0 +1,418 @@
+"""Semantic analysis for mini-C.
+
+Builds symbol tables, allocates global data addresses, type-checks every
+expression and *inserts explicit cast nodes* wherever the language performs
+an implicit int/float conversion — so the code generator never has to
+reason about mixed-type operations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple, Union
+
+from . import astnodes as ast
+from .errors import SemanticError
+
+Number = Union[int, float]
+
+#: Builtin functions: name -> (return type, parameter types or None for "any one").
+BUILTINS: Dict[str, Tuple[ast.Type, Optional[List[ast.Type]]]] = {
+    "in": (ast.Type.INT, []),
+    "fin": (ast.Type.FLOAT, []),
+    "out": (ast.Type.VOID, None),  # accepts one int or float argument
+    "phase": (ast.Type.VOID, [ast.Type.INT]),
+}
+
+_INT_ONLY_OPS = frozenset({"%", "<<", ">>", "&", "|", "^", "&&", "||"})
+_COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+_ARITHMETIC_OPS = frozenset({"+", "-", "*", "/"})
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalScalar:
+    name: str
+    type: ast.Type
+    address: int
+
+
+@dataclasses.dataclass(frozen=True)
+class GlobalArray:
+    name: str
+    type: ast.Type
+    base_address: int
+    size: int
+
+
+@dataclasses.dataclass(frozen=True)
+class LocalVar:
+    name: str
+    type: ast.Type
+    index: int  # position among the function's locals
+
+
+@dataclasses.dataclass(frozen=True)
+class ParamVar:
+    name: str
+    type: ast.Type
+    index: int  # position among the function's parameters
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    decl: ast.FunctionDecl
+    params: Dict[str, ParamVar]
+    locals: Dict[str, LocalVar]
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def return_type(self) -> ast.Type:
+        return self.decl.return_type
+
+    @property
+    def param_types(self) -> List[ast.Type]:
+        return [param_type for param_type, _ in self.decl.params]
+
+
+@dataclasses.dataclass
+class ProgramInfo:
+    """Everything the code generator needs about an analyzed program."""
+
+    unit: ast.TranslationUnit
+    globals: Dict[str, Union[GlobalScalar, GlobalArray]]
+    functions: Dict[str, FunctionInfo]
+    data: Dict[int, Number]
+    data_size: int
+
+
+def _coerce(expr: ast.Expr, wanted: ast.Type) -> ast.Expr:
+    """Wrap ``expr`` in a cast node if its type differs from ``wanted``.
+
+    Raises:
+        SemanticError: when the expression is void — void values cannot
+            be converted to anything.
+    """
+    if expr.type is wanted:
+        return expr
+    if expr.type is ast.Type.VOID:
+        raise SemanticError("void value used in an expression", expr.line)
+    cast = ast.Unary(op=f"({wanted.value})", operand=expr, line=expr.line)
+    cast.type = wanted
+    return cast
+
+
+class Analyzer:
+    """Single-pass semantic analyzer.
+
+    Usage: ``info = Analyzer(unit).analyze()``.
+    """
+
+    def __init__(self, unit: ast.TranslationUnit) -> None:
+        self._unit = unit
+        self._globals: Dict[str, Union[GlobalScalar, GlobalArray]] = {}
+        self._functions: Dict[str, FunctionInfo] = {}
+        self._data: Dict[int, Number] = {}
+        self._next_address = 0
+        # Per-function state:
+        self._current: Optional[FunctionInfo] = None
+        self._loop_depth = 0
+
+    def analyze(self) -> ProgramInfo:
+        for decl in self._unit.globals:
+            self._declare_global(decl)
+        for function in self._unit.functions:
+            self._declare_function(function)
+        if "main" not in self._functions:
+            raise SemanticError("program has no main() function")
+        main = self._functions["main"]
+        if main.decl.params:
+            raise SemanticError("main() takes no parameters", main.decl.line)
+        for info in self._functions.values():
+            self._check_function(info)
+        return ProgramInfo(
+            unit=self._unit,
+            globals=self._globals,
+            functions=self._functions,
+            data=self._data,
+            data_size=self._next_address,
+        )
+
+    # -- declarations ------------------------------------------------------
+
+    def _declare_global(self, decl: ast.GlobalDecl) -> None:
+        if decl.name in self._globals or decl.name in BUILTINS:
+            raise SemanticError(f"duplicate global {decl.name!r}", decl.line)
+        address = self._next_address
+        if decl.size is None:
+            self._globals[decl.name] = GlobalScalar(decl.name, decl.var_type, address)
+            count = 1
+        else:
+            self._globals[decl.name] = GlobalArray(
+                decl.name, decl.var_type, address, decl.size
+            )
+            count = decl.size
+        if len(decl.init) > count:
+            raise SemanticError(
+                f"{decl.name!r}: {len(decl.init)} initializers for {count} element(s)",
+                decl.line,
+            )
+        for offset, value in enumerate(decl.init):
+            if decl.var_type is ast.Type.FLOAT:
+                value = float(value)
+            elif isinstance(value, float):
+                raise SemanticError(
+                    f"{decl.name!r}: float initializer for int variable", decl.line
+                )
+            self._data[address + offset] = value
+        self._next_address += count
+
+    def _declare_function(self, decl: ast.FunctionDecl) -> None:
+        if decl.name in self._functions or decl.name in BUILTINS:
+            raise SemanticError(f"duplicate function {decl.name!r}", decl.line)
+        if decl.name in self._globals:
+            raise SemanticError(
+                f"{decl.name!r} already declared as a global", decl.line
+            )
+        params: Dict[str, ParamVar] = {}
+        for index, (param_type, name) in enumerate(decl.params):
+            if name in params:
+                raise SemanticError(f"duplicate parameter {name!r}", decl.line)
+            params[name] = ParamVar(name, param_type, index)
+        self._functions[decl.name] = FunctionInfo(decl=decl, params=params, locals={})
+
+    # -- function bodies ----------------------------------------------------
+
+    def _check_function(self, info: FunctionInfo) -> None:
+        self._current = info
+        self._loop_depth = 0
+        self._check_block(info.decl.body)
+        self._current = None
+
+    def _check_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self._check_statement(statement)
+
+    def _check_statement(self, statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Block):
+            self._check_block(statement)
+        elif isinstance(statement, ast.LocalDecl):
+            self._check_local_decl(statement)
+        elif isinstance(statement, ast.Assign):
+            self._check_assign(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            self._check_expr(statement.expr)
+        elif isinstance(statement, ast.If):
+            self._require_int(self._check_expr(statement.cond), statement.line, "if")
+            self._check_block(statement.then_body)
+            if statement.else_body is not None:
+                self._check_block(statement.else_body)
+        elif isinstance(statement, ast.While):
+            self._require_int(self._check_expr(statement.cond), statement.line, "while")
+            self._loop_depth += 1
+            self._check_block(statement.body)
+            self._loop_depth -= 1
+        elif isinstance(statement, ast.For):
+            if statement.init is not None:
+                self._check_statement(statement.init)
+            if statement.cond is not None:
+                self._require_int(
+                    self._check_expr(statement.cond), statement.line, "for"
+                )
+            if statement.step is not None:
+                self._check_statement(statement.step)
+            self._loop_depth += 1
+            self._check_block(statement.body)
+            self._loop_depth -= 1
+        elif isinstance(statement, ast.Return):
+            self._check_return(statement)
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                keyword = "break" if isinstance(statement, ast.Break) else "continue"
+                raise SemanticError(f"{keyword} outside a loop", statement.line)
+        else:  # pragma: no cover - statement kinds are closed
+            raise SemanticError(f"unknown statement {statement!r}", statement.line)
+
+    def _check_local_decl(self, decl: ast.LocalDecl) -> None:
+        info = self._current
+        assert info is not None
+        if (
+            decl.name in info.locals
+            or decl.name in info.params
+            or decl.name in self._globals
+            or decl.name in BUILTINS
+        ):
+            raise SemanticError(f"duplicate declaration of {decl.name!r}", decl.line)
+        info.locals[decl.name] = LocalVar(decl.name, decl.var_type, len(info.locals))
+        if decl.init is not None:
+            self._check_expr(decl.init)
+            decl.init = _coerce(decl.init, decl.var_type)
+
+    def _check_assign(self, statement: ast.Assign) -> None:
+        target_type = self._check_target(statement.target)
+        self._check_expr(statement.value)
+        statement.value = _coerce(statement.value, target_type)
+
+    def _check_return(self, statement: ast.Return) -> None:
+        info = self._current
+        assert info is not None
+        if info.return_type is ast.Type.VOID:
+            if statement.value is not None:
+                raise SemanticError(
+                    f"{info.name}() is void but returns a value", statement.line
+                )
+            return
+        if statement.value is None:
+            raise SemanticError(
+                f"{info.name}() must return a {info.return_type.value}", statement.line
+            )
+        self._check_expr(statement.value)
+        statement.value = _coerce(statement.value, info.return_type)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _check_target(self, target: ast.Target) -> ast.Type:
+        if isinstance(target, ast.VarRef):
+            symbol = self._lookup_value(target.name, target.line)
+            if isinstance(symbol, GlobalArray):
+                raise SemanticError(
+                    f"cannot assign to whole array {target.name!r}", target.line
+                )
+            target.type = symbol.type
+            return symbol.type
+        # IndexRef
+        array = self._lookup_array(target.name, target.line)
+        index_type = self._check_expr(target.index)
+        self._require_int(index_type, target.line, "array index")
+        target.type = array.type
+        return array.type
+
+    def _check_expr(self, expr: ast.Expr) -> ast.Type:
+        expr_type = self._infer(expr)
+        expr.type = expr_type
+        return expr_type
+
+    def _infer(self, expr: ast.Expr) -> ast.Type:
+        if isinstance(expr, ast.IntLiteral):
+            return ast.Type.INT
+        if isinstance(expr, ast.FloatLiteral):
+            return ast.Type.FLOAT
+        if isinstance(expr, ast.VarRef):
+            symbol = self._lookup_value(expr.name, expr.line)
+            if isinstance(symbol, GlobalArray):
+                raise SemanticError(
+                    f"array {expr.name!r} used without an index", expr.line
+                )
+            return symbol.type
+        if isinstance(expr, ast.IndexRef):
+            array = self._lookup_array(expr.name, expr.line)
+            self._require_int(self._check_expr(expr.index), expr.line, "array index")
+            return array.type
+        if isinstance(expr, ast.Unary):
+            return self._infer_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._infer_binary(expr)
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr)
+        raise SemanticError(f"unknown expression {expr!r}", expr.line)
+
+    def _infer_unary(self, expr: ast.Unary) -> ast.Type:
+        operand_type = self._check_expr(expr.operand)
+        if expr.op == "-":
+            return operand_type
+        if expr.op == "!":
+            self._require_int(operand_type, expr.line, "'!'")
+            return ast.Type.INT
+        if expr.op == "(int)":
+            return ast.Type.INT
+        if expr.op == "(float)":
+            return ast.Type.FLOAT
+        raise SemanticError(f"unknown unary operator {expr.op!r}", expr.line)
+
+    def _infer_binary(self, expr: ast.Binary) -> ast.Type:
+        left_type = self._check_expr(expr.left)
+        right_type = self._check_expr(expr.right)
+        op = expr.op
+        if op in _INT_ONLY_OPS:
+            if left_type is not ast.Type.INT or right_type is not ast.Type.INT:
+                raise SemanticError(f"{op!r} requires int operands", expr.line)
+            return ast.Type.INT
+        common = (
+            ast.Type.FLOAT
+            if ast.Type.FLOAT in (left_type, right_type)
+            else ast.Type.INT
+        )
+        expr.left = _coerce(expr.left, common)
+        expr.right = _coerce(expr.right, common)
+        if op in _COMPARISON_OPS:
+            return ast.Type.INT
+        if op in _ARITHMETIC_OPS:
+            return common
+        raise SemanticError(f"unknown binary operator {op!r}", expr.line)
+
+    def _infer_call(self, expr: ast.Call) -> ast.Type:
+        if expr.name in BUILTINS:
+            return self._infer_builtin(expr)
+        if expr.name not in self._functions:
+            raise SemanticError(f"call to undefined function {expr.name!r}", expr.line)
+        callee = self._functions[expr.name]
+        expected = callee.param_types
+        if len(expr.args) != len(expected):
+            raise SemanticError(
+                f"{expr.name}() expects {len(expected)} argument(s), "
+                f"got {len(expr.args)}",
+                expr.line,
+            )
+        for index, (arg, wanted) in enumerate(zip(expr.args, expected)):
+            self._check_expr(arg)
+            expr.args[index] = _coerce(arg, wanted)
+        return callee.return_type
+
+    def _infer_builtin(self, expr: ast.Call) -> ast.Type:
+        return_type, param_types = BUILTINS[expr.name]
+        if param_types is None:  # out(): one argument of either numeric type
+            if len(expr.args) != 1:
+                raise SemanticError(f"{expr.name}() expects 1 argument", expr.line)
+            self._check_expr(expr.args[0])
+            return return_type
+        if len(expr.args) != len(param_types):
+            raise SemanticError(
+                f"{expr.name}() expects {len(param_types)} argument(s)", expr.line
+            )
+        for index, (arg, wanted) in enumerate(zip(expr.args, param_types)):
+            self._check_expr(arg)
+            expr.args[index] = _coerce(arg, wanted)
+        return return_type
+
+    # -- lookup helpers -------------------------------------------------------
+
+    def _lookup_value(
+        self, name: str, line: int
+    ) -> Union[GlobalScalar, GlobalArray, LocalVar, ParamVar]:
+        info = self._current
+        assert info is not None
+        if name in info.locals:
+            return info.locals[name]
+        if name in info.params:
+            return info.params[name]
+        if name in self._globals:
+            return self._globals[name]
+        raise SemanticError(f"undefined variable {name!r}", line)
+
+    def _lookup_array(self, name: str, line: int) -> GlobalArray:
+        symbol = self._lookup_value(name, line)
+        if not isinstance(symbol, GlobalArray):
+            raise SemanticError(f"{name!r} is not an array", line)
+        return symbol
+
+    @staticmethod
+    def _require_int(found: ast.Type, line: int, context: str) -> None:
+        if found is not ast.Type.INT:
+            raise SemanticError(f"{context} requires an int expression", line)
+
+
+def analyze(unit: ast.TranslationUnit) -> ProgramInfo:
+    """Run semantic analysis on a parsed translation unit."""
+    return Analyzer(unit).analyze()

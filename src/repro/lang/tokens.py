@@ -1,0 +1,85 @@
+"""Token definitions for the mini-C lexer."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Union
+
+
+class TokenKind(enum.Enum):
+    """Lexical classes of the mini-C language."""
+
+    INT_LITERAL = "int_literal"
+    FLOAT_LITERAL = "float_literal"
+    IDENTIFIER = "identifier"
+    KEYWORD = "keyword"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "float",
+        "void",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "break",
+        "continue",
+    }
+)
+
+#: Multi-character punctuators, longest first so the lexer can match greedily.
+PUNCTUATORS = (
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ";",
+)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Token:
+    """One lexeme.
+
+    ``value`` is the identifier/keyword/punctuator text, or the parsed
+    numeric value for literals.
+    """
+
+    kind: TokenKind
+    value: Union[str, int, float]
+    line: int
+
+    def matches(self, kind: TokenKind, value: object = None) -> bool:
+        return self.kind is kind and (value is None or self.value == value)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind.value}({self.value!r})@{self.line}"

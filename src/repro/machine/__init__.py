@@ -1,0 +1,42 @@
+"""Functional architectural simulator (the paper's SHADE stand-in).
+
+Executes :class:`~repro.isa.program.Program` binaries and produces dynamic
+instruction traces that the value predictors, the profiler and the ILP
+model consume.
+"""
+
+from .errors import (
+    DivisionByZero,
+    ExecutionError,
+    InputExhausted,
+    InstructionBudgetExceeded,
+    InvalidMemoryAccess,
+)
+from .executor import DEFAULT_BUDGET, Executor, run_program, trace_program
+from .state import MachineState
+from .stats import RunStatistics, collect_statistics
+from .tracefile import TraceFormatError, read_trace, save_trace, write_trace
+from .trace import RunResult, TraceRecord, candidate_records, trace_to_list
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "DivisionByZero",
+    "ExecutionError",
+    "Executor",
+    "InputExhausted",
+    "InstructionBudgetExceeded",
+    "InvalidMemoryAccess",
+    "MachineState",
+    "RunResult",
+    "RunStatistics",
+    "TraceFormatError",
+    "TraceRecord",
+    "candidate_records",
+    "collect_statistics",
+    "read_trace",
+    "run_program",
+    "save_trace",
+    "trace_program",
+    "trace_to_list",
+    "write_trace",
+]

@@ -1,0 +1,27 @@
+"""Exceptions raised by the functional simulator."""
+
+from __future__ import annotations
+
+
+class ExecutionError(RuntimeError):
+    """Base class for runtime failures inside the simulator."""
+
+
+class DivisionByZero(ExecutionError):
+    """An integer or FP division/modulo had a zero divisor."""
+
+
+class InputExhausted(ExecutionError):
+    """An ``in``/``fin`` instruction ran with an empty input stream."""
+
+
+class InstructionBudgetExceeded(ExecutionError):
+    """The program executed more instructions than the configured budget.
+
+    Guards against runaway programs (a workload bug, or a directive pass
+    gone wrong); the simulator is not allowed to loop forever.
+    """
+
+
+class InvalidMemoryAccess(ExecutionError):
+    """A load or store used a negative effective address."""

@@ -1,0 +1,52 @@
+"""Architectural state for the functional simulator."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..isa import NUM_REGISTERS, Number, Program
+
+
+class MachineState:
+    """Registers, data memory and environment state of one execution.
+
+    Data memory is a sparse word-addressed store; uninitialized words read
+    as integer zero (like .bss).  The stack grows downward from
+    ``stack_top``; the global pointer ``gp`` starts at 0, the base of the
+    data segment.
+    """
+
+    #: Default first address above the downward-growing stack.
+    DEFAULT_STACK_TOP = 1 << 20
+
+    def __init__(
+        self,
+        program: Program,
+        inputs: Iterable[Number] = (),
+        stack_top: int = DEFAULT_STACK_TOP,
+    ) -> None:
+        from ..isa import GP, SP, FP  # local import to avoid cycle at module load
+
+        self.program = program
+        self.registers: List[Number] = [0] * NUM_REGISTERS
+        self.memory: Dict[int, Number] = dict(program.data)
+        self.pc: int = 0
+        self.phase: int = 0
+        self.halted: bool = False
+        self.inputs: List[Number] = list(inputs)
+        self.input_cursor: int = 0
+        self.outputs: List[Number] = []
+        self.registers[GP] = 0
+        self.registers[SP] = stack_top
+        self.registers[FP] = stack_top
+
+    def read_memory(self, address: int) -> Number:
+        return self.memory.get(address, 0)
+
+    def next_input(self) -> Optional[Number]:
+        """Pop the next input value, or ``None`` when exhausted."""
+        if self.input_cursor >= len(self.inputs):
+            return None
+        value = self.inputs[self.input_cursor]
+        self.input_cursor += 1
+        return value

@@ -1,0 +1,109 @@
+"""Dynamic run statistics: instruction mix, branch and memory behaviour.
+
+Characterization support (the reproduction's analogue of the paper's
+Table 4.1 workload descriptions): one pass over a trace produces the
+dynamic instruction mix, taken-branch ratio, candidate density and
+working-set sizes that the experiment harness reports per workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Optional, Set
+
+from ..isa import Category, Number, Opcode, Program
+from .executor import trace_program
+from .trace import TraceRecord
+
+
+@dataclasses.dataclass
+class RunStatistics:
+    """Aggregated dynamic statistics of one execution."""
+
+    instructions: int = 0
+    by_category: Dict[Category, int] = dataclasses.field(default_factory=dict)
+    candidate_instructions: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    static_addresses: Set[int] = dataclasses.field(default_factory=set)
+    static_candidates: Set[int] = dataclasses.field(default_factory=set)
+    memory_addresses: Set[int] = dataclasses.field(default_factory=set)
+
+    def category_fraction(self, category: Category) -> float:
+        """Dynamic share of ``category`` in percent."""
+        if self.instructions == 0:
+            return 0.0
+        return 100.0 * self.by_category.get(category, 0) / self.instructions
+
+    @property
+    def candidate_fraction(self) -> float:
+        """Dynamic share of value-prediction candidates in percent."""
+        if self.instructions == 0:
+            return 0.0
+        return 100.0 * self.candidate_instructions / self.instructions
+
+    @property
+    def taken_branch_fraction(self) -> float:
+        if self.branches == 0:
+            return 0.0
+        return 100.0 * self.taken_branches / self.branches
+
+    @property
+    def static_footprint(self) -> int:
+        """Distinct static instructions executed."""
+        return len(self.static_addresses)
+
+    @property
+    def candidate_footprint(self) -> int:
+        """Distinct candidate instructions executed — the prediction-table
+        working set the paper's pressure argument is about."""
+        return len(self.static_candidates)
+
+    @property
+    def data_footprint(self) -> int:
+        """Distinct data words touched."""
+        return len(self.memory_addresses)
+
+
+def collect_statistics(
+    program: Program,
+    inputs: Iterable[Number] = (),
+    max_instructions: Optional[int] = None,
+) -> RunStatistics:
+    """Execute ``program`` once and aggregate its dynamic statistics."""
+    stats = RunStatistics()
+    categories = [instruction.category for instruction in program.instructions]
+    candidates = [
+        instruction.is_prediction_candidate for instruction in program.instructions
+    ]
+    branch_targets = [
+        instruction.target if instruction.opcode in (Opcode.BEQZ, Opcode.BNEZ) else None
+        for instruction in program.instructions
+    ]
+    kwargs = {}
+    if max_instructions is not None:
+        kwargs["max_instructions"] = max_instructions
+
+    previous_branch: Optional[TraceRecord] = None
+    previous_target: Optional[int] = None
+    for record in trace_program(program, inputs, **kwargs):
+        address = record.address
+        stats.instructions += 1
+        category = categories[address]
+        stats.by_category[category] = stats.by_category.get(category, 0) + 1
+        stats.static_addresses.add(address)
+        if candidates[address]:
+            stats.candidate_instructions += 1
+            stats.static_candidates.add(address)
+        if record.mem_address is not None:
+            stats.memory_addresses.add(record.mem_address)
+        # A branch is taken iff the next retired address is its target.
+        if previous_branch is not None:
+            stats.branches += 1
+            if address == previous_target:
+                stats.taken_branches += 1
+            previous_branch = None
+        if branch_targets[address] is not None:
+            previous_branch = record
+            previous_target = branch_targets[address]
+    return stats

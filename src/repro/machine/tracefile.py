@@ -1,0 +1,125 @@
+"""Trace files: persist and replay dynamic instruction traces.
+
+SHADE-style workflows separate *tracing* (run once, expensive) from
+*analysis* (replay many times, cheap).  This module gives the
+reproduction the same split: :func:`save_trace` executes a program and
+streams its trace to disk (optionally gzip-compressed), and
+:func:`read_trace` replays it as :class:`TraceRecord` objects that any
+consumer — the profiler, the ILP scheduler — accepts in place of a live
+execution.
+
+Format (text, one record per line)::
+
+    # repro-trace v1
+    # program: 126.gcc
+    <address> <value|-> <phase> <mem_address|->
+
+Values serialize via ``repr`` so integers and floats replay exactly.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Optional, Union
+
+from ..isa import Number, Program
+from .executor import trace_program
+from .trace import TraceRecord
+
+_MAGIC = "# repro-trace v1"
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed."""
+
+
+def _open_text(path: Union[str, Path], mode: str) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, mode + "b"), encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
+def _render_value(value: Optional[Number]) -> str:
+    return "-" if value is None else repr(value)
+
+
+def _parse_value(text: str) -> Optional[Number]:
+    if text == "-":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        return float(text)
+
+
+def write_trace(
+    records: Iterable[TraceRecord],
+    stream: IO[str],
+    program_name: str = "",
+) -> int:
+    """Write ``records`` to ``stream``; returns the record count."""
+    stream.write(f"{_MAGIC}\n")
+    stream.write(f"# program: {program_name}\n")
+    count = 0
+    for record in records:
+        stream.write(
+            f"{record.address} {_render_value(record.value)} "
+            f"{record.phase} {_render_value(record.mem_address)}\n"
+        )
+        count += 1
+    return count
+
+
+def save_trace(
+    program: Program,
+    path: Union[str, Path],
+    inputs: Iterable[Number] = (),
+    max_instructions: Optional[int] = None,
+) -> int:
+    """Execute ``program`` once, streaming its trace to ``path``.
+
+    A ``.gz`` suffix selects gzip compression.  Returns the number of
+    records written.
+    """
+    kwargs = {}
+    if max_instructions is not None:
+        kwargs["max_instructions"] = max_instructions
+    with _open_text(path, "w") as stream:
+        return write_trace(
+            trace_program(program, inputs, **kwargs), stream, program.name
+        )
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Replay a stored trace as :class:`TraceRecord` objects.
+
+    Raises:
+        TraceFormatError: on a bad header or malformed record line.
+    """
+    with _open_text(path, "r") as stream:
+        header = stream.readline().rstrip("\n")
+        if header != _MAGIC:
+            raise TraceFormatError(f"not a trace file (header {header!r})")
+        for line_number, line in enumerate(stream, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 4:
+                raise TraceFormatError(
+                    f"line {line_number}: expected 4 fields, got {len(fields)}"
+                )
+            try:
+                yield TraceRecord(
+                    address=int(fields[0]),
+                    value=_parse_value(fields[1]),
+                    phase=int(fields[2]),
+                    mem_address=_parse_value(fields[3]),  # type: ignore[arg-type]
+                )
+            except ValueError:
+                raise TraceFormatError(
+                    f"line {line_number}: malformed record {line!r}"
+                ) from None

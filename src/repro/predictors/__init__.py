@@ -1,0 +1,38 @@
+"""Value predictors and the hardware classifier (paper Sections 2.1-2.2).
+
+* :class:`LastValuePredictor` — predicts the previously seen value.
+* :class:`StridePredictor` — predicts last value + stride.
+* :class:`HybridPredictor` — split stride/last-value tables steered by
+  opcode directives (the organization the paper's scheme enables).
+* :class:`FsmClassifier` — per-entry saturating counters, the hardware
+  classification baseline.
+* :class:`PredictionTable` — set-associative LRU table shared by all of
+  the above.
+"""
+
+from .base import AccessResult, Number, ValuePredictor
+from .fcm import FcmEntry, FcmPredictor
+from .fsm import FsmClassifier, SaturatingCounter
+from .hybrid import HybridPredictor
+from .last_value import LastValueEntry, LastValuePredictor
+from .stride import StrideEntry, StridePredictor
+from .table import PredictionTable
+from .two_delta import TwoDeltaEntry, TwoDeltaStridePredictor
+
+__all__ = [
+    "AccessResult",
+    "FcmEntry",
+    "FcmPredictor",
+    "FsmClassifier",
+    "HybridPredictor",
+    "LastValueEntry",
+    "LastValuePredictor",
+    "Number",
+    "PredictionTable",
+    "SaturatingCounter",
+    "StrideEntry",
+    "StridePredictor",
+    "TwoDeltaEntry",
+    "TwoDeltaStridePredictor",
+    "ValuePredictor",
+]

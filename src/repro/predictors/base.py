@@ -1,0 +1,62 @@
+"""Common predictor interfaces and the per-access result record."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional, Union
+
+Number = Union[int, float]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AccessResult:
+    """Outcome of presenting one dynamic instruction to a predictor.
+
+    Attributes:
+        hit: the predictor had an entry for the instruction (a *prediction
+            attempt* in the paper's terminology).
+        predicted_value: the value the predictor suggested (``None`` on miss).
+        correct: the suggestion matched the actual outcome value.
+        nonzero_stride: the suggestion was produced with a non-zero stride —
+            the numerator of the paper's *stride efficiency ratio*.
+        allocated: a new entry was installed for this instruction.
+        evicted_address: address displaced by the allocation, if any.
+    """
+
+    hit: bool
+    predicted_value: Optional[Number]
+    correct: bool
+    nonzero_stride: bool
+    allocated: bool = False
+    evicted_address: Optional[int] = None
+
+
+class ValuePredictor(abc.ABC):
+    """A value predictor operating on (instruction address, outcome value).
+
+    Subclasses implement the two hardware schemes of the paper's Section 2
+    (last-value and stride) and the hybrid organization of Section 3.
+    """
+
+    @abc.abstractmethod
+    def access(
+        self, address: int, value: Number, allocate: bool = True
+    ) -> AccessResult:
+        """Present one dynamic instance; predict, learn, maybe allocate.
+
+        Args:
+            address: static instruction address.
+            value: the actual destination value produced.
+            allocate: install a new entry on miss.  Classification schemes
+                use this to keep unpredictable instructions out of the table
+                (the paper's central mechanism).
+        """
+
+    @abc.abstractmethod
+    def lookup_prediction(self, address: int) -> Optional[Number]:
+        """Return the value that *would* be predicted, without learning."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Reset all table state."""

@@ -1,0 +1,120 @@
+"""A finite-context-method (FCM) value predictor (extension).
+
+Contemporaneous with the paper (Sazeides & Smith, 1997): a two-level
+scheme in which the first level keeps, per static instruction, a hash of
+its last *k* destination values, and the second level maps (instruction,
+context hash) to the value that followed that context last time.  FCM can
+capture repeating non-arithmetic sequences that neither last-value nor
+stride prediction can.
+
+The second-level table is idealized (unbounded), as in the original limit
+study; the first level honours the usual table geometry.  Not part of the
+paper's experiments — provided for the predictor-family ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .base import AccessResult, Number, ValuePredictor
+from .table import EvictionCallback, PredictionTable
+
+class FcmEntry:
+    """First-level entry: the last *k* destination values, oldest first."""
+
+    __slots__ = ("history", "order")
+
+    def __init__(self, order: int) -> None:
+        self.history: tuple = ()
+        self.order = order
+
+    @property
+    def context(self) -> int:
+        return hash(self.history)
+
+    def push(self, value: Number) -> None:
+        self.history = (self.history + (value,))[-self.order:]
+
+
+class FcmPredictor(ValuePredictor):
+    """Order-k finite context method predictor.
+
+    Args:
+        entries: first-level table capacity (``None`` = unbounded).
+        ways: first-level associativity.
+        order: history depth *k* (folded into the rolling hash).
+    """
+
+    def __init__(
+        self, entries: Optional[int] = None, ways: int = 2, order: int = 2
+    ) -> None:
+        if order < 1:
+            raise ValueError("order must be at least 1")
+        self.order = order
+        self.table: PredictionTable[FcmEntry] = PredictionTable(entries, ways)
+        self._values: Dict[Tuple[int, int], Number] = {}
+
+    def access(
+        self,
+        address: int,
+        value: Number,
+        allocate: bool = True,
+        on_evict: Optional[EvictionCallback] = None,
+    ) -> AccessResult:
+        entry = self.table.lookup(address)
+        if entry is not None:
+            key = (address, entry.context)
+            predicted = self._values.get(key)
+            hit = predicted is not None
+            correct = hit and predicted == value
+            # Learn: this context now leads to `value`.
+            self._values[key] = value
+            entry.push(value)
+            if hit:
+                return AccessResult(
+                    hit=True,
+                    predicted_value=predicted,
+                    correct=correct,
+                    nonzero_stride=False,
+                )
+            return AccessResult(
+                hit=False, predicted_value=None, correct=False, nonzero_stride=False
+            )
+        if not allocate:
+            return AccessResult(
+                hit=False, predicted_value=None, correct=False, nonzero_stride=False
+            )
+        fresh = FcmEntry(self.order)
+        fresh.push(value)
+        evicted = self.table.insert(address, fresh, self._wrap_evict(on_evict))
+        return AccessResult(
+            hit=False,
+            predicted_value=None,
+            correct=False,
+            nonzero_stride=False,
+            allocated=True,
+            evicted_address=evicted,
+        )
+
+    def _wrap_evict(
+        self, on_evict: Optional[EvictionCallback]
+    ) -> Optional[EvictionCallback]:
+        def _evict(address: int) -> None:
+            # Drop the evicted instruction's second-level footprint.
+            stale = [key for key in self._values if key[0] == address]
+            for key in stale:
+                del self._values[key]
+            if on_evict is not None:
+                on_evict(address)
+
+        return _evict
+
+    def lookup_prediction(self, address: int) -> Optional[Number]:
+        entry = self.table.peek(address)
+        if entry is None:
+            return None
+        return self._values.get((address, entry.context))
+
+    def clear(self) -> None:
+        self.table.clear()
+        self._values.clear()

@@ -1,0 +1,95 @@
+"""The hardware classification mechanism: per-entry saturating counters.
+
+This is the baseline the paper compares against (Section 2.2): "An
+individual saturated counter is assigned to each entry in the prediction
+table.  At each occurrence of a successful or unsuccessful prediction the
+corresponding counter is incremented or decremented respectively.
+According to the present state of the saturated counter, the processor can
+decide whether to take the suggested prediction or to avoid it."
+
+Counters live and die with their prediction-table entry: when the table
+evicts an address, its counter state is lost (wire the table's
+``on_evict`` callback to :meth:`FsmClassifier.on_evict`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class SaturatingCounter:
+    """An n-bit up/down saturating counter."""
+
+    __slots__ = ("value", "maximum")
+
+    def __init__(self, bits: int = 2, initial: int = 1) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least 1 bit")
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(f"initial state {initial} outside [0, {self.maximum}]")
+        self.value = initial
+
+    def increment(self) -> None:
+        if self.value < self.maximum:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+
+class FsmClassifier:
+    """Saturating-counter classification over prediction-table entries.
+
+    Args:
+        bits: counter width (2 by default, the classic strongly/weakly
+            scheme).
+        initial: state given to a counter at (re)allocation.
+        take_threshold: minimum counter state at which the suggested
+            prediction is taken.
+    """
+
+    def __init__(
+        self, bits: int = 2, initial: int = 1, take_threshold: int = 2
+    ) -> None:
+        self.bits = bits
+        self.initial = initial
+        self.take_threshold = take_threshold
+        self._counters: Dict[int, SaturatingCounter] = {}
+        # Validate parameters eagerly.
+        probe = SaturatingCounter(bits, initial)
+        if not 0 < take_threshold <= probe.maximum:
+            raise ValueError(
+                f"take_threshold {take_threshold} outside (0, {probe.maximum}]"
+            )
+
+    def _counter(self, address: int) -> SaturatingCounter:
+        counter = self._counters.get(address)
+        if counter is None:
+            counter = SaturatingCounter(self.bits, self.initial)
+            self._counters[address] = counter
+        return counter
+
+    def should_take(self, address: int) -> bool:
+        """Would the hardware accept this instruction's prediction now?"""
+        return self._counter(address).value >= self.take_threshold
+
+    def record(self, address: int, correct: bool) -> None:
+        """Train the counter with a prediction outcome."""
+        counter = self._counter(address)
+        if correct:
+            counter.increment()
+        else:
+            counter.decrement()
+
+    def on_evict(self, address: int) -> None:
+        """Forget the counter when the table evicts its entry."""
+        self._counters.pop(address, None)
+
+    def state(self, address: int) -> int:
+        """Current counter state (allocating if absent) — for inspection."""
+        return self._counter(address).value
+
+    def clear(self) -> None:
+        self._counters.clear()

@@ -1,0 +1,63 @@
+"""The hybrid predictor proposed in the paper's Section 3.
+
+Two prediction tables — a (typically small) stride table and a (typically
+larger) last-value table.  A candidate instruction is allocated to one of
+them *according to its opcode directive*: instructions profiled as
+stride-patterned go to the stride table, last-value repeaters to the
+last-value table, and untagged instructions to neither.  This lets the
+stride field be spent only where it pays.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa import Directive
+from .base import AccessResult, Number
+from .last_value import LastValuePredictor
+from .stride import StridePredictor
+from .table import EvictionCallback
+
+
+class HybridPredictor:
+    """A split stride + last-value predictor steered by directives.
+
+    Args:
+        stride_entries: stride-table capacity (``None`` = unbounded).
+        last_value_entries: last-value-table capacity (``None`` = unbounded).
+        ways: set associativity of both tables.
+    """
+
+    def __init__(
+        self,
+        stride_entries: Optional[int] = None,
+        last_value_entries: Optional[int] = None,
+        ways: int = 2,
+    ) -> None:
+        self.stride = StridePredictor(stride_entries, ways)
+        self.last_value = LastValuePredictor(last_value_entries, ways)
+
+    def _component(self, kind: Directive):
+        if kind is Directive.STRIDE:
+            return self.stride
+        return self.last_value
+
+    def access(
+        self,
+        address: int,
+        value: Number,
+        kind: Directive,
+        allocate: bool = True,
+        on_evict: Optional[EvictionCallback] = None,
+    ) -> AccessResult:
+        """Present one dynamic instance of an instruction tagged ``kind``."""
+        return self._component(kind).access(
+            address, value, allocate=allocate, on_evict=on_evict
+        )
+
+    def lookup_prediction(self, address: int, kind: Directive) -> Optional[Number]:
+        return self._component(kind).lookup_prediction(address)
+
+    def clear(self) -> None:
+        self.stride.clear()
+        self.last_value.clear()

@@ -1,0 +1,83 @@
+"""The stride predictor (Gabbay & Mendelson, via the paper's Section 2.1).
+
+Each entry holds the last value and a stride — "always determined upon the
+subtraction of two recent consecutive destination values".  The prediction
+is ``last value + stride``.  A freshly allocated entry starts with a zero
+stride, so its first prediction degenerates to last-value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import AccessResult, Number, ValuePredictor
+from .table import EvictionCallback, PredictionTable
+
+
+class StrideEntry:
+    """Table entry: last value plus the most recent first difference."""
+
+    __slots__ = ("last_value", "stride")
+
+    def __init__(self, last_value: Number, stride: Number = 0) -> None:
+        self.last_value = last_value
+        self.stride = stride
+
+    def predict(self) -> Number:
+        return self.last_value + self.stride
+
+    def update(self, value: Number) -> None:
+        self.stride = value - self.last_value
+        self.last_value = value
+
+
+class StridePredictor(ValuePredictor):
+    """Predicts ``last value + stride``.
+
+    Args:
+        entries: table capacity (``None`` = unbounded).
+        ways: set associativity.
+    """
+
+    def __init__(self, entries: Optional[int] = None, ways: int = 2) -> None:
+        self.table: PredictionTable[StrideEntry] = PredictionTable(entries, ways)
+
+    def access(
+        self,
+        address: int,
+        value: Number,
+        allocate: bool = True,
+        on_evict: Optional[EvictionCallback] = None,
+    ) -> AccessResult:
+        entry = self.table.lookup(address)
+        if entry is not None:
+            predicted = entry.predict()
+            correct = predicted == value
+            nonzero = correct and entry.stride != 0
+            entry.update(value)
+            return AccessResult(
+                hit=True,
+                predicted_value=predicted,
+                correct=correct,
+                nonzero_stride=nonzero,
+            )
+        if not allocate:
+            return AccessResult(
+                hit=False, predicted_value=None, correct=False, nonzero_stride=False
+            )
+        evicted = self.table.insert(address, StrideEntry(value), on_evict)
+        return AccessResult(
+            hit=False,
+            predicted_value=None,
+            correct=False,
+            nonzero_stride=False,
+            allocated=True,
+            evicted_address=evicted,
+        )
+
+    def lookup_prediction(self, address: int) -> Optional[Number]:
+        entry = self.table.peek(address)
+        return None if entry is None else entry.predict()
+
+    def clear(self) -> None:
+        self.table.clear()

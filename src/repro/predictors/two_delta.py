@@ -1,0 +1,87 @@
+"""The two-delta stride predictor (extension).
+
+A literature companion to the paper's plain stride predictor (it appears
+in the authors' technical reports [4]/[5] as a more conservative stride
+scheme, originally due to Eickemeyer & Vassiliadis): the committed stride
+used for prediction is only replaced when the *same* new delta is observed
+twice in a row.  One noisy value therefore does not destroy a learned
+stride — at the cost of slower adaptation.
+
+Not used by the paper's headline experiments; provided for the predictor-
+family ablation (``benchmarks/test_ablation_predictors.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import AccessResult, Number, ValuePredictor
+from .table import EvictionCallback, PredictionTable
+
+
+class TwoDeltaEntry:
+    """last value + candidate stride (s1) + committed stride (s2)."""
+
+    __slots__ = ("last_value", "candidate_stride", "committed_stride")
+
+    def __init__(self, last_value: Number) -> None:
+        self.last_value = last_value
+        self.candidate_stride: Number = 0
+        self.committed_stride: Number = 0
+
+    def predict(self) -> Number:
+        return self.last_value + self.committed_stride
+
+    def update(self, value: Number) -> None:
+        delta = value - self.last_value
+        if delta == self.candidate_stride:
+            self.committed_stride = delta
+        self.candidate_stride = delta
+        self.last_value = value
+
+
+class TwoDeltaStridePredictor(ValuePredictor):
+    """Predicts ``last value + committed stride`` (two-delta update rule)."""
+
+    def __init__(self, entries: Optional[int] = None, ways: int = 2) -> None:
+        self.table: PredictionTable[TwoDeltaEntry] = PredictionTable(entries, ways)
+
+    def access(
+        self,
+        address: int,
+        value: Number,
+        allocate: bool = True,
+        on_evict: Optional[EvictionCallback] = None,
+    ) -> AccessResult:
+        entry = self.table.lookup(address)
+        if entry is not None:
+            predicted = entry.predict()
+            correct = predicted == value
+            nonzero = correct and entry.committed_stride != 0
+            entry.update(value)
+            return AccessResult(
+                hit=True,
+                predicted_value=predicted,
+                correct=correct,
+                nonzero_stride=nonzero,
+            )
+        if not allocate:
+            return AccessResult(
+                hit=False, predicted_value=None, correct=False, nonzero_stride=False
+            )
+        evicted = self.table.insert(address, TwoDeltaEntry(value), on_evict)
+        return AccessResult(
+            hit=False,
+            predicted_value=None,
+            correct=False,
+            nonzero_stride=False,
+            allocated=True,
+            evicted_address=evicted,
+        )
+
+    def lookup_prediction(self, address: int) -> Optional[Number]:
+        entry = self.table.peek(address)
+        return None if entry is None else entry.predict()
+
+    def clear(self) -> None:
+        self.table.clear()

@@ -1,0 +1,210 @@
+"""Profile collection: run a program under an emulated value predictor.
+
+This is phase 2 of the paper's methodology.  The tracing simulator
+(:mod:`repro.machine`) executes the program while a value predictor —
+by default an *unbounded* stride predictor, so the profile reflects pure
+value behaviour rather than table pressure — observes every dynamic
+instance of every value-prediction candidate.  The result records, per
+static instruction, its prediction accuracy and stride efficiency ratio,
+and per (category, phase) the aggregate accuracies behind Table 2.1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from ..isa import Category, Number, Program
+from ..machine import trace_program
+from ..predictors import StridePredictor, ValuePredictor
+
+
+@dataclasses.dataclass(slots=True)
+class InstructionProfile:
+    """Per-static-instruction prediction statistics.
+
+    ``attempts`` counts accesses where the predictor held an entry (its
+    first dynamic instance only trains).  ``correct`` of those matched;
+    ``nonzero_stride_correct`` matched using a non-zero stride.
+    """
+
+    address: int
+    executions: int = 0
+    attempts: int = 0
+    correct: int = 0
+    nonzero_stride_correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Prediction accuracy in percent (0 when never attempted)."""
+        if self.attempts == 0:
+            return 0.0
+        return 100.0 * self.correct / self.attempts
+
+    @property
+    def stride_efficiency(self) -> float:
+        """Stride efficiency ratio in percent (0 when never correct)."""
+        if self.correct == 0:
+            return 0.0
+        return 100.0 * self.nonzero_stride_correct / self.correct
+
+
+@dataclasses.dataclass(slots=True)
+class GroupStats:
+    """Aggregate accuracy for one (category, phase) group."""
+
+    executions: int = 0
+    attempts: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        if self.attempts == 0:
+            return 0.0
+        return 100.0 * self.correct / self.attempts
+
+
+class ProfileImage:
+    """The output of one profiling run (paper Section 3.2, Table 3.1).
+
+    Maps instruction address -> :class:`InstructionProfile`, with program
+    and run labels.  The (category, phase) aggregates ride along for the
+    Table 2.1 measurements.
+    """
+
+    def __init__(self, program_name: str, run_label: str = "") -> None:
+        self.program_name = program_name
+        self.run_label = run_label
+        self.instructions: Dict[int, InstructionProfile] = {}
+        self.groups: Dict[Tuple[Category, int], GroupStats] = {}
+
+    def profile_for(self, address: int) -> InstructionProfile:
+        profile = self.instructions.get(address)
+        if profile is None:
+            profile = InstructionProfile(address)
+            self.instructions[address] = profile
+        return profile
+
+    def group_for(self, category: Category, phase: int) -> GroupStats:
+        key = (category, phase)
+        stats = self.groups.get(key)
+        if stats is None:
+            stats = GroupStats()
+            self.groups[key] = stats
+        return stats
+
+    @property
+    def addresses(self) -> list[int]:
+        return sorted(self.instructions)
+
+    def accuracy_of(self, address: int) -> float:
+        profile = self.instructions.get(address)
+        return 0.0 if profile is None else profile.accuracy
+
+    def stride_efficiency_of(self, address: int) -> float:
+        profile = self.instructions.get(address)
+        return 0.0 if profile is None else profile.stride_efficiency
+
+    def overall_accuracy(self, category: Optional[Category] = None) -> float:
+        """Aggregate accuracy over all (or one category of) instructions."""
+        attempts = 0
+        correct = 0
+        for (group_category, _phase), stats in self.groups.items():
+            if category is not None and group_category is not category:
+                continue
+            attempts += stats.attempts
+            correct += stats.correct
+        return 0.0 if attempts == 0 else 100.0 * correct / attempts
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def collect_profile(
+    program: Program,
+    inputs: Iterable[Number] = (),
+    predictor: Optional[ValuePredictor] = None,
+    run_label: str = "",
+    max_instructions: Optional[int] = None,
+    records=None,
+) -> ProfileImage:
+    """Profile one run of ``program`` under ``predictor``.
+
+    Args:
+        program: the compiled binary.
+        inputs: the run's input stream.
+        predictor: predictor to emulate; default is an unbounded
+            :class:`~repro.predictors.StridePredictor` (the paper profiles
+            with the stride predictor so the stride efficiency ratio is
+            also available).
+        run_label: stored in the image for bookkeeping.
+        max_instructions: optional dynamic-instruction cap.
+    """
+    images = collect_profiles(
+        program,
+        inputs,
+        predictors={"default": predictor or StridePredictor()},
+        run_label=run_label,
+        max_instructions=max_instructions,
+        records=records,
+    )
+    return images["default"]
+
+
+def collect_profiles(
+    program: Program,
+    inputs: Iterable[Number] = (),
+    predictors: Optional[Mapping[str, ValuePredictor]] = None,
+    run_label: str = "",
+    max_instructions: Optional[int] = None,
+    records=None,
+) -> Dict[str, ProfileImage]:
+    """Profile one run under several predictors simultaneously.
+
+    A single execution of the program feeds every predictor, so comparing
+    last-value against stride (Table 2.1) costs one simulation, not two.
+
+    Pass ``records`` (an iterable of
+    :class:`~repro.machine.trace.TraceRecord`, e.g. from
+    :func:`repro.machine.read_trace`) to profile a *stored* trace instead
+    of executing the program — the SHADE-style trace/analyze split.
+    """
+    if predictors is None:
+        predictors = {"stride": StridePredictor()}
+    images = {
+        name: ProfileImage(program.name, run_label=run_label) for name in predictors
+    }
+    is_candidate = [
+        instruction.is_prediction_candidate for instruction in program.instructions
+    ]
+    categories = [instruction.category for instruction in program.instructions]
+    pairs = [(name, predictor) for name, predictor in predictors.items()]
+
+    if records is None:
+        kwargs = {}
+        if max_instructions is not None:
+            kwargs["max_instructions"] = max_instructions
+        records = trace_program(program, inputs, **kwargs)
+    for record in records:
+        address = record.address
+        if not is_candidate[address]:
+            continue
+        value = record.value
+        phase = record.phase
+        category = categories[address]
+        for name, predictor in pairs:
+            result = predictor.access(address, value)
+            image = images[name]
+            profile = image.profile_for(address)
+            profile.executions += 1
+            group = image.group_for(category, phase)
+            group.executions += 1
+            if result.hit:
+                profile.attempts += 1
+                group.attempts += 1
+                if result.correct:
+                    profile.correct += 1
+                    group.correct += 1
+                    if result.nonzero_stride:
+                        profile.nonzero_stride_correct += 1
+    return images

@@ -1,0 +1,120 @@
+"""Profile-image file format.
+
+The paper describes the profile output as "a file that is organized as a
+table.  Each entry is associated with an individual instruction and
+consists of three fields: the instruction's address, its prediction
+accuracy and its stride efficiency ratio."  We persist the underlying
+*counts* instead of the two ratios so that images from multiple training
+runs can be merged exactly; the ratios are recomputed on load.
+
+Format (text, line-oriented)::
+
+    # repro-profile-image v1
+    # program: 126.gcc
+    # run: train-0
+    # columns: address executions attempts correct nonzero_stride_correct
+    3 1000 999 995 995
+    ...
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+from .collector import InstructionProfile, ProfileImage
+
+_MAGIC = "# repro-profile-image v1"
+
+
+class ProfileFormatError(ValueError):
+    """Raised when a profile-image file is malformed."""
+
+
+def dump_profile(image: ProfileImage, stream: TextIO) -> None:
+    """Write ``image`` to ``stream`` in the v1 text format."""
+    stream.write(f"{_MAGIC}\n")
+    stream.write(f"# program: {image.program_name}\n")
+    stream.write(f"# run: {image.run_label}\n")
+    stream.write("# columns: address executions attempts correct "
+                 "nonzero_stride_correct\n")
+    for address in image.addresses:
+        profile = image.instructions[address]
+        stream.write(
+            f"{address} {profile.executions} {profile.attempts} "
+            f"{profile.correct} {profile.nonzero_stride_correct}\n"
+        )
+
+
+def dumps_profile(image: ProfileImage) -> str:
+    """Serialize ``image`` to a string."""
+    buffer = io.StringIO()
+    dump_profile(image, buffer)
+    return buffer.getvalue()
+
+
+def save_profile(image: ProfileImage, path: Union[str, Path]) -> None:
+    """Write ``image`` to ``path``."""
+    with open(path, "w", encoding="utf-8") as stream:
+        dump_profile(image, stream)
+
+
+def load_profile(stream: TextIO) -> ProfileImage:
+    """Parse a v1 profile image from ``stream``.
+
+    Raises:
+        ProfileFormatError: on a bad magic line or malformed rows.
+    """
+    first = stream.readline().rstrip("\n")
+    if first != _MAGIC:
+        raise ProfileFormatError(f"not a profile image (header {first!r})")
+    program_name = ""
+    run_label = ""
+    image: ProfileImage
+    rows = []
+    for line_number, raw in enumerate(stream, start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            body = line[1:].strip()
+            if body.startswith("program:"):
+                program_name = body[len("program:"):].strip()
+            elif body.startswith("run:"):
+                run_label = body[len("run:"):].strip()
+            continue
+        fields = line.split()
+        if len(fields) != 5:
+            raise ProfileFormatError(
+                f"line {line_number}: expected 5 fields, got {len(fields)}"
+            )
+        try:
+            rows.append(tuple(int(field) for field in fields))
+        except ValueError:
+            raise ProfileFormatError(
+                f"line {line_number}: non-integer field in {line!r}"
+            ) from None
+    image = ProfileImage(program_name, run_label=run_label)
+    for address, executions, attempts, correct, nonzero in rows:
+        if not 0 <= correct <= attempts <= executions or nonzero > correct:
+            raise ProfileFormatError(f"inconsistent counts for address {address}")
+        image.instructions[address] = InstructionProfile(
+            address=address,
+            executions=executions,
+            attempts=attempts,
+            correct=correct,
+            nonzero_stride_correct=nonzero,
+        )
+    return image
+
+
+def loads_profile(text: str) -> ProfileImage:
+    """Parse a v1 profile image from a string."""
+    return load_profile(io.StringIO(text))
+
+
+def read_profile(path: Union[str, Path]) -> ProfileImage:
+    """Load a profile image from ``path``."""
+    with open(path, "r", encoding="utf-8") as stream:
+        return load_profile(stream)

@@ -1,0 +1,82 @@
+"""Combining profile images from multiple training runs.
+
+The paper's phase 2 may run the program "either single or multiple times,
+where in each run the program is driven by different input parameters and
+files".  Merging sums the underlying counts, which weights each run by its
+dynamic instruction count — an instruction that executes a million times
+in one training run and ten in another is dominated by the former, exactly
+as a single concatenated profiling session would be.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from .collector import InstructionProfile, ProfileImage
+
+
+def common_addresses(images: Sequence[ProfileImage]) -> List[int]:
+    """Addresses profiled in *every* image.
+
+    The paper: "we only consider the instructions that appear in all the
+    different runs of the program" (instructions appearing in only some
+    runs are omitted; their number is relatively small).
+    """
+    if not images:
+        return []
+    addresses: Set[int] = set(images[0].instructions)
+    for image in images[1:]:
+        addresses &= set(image.instructions)
+    return sorted(addresses)
+
+
+def merge_profiles(
+    images: Iterable[ProfileImage],
+    program_name: str = "",
+    run_label: str = "merged",
+    require_common: bool = False,
+) -> ProfileImage:
+    """Merge several training-run images into one by summing counts.
+
+    Args:
+        images: the per-run profile images.
+        program_name: name for the merged image (defaults to the first
+            image's).
+        run_label: label for the merged image.
+        require_common: keep only instructions present in every run
+            (matching the vector analysis of Section 4); otherwise keep
+            the union.
+    """
+    image_list = list(images)
+    if not image_list:
+        raise ValueError("cannot merge zero profile images")
+    keep = set(common_addresses(image_list)) if require_common else None
+    merged = ProfileImage(
+        program_name or image_list[0].program_name, run_label=run_label
+    )
+    for image in image_list:
+        for address, profile in image.instructions.items():
+            if keep is not None and address not in keep:
+                continue
+            into = merged.profile_for(address)
+            into.executions += profile.executions
+            into.attempts += profile.attempts
+            into.correct += profile.correct
+            into.nonzero_stride_correct += profile.nonzero_stride_correct
+        for key, group in image.groups.items():
+            into_group = merged.group_for(*key)
+            into_group.executions += group.executions
+            into_group.attempts += group.attempts
+            into_group.correct += group.correct
+    return merged
+
+
+def _merged_instruction(profiles: Sequence[InstructionProfile]) -> InstructionProfile:
+    """Sum a sequence of per-run profiles for the same address."""
+    merged = InstructionProfile(profiles[0].address)
+    for profile in profiles:
+        merged.executions += profile.executions
+        merged.attempts += profile.attempts
+        merged.correct += profile.correct
+        merged.nonzero_stride_correct += profile.nonzero_stride_correct
+    return merged

@@ -1,0 +1,123 @@
+"""The similarity metrics of the paper's Section 4.
+
+Each run's profile image is viewed as a vector whose coordinate ``l`` is
+the prediction accuracy (or stride efficiency ratio) of instruction ``l``;
+only instructions appearing in all runs are kept.  Two metrics measure the
+resemblance of the run vectors:
+
+* **maximum-distance** ``M(V)max`` (Equation 4.1): coordinate ``i`` is the
+  maximum absolute difference between coordinate ``i`` of any pair of
+  vectors;
+* **average-distance** ``M(V)average`` (Equation 4.2): the arithmetic mean
+  of those pairwise differences.
+
+The distribution of metric coordinates over the intervals [0,10],
+(10,20], ..., (90,100] (Figures 4.1-4.3) shows whether value
+predictability transfers across inputs: mass in the low intervals means
+the profiles agree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from .collector import ProfileImage
+from .merge import common_addresses
+
+#: Interval edges of the paper's histograms: [0,10], (10,20], ..., (90,100].
+HISTOGRAM_EDGES = [10.0 * i for i in range(11)]
+
+#: Human-readable labels for the ten intervals.
+HISTOGRAM_LABELS = ["[0,10]"] + [f"({10 * i},{10 * (i + 1)}]" for i in range(1, 10)]
+
+
+def accuracy_vectors(images: Sequence[ProfileImage]) -> List[List[float]]:
+    """Per-run prediction-accuracy vectors over the common instructions."""
+    return _vectors(images, lambda image, address: image.accuracy_of(address))
+
+
+def stride_efficiency_vectors(images: Sequence[ProfileImage]) -> List[List[float]]:
+    """Per-run stride-efficiency vectors over the common instructions."""
+    return _vectors(
+        images, lambda image, address: image.stride_efficiency_of(address)
+    )
+
+
+def _vectors(
+    images: Sequence[ProfileImage],
+    value_of: Callable[[ProfileImage, int], float],
+) -> List[List[float]]:
+    if len(images) < 2:
+        raise ValueError("need at least two runs to compare")
+    addresses = common_addresses(images)
+    return [[value_of(image, address) for address in addresses] for image in images]
+
+
+def max_distance_metric(vectors: Sequence[Sequence[float]]) -> List[float]:
+    """``M(V)max`` of Equation 4.1: per-coordinate max pairwise distance."""
+    _validate(vectors)
+    coordinate_count = len(vectors[0])
+    metric: List[float] = []
+    for index in range(coordinate_count):
+        column = [vector[index] for vector in vectors]
+        largest = 0.0
+        for first in range(len(column)):
+            for second in range(first + 1, len(column)):
+                distance = abs(column[first] - column[second])
+                if distance > largest:
+                    largest = distance
+        metric.append(largest)
+    return metric
+
+
+def average_distance_metric(vectors: Sequence[Sequence[float]]) -> List[float]:
+    """``M(V)average`` of Equation 4.2: per-coordinate mean pairwise distance."""
+    _validate(vectors)
+    run_count = len(vectors)
+    pair_count = run_count * (run_count - 1) // 2
+    coordinate_count = len(vectors[0])
+    metric: List[float] = []
+    for index in range(coordinate_count):
+        column = [vector[index] for vector in vectors]
+        total = 0.0
+        for first in range(run_count):
+            for second in range(first + 1, run_count):
+                total += abs(column[first] - column[second])
+        metric.append(total / pair_count)
+    return metric
+
+
+def _validate(vectors: Sequence[Sequence[float]]) -> None:
+    if len(vectors) < 2:
+        raise ValueError("metrics need at least two vectors")
+    lengths = {len(vector) for vector in vectors}
+    if len(lengths) != 1:
+        raise ValueError(f"vectors have differing dimensions: {sorted(lengths)}")
+
+
+def interval_histogram(values: Sequence[float]) -> List[int]:
+    """Count ``values`` into the paper's ten accuracy intervals.
+
+    The first interval is closed ([0,10]); the rest are half-open
+    ((10,20] ... (90,100]).  Values outside [0,100] raise ``ValueError``.
+    """
+    counts = [0] * 10
+    for value in values:
+        if not 0.0 <= value <= 100.0:
+            raise ValueError(f"value {value} outside [0, 100]")
+        if value <= 10.0:
+            counts[0] += 1
+        else:
+            # ceil(value/10) - 1 indexes the (10k, 10k+10] interval.
+            bin_index = int(-(-value // 10.0)) - 1
+            counts[min(bin_index, 9)] += 1
+    return counts
+
+
+def interval_percentages(values: Sequence[float]) -> List[float]:
+    """The interval histogram normalized to percentages (sums to ~100)."""
+    counts = interval_histogram(values)
+    total = sum(counts)
+    if total == 0:
+        return [0.0] * 10
+    return [100.0 * count / total for count in counts]

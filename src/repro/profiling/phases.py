@@ -1,0 +1,66 @@
+"""Phase-split profiling.
+
+Figure 2.2 of the paper shows each floating-point benchmark twice —
+initialization phase (#1) and computation phase (#2) — because the two
+phases have very different value behaviour (input-dependent loads vs
+regular compute).  :func:`collect_phase_profiles` produces one
+:class:`~repro.profiling.collector.ProfileImage` per execution phase from
+a single run, with predictor state carried *across* phase boundaries
+(the hardware doesn't reset at a phase mark; only the accounting splits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..isa import Number, Program
+from ..machine import trace_program
+from ..predictors import StridePredictor, ValuePredictor
+from .collector import ProfileImage
+
+
+def collect_phase_profiles(
+    program: Program,
+    inputs: Iterable[Number] = (),
+    predictor: Optional[ValuePredictor] = None,
+    run_label: str = "",
+    max_instructions: Optional[int] = None,
+) -> Dict[int, ProfileImage]:
+    """Profile one run, splitting the accounting by execution phase.
+
+    Returns phase -> image.  Programs that never execute a ``phase``
+    instruction yield a single image under phase 0.
+    """
+    predictor = predictor or StridePredictor()
+    images: Dict[int, ProfileImage] = {}
+    is_candidate = [
+        instruction.is_prediction_candidate for instruction in program.instructions
+    ]
+    categories = [instruction.category for instruction in program.instructions]
+
+    kwargs = {}
+    if max_instructions is not None:
+        kwargs["max_instructions"] = max_instructions
+    for record in trace_program(program, inputs, **kwargs):
+        address = record.address
+        if not is_candidate[address]:
+            continue
+        phase = record.phase
+        image = images.get(phase)
+        if image is None:
+            image = ProfileImage(program.name, run_label=f"{run_label}#{phase}")
+            images[phase] = image
+        result = predictor.access(address, record.value)
+        profile = image.profile_for(address)
+        profile.executions += 1
+        group = image.group_for(categories[address], phase)
+        group.executions += 1
+        if result.hit:
+            profile.attempts += 1
+            group.attempts += 1
+            if result.correct:
+                profile.correct += 1
+                group.correct += 1
+                if result.nonzero_stride:
+                    profile.nonzero_stride_correct += 1
+    return images

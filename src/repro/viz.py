@@ -1,0 +1,110 @@
+"""Plain-text visualization helpers.
+
+The paper's figures are bar charts and histograms; this module renders
+their reproduced data as ASCII so results are inspectable in a terminal
+(`repro-experiments ... --chart`) or a log file, with no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .experiments.tables import ExperimentTable
+
+#: Default bar width in characters.
+BAR_WIDTH = 40
+
+
+def bar(value: float, maximum: float, width: int = BAR_WIDTH) -> str:
+    """A filled bar proportional to ``value / maximum``."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * max(0.0, value) / maximum))
+    return "█" * min(filled, width)
+
+
+def signed_bar(value: float, maximum: float, width: int = BAR_WIDTH) -> str:
+    """A bar for values that may be negative: ``-###`` vs ``###``."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * min(abs(value), maximum) / maximum))
+    glyph = "█" if value >= 0 else "▒"
+    sign = "" if value >= 0 else "-"
+    return sign + glyph * filled
+
+
+def histogram_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = BAR_WIDTH,
+    unit: str = "%",
+) -> str:
+    """Render one histogram (e.g. a Figure 4.x row) as labelled bars."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    maximum = max(values) if values else 0.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        lines.append(
+            f"{label:>{label_width}s} {value:6.1f}{unit} {bar(value, maximum, width)}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    names: Sequence[str],
+    values: Sequence[float],
+    width: int = BAR_WIDTH,
+    unit: str = "",
+) -> str:
+    """Render one named series (e.g. per-benchmark ILP gains) as bars.
+
+    Handles negative values (e.g. Figure 5.4's misprediction reductions)
+    with a distinct texture.
+    """
+    if len(names) != len(values):
+        raise ValueError("names and values must align")
+    maximum = max((abs(value) for value in values), default=0.0)
+    name_width = max((len(name) for name in names), default=0)
+    lines = []
+    for name, value in zip(names, values):
+        lines.append(
+            f"{name:>{name_width}s} {value:8.1f}{unit} "
+            f"{signed_bar(value, maximum, width)}"
+        )
+    return "\n".join(lines)
+
+
+def chart_table(table: ExperimentTable, column: Optional[str] = None) -> str:
+    """Chart one numeric column of an experiment table by its first column.
+
+    Without ``column``, the last numeric column is used.
+    """
+    if not table.rows:
+        return "(empty table)"
+    if column is None:
+        numeric = [
+            header
+            for index, header in enumerate(table.headers[1:], start=1)
+            if all(isinstance(row[index], (int, float)) for row in table.rows)
+        ]
+        if not numeric:
+            raise ValueError("table has no numeric column to chart")
+        column = numeric[-1]
+    names = [str(row[0]) for row in table.rows]
+    values = [float(value) for value in table.column(column)]
+    header = f"{table.experiment_id}: {column}"
+    return header + "\n" + series_chart(names, values)
+
+
+def chart_histogram_rows(table: ExperimentTable) -> str:
+    """Chart every row of an interval-histogram table (Figures 2.x/4.x)."""
+    blocks: List[str] = []
+    labels = table.headers[1:]
+    for row in table.rows:
+        name = str(row[0])
+        values = [float(value) for value in row[1:]]
+        blocks.append(f"-- {name} --\n{histogram_chart(labels, values)}")
+    return "\n\n".join(blocks)

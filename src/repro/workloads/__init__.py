@@ -1,0 +1,97 @@
+"""The benchmark suite: 13 SPEC95-idiom workloads written in mini-C.
+
+Integer suite (paper Table 4.1 / Figure 2.2): 099.go, 124.m88ksim,
+126.gcc, 129.compress, 130.li, 132.ijpeg, 134.perl, 147.vortex.
+Floating-point suite (Figure 2.2): 101.tomcatv, 102.swim, 103.su2cor,
+104.hydro2d, 107.mgrid — each marks the paper's initialization
+(``phase(1)``) and computation (``phase(2)``) execution phases.
+
+Every workload ships six deterministic input sets: five training inputs
+(the paper's n=5 different runs) and one held-out test input used for all
+evaluation experiments.
+"""
+
+from .base import REGISTRY, TEST_INDEX, TRAINING_RUNS, Workload, WorkloadRegistry
+from .inputs import Lcg, scaled, text_stream
+from .programs import (
+    compress,
+    gcc,
+    go,
+    hydro2d,
+    ijpeg,
+    li,
+    m88ksim,
+    mgrid,
+    perl,
+    su2cor,
+    swim,
+    tomcatv,
+    vortex,
+)
+
+for _module in (
+    go,
+    tomcatv,
+    swim,
+    su2cor,
+    hydro2d,
+    mgrid,
+    m88ksim,
+    gcc,
+    compress,
+    li,
+    ijpeg,
+    perl,
+    vortex,
+):
+    REGISTRY.register(_module.WORKLOAD)
+
+#: The nine benchmarks of the paper's Table 4.1 (Sections 4 and 5).
+TABLE_4_1_NAMES = [
+    "099.go",
+    "124.m88ksim",
+    "126.gcc",
+    "129.compress",
+    "130.li",
+    "132.ijpeg",
+    "134.perl",
+    "147.vortex",
+    "107.mgrid",
+]
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a workload by its SPEC-style name (e.g. ``"126.gcc"``)."""
+    return REGISTRY.get(name)
+
+
+def workload_names(suite: str | None = None) -> list[str]:
+    """All registered workload names, optionally filtered by suite."""
+    return REGISTRY.names(suite)
+
+
+def all_workloads(suite: str | None = None) -> list[Workload]:
+    """All registered workloads, optionally filtered by suite."""
+    return REGISTRY.all(suite)
+
+
+def table_4_1_workloads() -> list[Workload]:
+    """The nine benchmarks used in the paper's Sections 4 and 5."""
+    return [REGISTRY.get(name) for name in TABLE_4_1_NAMES]
+
+
+__all__ = [
+    "Lcg",
+    "REGISTRY",
+    "TABLE_4_1_NAMES",
+    "TEST_INDEX",
+    "TRAINING_RUNS",
+    "Workload",
+    "WorkloadRegistry",
+    "all_workloads",
+    "get_workload",
+    "scaled",
+    "table_4_1_workloads",
+    "text_stream",
+    "workload_names",
+]

@@ -1,0 +1,99 @@
+"""Workload abstraction and registry.
+
+A :class:`Workload` bundles a mini-C source program with a deterministic
+input generator.  Input sets are indexed: sets 0..4 are the training
+inputs (the paper's n=5 different runs), set 5 is the held-out test input
+used for every evaluation experiment.  ``scale`` shrinks or grows the
+dynamic instruction count without changing the program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Union
+
+from ..isa import Program
+from ..lang import compile_source
+
+Number = Union[int, float]
+InputMaker = Callable[[int, float], List[Number]]
+
+#: Number of distinct training input sets (the paper's n).
+TRAINING_RUNS = 5
+
+#: Index of the held-out evaluation input set.
+TEST_INDEX = TRAINING_RUNS
+
+
+@dataclasses.dataclass
+class Workload:
+    """One benchmark: name, suite, mini-C source, input generator."""
+
+    name: str
+    suite: str  # "int" or "fp"
+    description: str
+    source: str
+    make_inputs: InputMaker
+    _compiled: Optional[Program] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("int", "fp"):
+            raise ValueError(f"{self.name}: suite must be 'int' or 'fp'")
+
+    def compile(self) -> Program:
+        """Compile (once) and return the workload binary."""
+        if self._compiled is None:
+            self._compiled = compile_source(self.source, name=self.name)
+        return self._compiled
+
+    def input_set(self, index: int, scale: float = 1.0) -> List[Number]:
+        """Deterministic input stream for run ``index``."""
+        if index < 0:
+            raise ValueError("input set index must be non-negative")
+        return self.make_inputs(index, scale)
+
+    def training_inputs(
+        self, count: int = TRAINING_RUNS, scale: float = 1.0
+    ) -> List[List[Number]]:
+        """The ``count`` training input sets."""
+        return [self.input_set(index, scale) for index in range(count)]
+
+    def test_inputs(self, scale: float = 1.0) -> List[Number]:
+        """The held-out evaluation input set."""
+        return self.input_set(TEST_INDEX, scale)
+
+
+class WorkloadRegistry:
+    """Name -> workload map with suite filters."""
+
+    def __init__(self) -> None:
+        self._workloads: Dict[str, Workload] = {}
+
+    def register(self, workload: Workload) -> Workload:
+        if workload.name in self._workloads:
+            raise ValueError(f"duplicate workload {workload.name!r}")
+        self._workloads[workload.name] = workload
+        return workload
+
+    def get(self, name: str) -> Workload:
+        try:
+            return self._workloads[name]
+        except KeyError:
+            known = ", ".join(sorted(self._workloads))
+            raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+    def names(self, suite: Optional[str] = None) -> List[str]:
+        return [
+            name
+            for name, workload in sorted(self._workloads.items())
+            if suite is None or workload.suite == suite
+        ]
+
+    def all(self, suite: Optional[str] = None) -> List[Workload]:
+        return [self._workloads[name] for name in self.names(suite)]
+
+
+#: The global registry, populated by the program modules on import.
+REGISTRY = WorkloadRegistry()

@@ -1,0 +1,70 @@
+"""Deterministic input generation for workload runs.
+
+The paper drives each benchmark with several distinct input files and
+parameter sets (n=5 training runs plus evaluation runs).  We reproduce
+that with seeded, fully deterministic generators — a tiny linear
+congruential generator, independent of Python's :mod:`random` so that
+input streams are stable across Python versions.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Lcg:
+    """A 31-bit linear congruential generator (glibc constants)."""
+
+    MODULUS = 1 << 31
+    MULTIPLIER = 1103515245
+    INCREMENT = 12345
+
+    def __init__(self, seed: int) -> None:
+        self.state = seed % self.MODULUS
+
+    def next(self) -> int:
+        """Advance and return the next raw state (0 .. 2^31-1)."""
+        self.state = (self.state * self.MULTIPLIER + self.INCREMENT) % self.MODULUS
+        return self.state
+
+    def below(self, bound: int) -> int:
+        """Uniform-ish integer in [0, bound)."""
+        if bound <= 0:
+            raise ValueError("bound must be positive")
+        return self.next() % bound
+
+    def in_range(self, low: int, high: int) -> int:
+        """Uniform-ish integer in [low, high]."""
+        if high < low:
+            raise ValueError("empty range")
+        return low + self.below(high - low + 1)
+
+    def floats(self, count: int, low: float = 0.0, high: float = 1.0) -> List[float]:
+        """A list of floats in [low, high)."""
+        span = high - low
+        return [low + span * (self.next() / self.MODULUS) for _ in range(count)]
+
+    def integers(self, count: int, bound: int) -> List[int]:
+        """A list of integers in [0, bound)."""
+        return [self.below(bound) for _ in range(count)]
+
+
+def scaled(base: int, scale: float, minimum: int = 1) -> int:
+    """Scale an iteration/size parameter, clamped below at ``minimum``."""
+    return max(minimum, int(round(base * scale)))
+
+
+def text_stream(seed: int, length: int, alphabet: int = 26) -> List[int]:
+    """A skewed pseudo-text stream of small integers (letter codes).
+
+    Letter frequencies are biased (low codes more likely) so compression
+    and string workloads see realistic repetition.
+    """
+    generator = Lcg(seed)
+    stream: List[int] = []
+    for _ in range(length):
+        # Bias toward small codes: min of two draws.
+        first = generator.below(alphabet)
+        second = generator.below(alphabet)
+        stream.append(min(first, second))
+    return stream

@@ -1,0 +1,145 @@
+"""129.compress stand-in: adaptive LZW compression over a text stream.
+
+The SPEC original compresses a file with adaptive Lempel-Ziv coding.  The
+stand-in implements LZW with an open-addressing dictionary over a
+pseudo-text input stream: a tight encode loop with hash probing (data-
+dependent values) around stride-friendly buffer indices — a small
+instruction working set, like the original.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import Lcg, scaled, text_stream
+
+SOURCE = """
+// 129.compress stand-in: LZW encoder with an open-addressing dictionary.
+int HASH_SIZE = 4099;        // prime
+int hash_prefix[4099];
+int hash_suffix[4099];
+int hash_code[4099];
+int text[12000];
+int out_codes[12000];
+int next_code;
+int text_len;
+
+void clear_dictionary() {
+    int i;
+    for (i = 0; i < HASH_SIZE; i = i + 1) {
+        hash_code[i] = -1;
+    }
+    next_code = 256;
+}
+
+int probe(int prefix, int suffix) {
+    // Returns the slot where (prefix, suffix) lives or should live.
+    int slot;
+    int step;
+    slot = ((prefix << 5) ^ suffix) % HASH_SIZE;
+    if (slot < 0) { slot = slot + HASH_SIZE; }
+    step = 1;
+    while (hash_code[slot] != -1) {
+        if (hash_prefix[slot] == prefix && hash_suffix[slot] == suffix) {
+            return slot;
+        }
+        slot = slot + step;
+        step = step + 2;
+        if (slot >= HASH_SIZE) { slot = slot % HASH_SIZE; }
+    }
+    return slot;
+}
+
+int encode() {
+    int i;
+    int w;
+    int c;
+    int slot;
+    int emitted;
+    emitted = 0;
+    w = text[0];
+    for (i = 1; i < text_len; i = i + 1) {
+        c = text[i];
+        slot = probe(w, c);
+        if (hash_code[slot] != -1) {
+            w = hash_code[slot];
+        } else {
+            out_codes[emitted] = w;
+            emitted = emitted + 1;
+            if (next_code < 4096) {
+                hash_prefix[slot] = w;
+                hash_suffix[slot] = c;
+                hash_code[slot] = next_code;
+                next_code = next_code + 1;
+            }
+            w = c;
+        }
+    }
+    out_codes[emitted] = w;
+    emitted = emitted + 1;
+    return emitted;
+}
+
+int checksum(int count) {
+    int i;
+    int sum;
+    sum = 0;
+    for (i = 0; i < count; i = i + 1) {
+        sum = (sum * 131 + out_codes[i]) % 1000000007;
+    }
+    return sum;
+}
+
+void main() {
+    int i;
+    int blocks;
+    int block;
+    int emitted;
+    int total;
+    blocks = in();
+    total = 0;
+    for (block = 0; block < blocks; block = block + 1) {
+        text_len = in();
+        for (i = 0; i < text_len; i = i + 1) {
+            text[i] = in();
+        }
+        clear_dictionary();
+        emitted = encode();
+        total = total + emitted;
+        out(checksum(emitted));
+    }
+    out(total);
+}
+"""
+
+#: (text length, block count, seed base) per input set.
+_CONFIGS = [
+    (880, 2, 9001),
+    (1020, 2, 4177),
+    (640, 3, 7331),
+    (1900, 1, 1234),
+    (950, 2, 5510),
+    (1100, 2, 8086),  # held-out test input
+]
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[int]:
+    length, blocks, seed = _CONFIGS[index % len(_CONFIGS)]
+    length = scaled(length, scale, minimum=16)
+    stream: List[int] = [blocks]
+    for block in range(blocks):
+        block_text = text_stream(seed + 31 * block + 101 * index, length)
+        # Shift into printable-ish byte codes.
+        stream.append(length)
+        stream.extend(97 + value for value in block_text)
+    return stream
+
+
+WORKLOAD = Workload(
+    name="129.compress",
+    suite="int",
+    description="LZW compression with an open-addressing dictionary",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

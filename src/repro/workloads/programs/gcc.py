@@ -1,0 +1,318 @@
+"""126.gcc stand-in: a multi-pass compiler front end.
+
+The SPEC original is GNU C compiling preprocessed source.  The stand-in
+lexes a synthetic source stream into tokens, hashes identifiers into a
+symbol table, builds a small postfix IR, and then runs a battery of
+distinct optimization/analysis passes over the IR — each pass its own
+function with its own constants, so the *static* instruction footprint is
+large (the defining property of gcc for the paper's table-pressure
+results: many live candidate instructions competing for prediction-table
+entries).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import Lcg, scaled
+
+_PASS_COUNT = 22
+
+# Each generated pass transforms IR values with distinct constants and a
+# distinct operator mix, so no two passes produce identical value streams.
+_PASS_PARAMS = [
+    # (multiplier, addend, modulus, xor mask, shift)
+    (37, 11, 8191, 0x155, 3),
+    (59, 7, 4093, 0x2AA, 2),
+    (101, 13, 16381, 0x0F0, 4),
+    (73, 29, 2039, 0x3C3, 1),
+    (151, 5, 32749, 0x111, 5),
+    (43, 17, 12289, 0x222, 2),
+    (67, 23, 6151, 0x0AB, 3),
+    (89, 31, 3079, 0x1CD, 1),
+    (113, 37, 24593, 0x31F, 4),
+    (131, 41, 1543, 0x2E2, 2),
+    (61, 43, 49157, 0x199, 5),
+    (79, 47, 769, 0x0D7, 1),
+    (97, 53, 98317, 0x285, 3),
+    (103, 59, 389, 0x33A, 2),
+    (107, 61, 196613, 0x143, 4),
+    (109, 67, 193, 0x2B8, 1),
+    (127, 71, 393241, 0x1E6, 5),
+    (137, 73, 99, 0x09C, 2),
+    (139, 79, 786433, 0x257, 3),
+    (149, 83, 53, 0x362, 1),
+    (157, 89, 1572869, 0x124, 4),
+    (163, 97, 27, 0x2F1, 2),
+]
+assert len(_PASS_PARAMS) == _PASS_COUNT
+
+
+def _generate_passes() -> str:
+    """Emit the per-pass transform + driver function pairs."""
+    chunks: List[str] = []
+    for number, (mul, add, mod, mask, shift) in enumerate(_PASS_PARAMS):
+        chunks.append(f"""
+int transform_{number}(int value) {{
+    int result;
+    result = (value * {mul} + {add}) % {mod};
+    if (result < 0) {{ result = result + {mod}; }}
+    result = result ^ {mask};
+    return result >> {shift};
+}}
+
+int run_pass_{number}() {{
+    int i;
+    int acc;
+    int value;
+    acc = 0;
+    for (i = 0; i < ir_len; i = i + 1) {{
+        value = transform_{number}(ir_value[i]);
+        if (ir_kind[i] == {number % 4}) {{
+            ir_value[i] = (ir_value[i] + value) % 65536;
+        }}
+        acc = (acc + value) % 1000003;
+    }}
+    return acc;
+}}
+""")
+    return "".join(chunks)
+
+
+def _generate_driver() -> str:
+    calls = "\n".join(
+        f"    report = (report * 31 + run_pass_{number}()) % 1000000007;"
+        for number in range(_PASS_COUNT)
+    )
+    return f"""
+int run_all_passes() {{
+    int report;
+    report = 0;
+{calls}
+    return report;
+}}
+"""
+
+
+SOURCE = """
+// 126.gcc stand-in: lexer + symbol table + postfix IR + many passes.
+int source_text[6000];
+int source_len;
+int token_kind[3000];   // 0 ident, 1 number, 2 operator, 3 punct
+int token_value[3000];
+int token_count;
+int symbol_hash[1021];
+int symbol_count;
+int ir_kind[3000];
+int ir_value[3000];
+int ir_len;
+
+int is_letter(int c) {
+    return c >= 'a' && c <= 'z';
+}
+
+int is_digit(int c) {
+    return c >= '0' && c <= '9';
+}
+
+int intern(int name_hash) {
+    // Open-addressing symbol table; returns symbol index.
+    int slot;
+    slot = name_hash % 1021;
+    if (slot < 0) { slot = slot + 1021; }
+    while (symbol_hash[slot] != 0 && symbol_hash[slot] != name_hash) {
+        slot = slot + 1;
+        if (slot >= 1021) { slot = 0; }
+    }
+    if (symbol_hash[slot] == 0) {
+        symbol_hash[slot] = name_hash;
+        symbol_count = symbol_count + 1;
+    }
+    return slot;
+}
+
+void lex() {
+    int i;
+    int c;
+    int value;
+    token_count = 0;
+    i = 0;
+    while (i < source_len) {
+        c = source_text[i];
+        if (is_letter(c)) {
+            value = 0;
+            while (i < source_len && is_letter(source_text[i])) {
+                value = (value * 31 + source_text[i]) % 1000003 + 1;
+                i = i + 1;
+            }
+            token_kind[token_count] = 0;
+            token_value[token_count] = intern(value);
+            token_count = token_count + 1;
+        } else {
+            if (is_digit(c)) {
+                value = 0;
+                while (i < source_len && is_digit(source_text[i])) {
+                    value = value * 10 + (source_text[i] - '0');
+                    i = i + 1;
+                }
+                token_kind[token_count] = 1;
+                token_value[token_count] = value % 65536;
+                token_count = token_count + 1;
+            } else {
+                if (c == '+' || c == '-' || c == '*' || c == '/') {
+                    token_kind[token_count] = 2;
+                    token_value[token_count] = c;
+                    token_count = token_count + 1;
+                } else {
+                    if (c != ' ') {
+                        token_kind[token_count] = 3;
+                        token_value[token_count] = c;
+                        token_count = token_count + 1;
+                    }
+                }
+                i = i + 1;
+            }
+        }
+    }
+}
+
+void build_ir() {
+    // Shunting-yard-lite: numbers and identifiers go straight to the IR,
+    // operators follow their right operand (postfix-ish).
+    int i;
+    int pending;
+    int has_pending;
+    ir_len = 0;
+    pending = 0;
+    has_pending = 0;
+    for (i = 0; i < token_count; i = i + 1) {
+        if (token_kind[i] == 0 || token_kind[i] == 1) {
+            ir_kind[ir_len] = token_kind[i];
+            ir_value[ir_len] = token_value[i];
+            ir_len = ir_len + 1;
+            if (has_pending) {
+                ir_kind[ir_len] = 2;
+                ir_value[ir_len] = pending;
+                ir_len = ir_len + 1;
+                has_pending = 0;
+            }
+        } else {
+            if (token_kind[i] == 2) {
+                pending = token_value[i];
+                has_pending = 1;
+            } else {
+                ir_kind[ir_len] = 3;
+                ir_value[ir_len] = token_value[i] % 256;
+                ir_len = ir_len + 1;
+            }
+        }
+    }
+}
+
+int constant_fold() {
+    // Fold number-number-operator triples in the postfix IR.
+    int i;
+    int folded;
+    folded = 0;
+    i = 2;
+    while (i < ir_len) {
+        if (ir_kind[i] == 2 && ir_kind[i - 1] == 1 && ir_kind[i - 2] == 1) {
+            if (ir_value[i] == '+') {
+                ir_value[i - 2] = (ir_value[i - 2] + ir_value[i - 1]) % 65536;
+                folded = folded + 1;
+            }
+            if (ir_value[i] == '*') {
+                ir_value[i - 2] = (ir_value[i - 2] * ir_value[i - 1]) % 65536;
+                folded = folded + 1;
+            }
+        }
+        i = i + 1;
+    }
+    return folded;
+}
+""" + _generate_passes() + _generate_driver() + """
+void main() {
+    int i;
+    int compilations;
+    int round;
+    int report;
+    compilations = in();
+    report = 0;
+    for (round = 0; round < compilations; round = round + 1) {
+        source_len = in();
+        for (i = 0; i < source_len; i = i + 1) {
+            source_text[i] = in();
+        }
+        for (i = 0; i < 1021; i = i + 1) {
+            symbol_hash[i] = 0;
+        }
+        symbol_count = 0;
+        lex();
+        build_ir();
+        report = (report + constant_fold()) % 1000000007;
+        report = (report * 17 + run_all_passes()) % 1000000007;
+        out(token_count);
+        out(symbol_count);
+    }
+    out(report);
+}
+"""
+
+#: (source length, compilation units, seed) per input set.
+_CONFIGS = [
+    (380, 2, 607),
+    (500, 2, 1013),
+    (300, 3, 211),
+    (820, 1, 853),
+    (430, 2, 1511),
+    (450, 2, 431),  # held-out test input
+]
+
+_LETTERS = "abcdefghijklmnopqrstuvwxyz"
+_OPERATORS = "+-*/"
+_PUNCT = ";(){},"
+
+
+def _source_stream(length: int, seed: int) -> List[int]:
+    """Generate plausible source text: identifiers, numbers, operators."""
+    generator = Lcg(seed)
+    text: List[int] = []
+    while len(text) < length:
+        roll = generator.below(100)
+        if roll < 45:  # identifier of length 1-7 from a small vocabulary
+            word_length = 1 + generator.below(7)
+            base = generator.below(520)
+            for position in range(word_length):
+                letter = _LETTERS[(base + position * 7) % 26]
+                text.append(ord(letter))
+        elif roll < 70:  # number of 1-5 digits
+            digit_count = 1 + generator.below(5)
+            for _ in range(digit_count):
+                text.append(ord("0") + generator.below(10))
+        elif roll < 85:
+            text.append(ord(_OPERATORS[generator.below(4)]))
+        else:
+            text.append(ord(_PUNCT[generator.below(len(_PUNCT))]))
+        text.append(ord(" "))
+    return text[:length]
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[int]:
+    length, units, seed = _CONFIGS[index % len(_CONFIGS)]
+    length = scaled(length, scale, minimum=32)
+    stream: List[int] = [units]
+    for unit in range(units):
+        text = _source_stream(length, seed + 97 * unit + 17 * index)
+        stream.append(len(text))
+        stream.extend(text)
+    return stream
+
+
+WORKLOAD = Workload(
+    name="126.gcc",
+    suite="int",
+    description="compiler front end: lexer, symbol table, IR, many passes",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

@@ -1,0 +1,296 @@
+"""099.go stand-in: game playing on a Go-like board.
+
+The SPEC original plays Go.  The stand-in plays a simplified
+territory game: it generates candidate moves, scores each with
+liberty counting, influence maps and capture heuristics, and plays the
+best-scoring move for alternating colors.  Control-heavy code with many
+helper functions and data-dependent values — a large instruction working
+set with mixed predictability, like the original.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import scaled
+
+SOURCE = """
+// 099.go stand-in: heuristic move selection on a Go-like board.
+int board[361];        // 0 empty, 1 black, 2 white
+int influence[361];
+int scratch[361];
+int size;              // board edge (<= 19)
+int cells;
+int rng_state;
+int stones_played;
+int captures[3];
+
+int rng() {
+    rng_state = (rng_state * 1103515245 + 12345) % 2147483648;
+    return rng_state;
+}
+
+int at(int row, int col) {
+    return board[row * size + col];
+}
+
+int on_board(int row, int col) {
+    return row >= 0 && row < size && col >= 0 && col < size;
+}
+
+int opponent(int color) {
+    return 3 - color;
+}
+
+int neighbor_count(int point, int what) {
+    // How many of the 4 neighbours hold `what` (0 = empty)?
+    int row;
+    int col;
+    int count;
+    row = point / size;
+    col = point % size;
+    count = 0;
+    if (row > 0 && board[point - size] == what) { count = count + 1; }
+    if (row < size - 1 && board[point + size] == what) { count = count + 1; }
+    if (col > 0 && board[point - 1] == what) { count = count + 1; }
+    if (col < size - 1 && board[point + 1] == what) { count = count + 1; }
+    return count;
+}
+
+int pseudo_liberties(int point, int color) {
+    // Depth-2 liberty estimate: empty neighbours of the stone plus empty
+    // neighbours of adjacent same-colored stones.
+    int row;
+    int col;
+    int total;
+    int q;
+    row = point / size;
+    col = point % size;
+    total = neighbor_count(point, 0);
+    if (row > 0) {
+        q = point - size;
+        if (board[q] == color) { total = total + neighbor_count(q, 0); }
+    }
+    if (row < size - 1) {
+        q = point + size;
+        if (board[q] == color) { total = total + neighbor_count(q, 0); }
+    }
+    if (col > 0) {
+        q = point - 1;
+        if (board[q] == color) { total = total + neighbor_count(q, 0); }
+    }
+    if (col < size - 1) {
+        q = point + 1;
+        if (board[q] == color) { total = total + neighbor_count(q, 0); }
+    }
+    return total;
+}
+
+void spread_influence() {
+    // One diffusion sweep: stones radiate +-64, decaying over neighbours.
+    int point;
+    int value;
+    for (point = 0; point < cells; point = point + 1) {
+        if (board[point] == 1) {
+            scratch[point] = 64;
+        } else {
+            if (board[point] == 2) {
+                scratch[point] = -64;
+            } else {
+                scratch[point] = 0;
+            }
+        }
+    }
+    for (point = 0; point < cells; point = point + 1) {
+        value = scratch[point] * 4;
+        if (point >= size) { value = value + scratch[point - size]; }
+        if (point < cells - size) { value = value + scratch[point + size]; }
+        if (point % size != 0) { value = value + scratch[point - 1]; }
+        if (point % size != size - 1) { value = value + scratch[point + 1]; }
+        influence[point] = (influence[point] + value) / 2;
+    }
+}
+
+int capture_bonus(int point, int color) {
+    // Reward moves that take the last liberty of an enemy neighbour.
+    int enemy;
+    int bonus;
+    int row;
+    int col;
+    enemy = opponent(color);
+    bonus = 0;
+    row = point / size;
+    col = point % size;
+    if (row > 0 && board[point - size] == enemy
+        && neighbor_count(point - size, 0) == 1) {
+        bonus = bonus + 40;
+    }
+    if (row < size - 1 && board[point + size] == enemy
+        && neighbor_count(point + size, 0) == 1) {
+        bonus = bonus + 40;
+    }
+    if (col > 0 && board[point - 1] == enemy
+        && neighbor_count(point - 1, 0) == 1) {
+        bonus = bonus + 40;
+    }
+    if (col < size - 1 && board[point + 1] == enemy
+        && neighbor_count(point + 1, 0) == 1) {
+        bonus = bonus + 40;
+    }
+    return bonus;
+}
+
+int edge_penalty(int point) {
+    int row;
+    int col;
+    int penalty;
+    row = point / size;
+    col = point % size;
+    penalty = 0;
+    if (row == 0 || row == size - 1) { penalty = penalty + 6; }
+    if (col == 0 || col == size - 1) { penalty = penalty + 6; }
+    return penalty;
+}
+
+int score_move(int point, int color) {
+    int score;
+    int lean;
+    if (board[point] != 0) {
+        return -1000000;
+    }
+    score = pseudo_liberties(point, color) * 5;
+    score = score + capture_bonus(point, color);
+    score = score - edge_penalty(point);
+    lean = influence[point];
+    if (color == 1) {
+        score = score - lean / 8;
+    } else {
+        score = score + lean / 8;
+    }
+    score = score + neighbor_count(point, opponent(color)) * 3;
+    return score;
+}
+
+void remove_captured(int color) {
+    // Remove enemy stones left with zero empty neighbours (simplified).
+    int point;
+    int enemy;
+    enemy = opponent(color);
+    for (point = 0; point < cells; point = point + 1) {
+        if (board[point] == enemy && neighbor_count(point, 0) == 0
+            && pseudo_liberties(point, enemy) == 0) {
+            board[point] = 0;
+            captures[color] = captures[color] + 1;
+        }
+    }
+}
+
+int choose_move(int color, int candidates) {
+    int best_point;
+    int best_score;
+    int trial;
+    int point;
+    int score;
+    best_point = -1;
+    best_score = -1000000;
+    for (trial = 0; trial < candidates; trial = trial + 1) {
+        point = rng() % cells;
+        score = score_move(point, color);
+        if (score > best_score) {
+            best_score = score;
+            best_point = point;
+        }
+    }
+    return best_point;
+}
+
+void play_game(int moves, int candidates) {
+    int turn;
+    int color;
+    int point;
+    color = 1;
+    for (turn = 0; turn < moves; turn = turn + 1) {
+        point = choose_move(color, candidates);
+        if (point >= 0 && board[point] == 0) {
+            board[point] = color;
+            stones_played = stones_played + 1;
+            remove_captured(color);
+        }
+        spread_influence();
+        color = opponent(color);
+    }
+}
+
+int board_hash() {
+    int point;
+    int hash;
+    hash = 0;
+    for (point = 0; point < cells; point = point + 1) {
+        hash = (hash * 131 + board[point] * 7 + influence[point] + 1000)
+               % 1000000007;
+    }
+    return hash;
+}
+
+int territory_balance() {
+    int point;
+    int balance;
+    balance = 0;
+    for (point = 0; point < cells; point = point + 1) {
+        if (board[point] == 1) { balance = balance + 2; }
+        if (board[point] == 2) { balance = balance - 2; }
+        if (board[point] == 0 && influence[point] > 8) { balance = balance + 1; }
+        if (board[point] == 0 && influence[point] < -8) { balance = balance - 1; }
+    }
+    return balance;
+}
+
+void main() {
+    int point;
+    int moves;
+    int candidates;
+    size = in();
+    cells = size * size;
+    rng_state = in();
+    moves = in();
+    candidates = in();
+    for (point = 0; point < cells; point = point + 1) {
+        board[point] = 0;
+        influence[point] = 0;
+    }
+    stones_played = 0;
+    captures[1] = 0;
+    captures[2] = 0;
+    play_game(moves, candidates);
+    out(territory_balance());
+    out(stones_played);
+    out(captures[1] * 100 + captures[2]);
+    out(board_hash());
+}
+"""
+
+#: (board size, moves, candidates per move, seed) per input set.
+_CONFIGS = [
+    (13, 9, 14, 4321),
+    (19, 5, 12, 8765),
+    (13, 10, 12, 2468),
+    (9, 16, 20, 1357),
+    (19, 4, 14, 9753),
+    (13, 9, 13, 5151),  # held-out test input
+]
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[int]:
+    size, moves, candidates, seed = _CONFIGS[index % len(_CONFIGS)]
+    moves = scaled(moves, scale, minimum=4)
+    return [size, seed, moves, candidates]
+
+
+WORKLOAD = Workload(
+    name="099.go",
+    suite="int",
+    description="heuristic move selection on a Go-like board",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

@@ -1,0 +1,192 @@
+"""104.hydro2d stand-in: hydrodynamic Navier-Stokes-style flux sweeps.
+
+The SPEC original solves hydrodynamical equations computing galactic
+jets.  The stand-in advances density/momentum fields with directional
+flux-difference sweeps (x then y), applies reflective boundaries, and
+adds artificial viscosity — several distinct FP loop nests per timestep
+over four field arrays, like the original.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import Lcg, scaled
+
+SOURCE = """
+// 104.hydro2d stand-in: directional flux sweeps over fluid fields.
+float density[1296];    // up to 36x36
+float moment_x[1296];
+float moment_y[1296];
+float flux[1296];
+int n;
+
+void sweep_x(float dt) {
+    // Flux differences along rows.
+    int i;
+    int j;
+    int center;
+    float left_flux;
+    float right_flux;
+    for (i = 0; i < n; i = i + 1) {
+        center = i * n + 1;
+        for (j = 1; j < n - 1; j = j + 1) {
+            left_flux = moment_x[center - 1] * density[center - 1];
+            right_flux = moment_x[center + 1] * density[center + 1];
+            flux[center] = (left_flux - right_flux) * 0.5;
+            center = center + 1;
+        }
+    }
+    for (i = 0; i < n; i = i + 1) {
+        center = i * n + 1;
+        for (j = 1; j < n - 1; j = j + 1) {
+            density[center] = density[center] + dt * flux[center];
+            if (density[center] < 0.01) { density[center] = 0.01; }
+            center = center + 1;
+        }
+    }
+}
+
+void sweep_y(float dt) {
+    // Flux differences along columns.
+    int i;
+    int j;
+    int center;
+    float down_flux;
+    float up_flux;
+    for (j = 0; j < n; j = j + 1) {
+        for (i = 1; i < n - 1; i = i + 1) {
+            center = i * n + j;
+            down_flux = moment_y[center - n] * density[center - n];
+            up_flux = moment_y[center + n] * density[center + n];
+            flux[center] = (down_flux - up_flux) * 0.5;
+        }
+    }
+    for (j = 0; j < n; j = j + 1) {
+        for (i = 1; i < n - 1; i = i + 1) {
+            center = i * n + j;
+            density[center] = density[center] + dt * flux[center];
+            if (density[center] < 0.01) { density[center] = 0.01; }
+        }
+    }
+}
+
+void update_momentum(float dt) {
+    // Pressure gradient (density acts as pressure) accelerates the flow.
+    int i;
+    int j;
+    int center;
+    for (i = 1; i < n - 1; i = i + 1) {
+        center = i * n + 1;
+        for (j = 1; j < n - 1; j = j + 1) {
+            moment_x[center] = moment_x[center]
+                + dt * (density[center - 1] - density[center + 1]);
+            moment_y[center] = moment_y[center]
+                + dt * (density[center - n] - density[center + n]);
+            center = center + 1;
+        }
+    }
+}
+
+void reflect_boundaries() {
+    int k;
+    for (k = 0; k < n; k = k + 1) {
+        density[k] = density[k + n];
+        density[(n - 1) * n + k] = density[(n - 2) * n + k];
+        density[k * n] = density[k * n + 1];
+        density[k * n + n - 1] = density[k * n + n - 2];
+        moment_x[k * n] = -moment_x[k * n + 1];
+        moment_x[k * n + n - 1] = -moment_x[k * n + n - 2];
+        moment_y[k] = -moment_y[k + n];
+        moment_y[(n - 1) * n + k] = -moment_y[(n - 2) * n + k];
+    }
+}
+
+void viscosity(float nu) {
+    int i;
+    int j;
+    int center;
+    for (i = 1; i < n - 1; i = i + 1) {
+        center = i * n + 1;
+        for (j = 1; j < n - 1; j = j + 1) {
+            moment_x[center] = moment_x[center] * (1.0 - nu)
+                + nu * 0.25 * (moment_x[center - 1] + moment_x[center + 1]
+                             + moment_x[center - n] + moment_x[center + n]);
+            center = center + 1;
+        }
+    }
+}
+
+float mass_total() {
+    int i;
+    int total;
+    float mass;
+    total = n * n;
+    mass = 0.0;
+    for (i = 0; i < total; i = i + 1) {
+        mass = mass + density[i];
+    }
+    return mass;
+}
+
+void main() {
+    int i;
+    int total;
+    int steps;
+    int s;
+    float dt;
+
+    phase(1);
+    n = in();
+    steps = in();
+    dt = fin();
+    total = n * n;
+    for (i = 0; i < total; i = i + 1) {
+        density[i] = 1.0 + fin();
+        moment_x[i] = fin();
+        moment_y[i] = fin();
+        flux[i] = 0.0;
+    }
+
+    out(mass_total());   // initial-mass checksum, still in init
+
+    phase(2);
+    for (s = 0; s < steps; s = s + 1) {
+        sweep_x(dt);
+        sweep_y(dt);
+        update_momentum(dt);
+        viscosity(0.05);
+        reflect_boundaries();
+    }
+    out(mass_total());
+}
+"""
+
+#: (grid edge, steps, seed) per input set.
+_CONFIGS = [
+    (22, 3, 7001),
+    (26, 2, 7002),
+    (18, 4, 7003),
+    (28, 2, 7004),
+    (22, 3, 7005),
+    (24, 3, 7006),  # held-out test input
+]
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[float]:
+    edge, steps, seed = _CONFIGS[index % len(_CONFIGS)]
+    steps = scaled(steps, scale, minimum=1)
+    generator = Lcg(seed + 29 * index)
+    stream: List[float] = [edge, steps, 0.02]
+    stream.extend(generator.floats(3 * edge * edge, -0.25, 0.25))
+    return stream
+
+
+WORKLOAD = Workload(
+    name="104.hydro2d",
+    suite="fp",
+    description="hydrodynamics: directional flux sweeps + viscosity",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

@@ -1,0 +1,215 @@
+"""132.ijpeg stand-in: block-based integer image compression.
+
+The SPEC original is JPEG encoding.  The stand-in runs the JPEG skeleton
+on a synthetic image: level shift, 8x8 blocking, an integer 8-point
+DCT-like butterfly transform on rows then columns, quantization against a
+table, zigzag run-length accounting, and a quality sweep — dense integer
+arithmetic over small fixed-trip loops (a compact, highly stride-friendly
+working set, like the original).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import Lcg, scaled
+
+SOURCE = """
+// 132.ijpeg stand-in: 8x8 integer transform + quantization pipeline.
+int image[4096];        // up to 64x64
+int block[64];
+int coeff[64];
+int quant_table[64];
+int zigzag[64] = {
+     0,  1,  8, 16,  9,  2,  3, 10,
+    17, 24, 32, 25, 18, 11,  4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34,
+    27, 20, 13,  6,  7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36,
+    29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46,
+    53, 60, 61, 54, 47, 55, 62, 63
+};
+int width;
+int height;
+int nonzero_total;
+int bits_estimate;
+
+void load_block(int block_row, int block_col) {
+    int r;
+    int c;
+    int base;
+    for (r = 0; r < 8; r = r + 1) {
+        base = (block_row * 8 + r) * width + block_col * 8;
+        for (c = 0; c < 8; c = c + 1) {
+            block[r * 8 + c] = image[base + c] - 128;   // level shift
+        }
+    }
+}
+
+void transform_rows() {
+    // Integer butterfly pass per row (DCT-flavoured, exact-integer).
+    int r;
+    int base;
+    int s07; int s16; int s25; int s34;
+    int d07; int d16; int d25; int d34;
+    for (r = 0; r < 8; r = r + 1) {
+        base = r * 8;
+        s07 = block[base] + block[base + 7];
+        d07 = block[base] - block[base + 7];
+        s16 = block[base + 1] + block[base + 6];
+        d16 = block[base + 1] - block[base + 6];
+        s25 = block[base + 2] + block[base + 5];
+        d25 = block[base + 2] - block[base + 5];
+        s34 = block[base + 3] + block[base + 4];
+        d34 = block[base + 3] - block[base + 4];
+        coeff[base]     = s07 + s16 + s25 + s34;
+        coeff[base + 4] = s07 - s16 - s25 + s34;
+        coeff[base + 2] = (d07 * 5 + d34 * 2) / 4;
+        coeff[base + 6] = (d07 * 2 - d34 * 5) / 4;
+        coeff[base + 1] = (d16 * 6 + d25 * 3) / 4;
+        coeff[base + 5] = (d16 * 3 - d25 * 6) / 4;
+        coeff[base + 3] = (s07 - s34) / 2;
+        coeff[base + 7] = (s16 - s25) / 2;
+    }
+}
+
+void transform_cols() {
+    int c;
+    int s07; int s16; int s25; int s34;
+    int d07; int d16; int d25; int d34;
+    for (c = 0; c < 8; c = c + 1) {
+        s07 = coeff[c] + coeff[c + 56];
+        d07 = coeff[c] - coeff[c + 56];
+        s16 = coeff[c + 8] + coeff[c + 48];
+        d16 = coeff[c + 8] - coeff[c + 48];
+        s25 = coeff[c + 16] + coeff[c + 40];
+        d25 = coeff[c + 16] - coeff[c + 40];
+        s34 = coeff[c + 24] + coeff[c + 32];
+        d34 = coeff[c + 24] - coeff[c + 32];
+        block[c]      = (s07 + s16 + s25 + s34) / 8;
+        block[c + 32] = (s07 - s16 - s25 + s34) / 8;
+        block[c + 16] = (d07 * 5 + d34 * 2) / 32;
+        block[c + 48] = (d07 * 2 - d34 * 5) / 32;
+        block[c + 8]  = (d16 * 6 + d25 * 3) / 32;
+        block[c + 40] = (d16 * 3 - d25 * 6) / 32;
+        block[c + 24] = (s07 - s34) / 16;
+        block[c + 56] = (s16 - s25) / 16;
+    }
+}
+
+int quantize_and_count() {
+    // Quantize in zigzag order; return nonzero coefficients and update
+    // the run-length bit estimate.
+    int z;
+    int position;
+    int quantized;
+    int nonzero;
+    int run;
+    nonzero = 0;
+    run = 0;
+    for (z = 0; z < 64; z = z + 1) {
+        position = zigzag[z];
+        quantized = block[position] / quant_table[position];
+        if (quantized != 0) {
+            nonzero = nonzero + 1;
+            bits_estimate = bits_estimate + 4 + run;
+            if (quantized < 0) { quantized = -quantized; }
+            while (quantized > 0) {
+                bits_estimate = bits_estimate + 1;
+                quantized = quantized / 2;
+            }
+            run = 0;
+        } else {
+            run = run + 1;
+        }
+    }
+    return nonzero;
+}
+
+void set_quality(int quality) {
+    int i;
+    int base;
+    for (i = 0; i < 64; i = i + 1) {
+        base = 1 + (i / 8) + (i % 8);
+        quant_table[i] = base * quality / 8;
+        if (quant_table[i] < 1) { quant_table[i] = 1; }
+    }
+}
+
+void encode_pass() {
+    int block_row;
+    int block_col;
+    for (block_row = 0; block_row < height / 8; block_row = block_row + 1) {
+        for (block_col = 0; block_col < width / 8; block_col = block_col + 1) {
+            load_block(block_row, block_col);
+            transform_rows();
+            transform_cols();
+            nonzero_total = nonzero_total + quantize_and_count();
+        }
+    }
+}
+
+void main() {
+    int i;
+    int pixels;
+    int qualities;
+    int q;
+    width = in();
+    height = in();
+    pixels = width * height;
+    for (i = 0; i < pixels; i = i + 1) {
+        image[i] = in();
+    }
+    qualities = in();
+    nonzero_total = 0;
+    bits_estimate = 0;
+    for (q = 0; q < qualities; q = q + 1) {
+        set_quality(4 + q * 3);
+        encode_pass();
+    }
+    out(nonzero_total);
+    out(bits_estimate);
+}
+"""
+
+#: (width, height, qualities, seed) per input set.
+_CONFIGS = [
+    (24, 24, 4, 12001),
+    (32, 24, 3, 12007),
+    (24, 32, 4, 12011),
+    (40, 40, 2, 12013),
+    (32, 32, 3, 12017),
+    (32, 24, 4, 12019),  # held-out test input
+]
+
+
+def _image(width: int, height: int, seed: int) -> List[int]:
+    """A synthetic photo: smooth gradients plus textured noise."""
+    generator = Lcg(seed)
+    pixels: List[int] = []
+    for row in range(height):
+        for col in range(width):
+            smooth = (row * 3 + col * 2) % 180
+            texture = generator.below(40)
+            pixels.append(min(255, 40 + smooth + texture))
+    return pixels
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[int]:
+    width, height, qualities, seed = _CONFIGS[index % len(_CONFIGS)]
+    qualities = scaled(qualities, scale, minimum=1)
+    stream: List[int] = [width, height]
+    stream.extend(_image(width, height, seed + index))
+    stream.append(qualities)
+    return stream
+
+
+WORKLOAD = Workload(
+    name="132.ijpeg",
+    suite="int",
+    description="JPEG-skeleton encoder: 8x8 integer transform + quantization",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

@@ -1,0 +1,208 @@
+"""130.li stand-in: a Lisp interpreter over a cons-cell heap.
+
+The SPEC original is XLISP.  The stand-in builds s-expressions in a
+tagged cons-cell arena, then repeatedly evaluates expression trees with a
+recursive evaluator (arithmetic forms, list primitives, conditionals) and
+runs list utilities (reverse, map, sum) that churn through the heap —
+pointer-chasing loads with mixed predictability plus a growing allocation
+frontier (perfect strides), like the original.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import Lcg, scaled
+
+SOURCE = """
+// 130.li stand-in: tagged cons-cell arena + recursive evaluator.
+// Tags: 0 = cons (car/cdr are cell indices, -1 = nil), 1 = integer atom.
+int tag[9000];
+int car_[9000];
+int cdr_[9000];
+int heap_next;
+int rng_state;
+int eval_count;
+
+int rng() {
+    rng_state = (rng_state * 1103515245 + 12345) % 2147483648;
+    return rng_state;
+}
+
+int cons(int head, int tail) {
+    int cell;
+    cell = heap_next;
+    heap_next = heap_next + 1;
+    tag[cell] = 0;
+    car_[cell] = head;
+    cdr_[cell] = tail;
+    return cell;
+}
+
+int make_int(int value) {
+    int cell;
+    cell = heap_next;
+    heap_next = heap_next + 1;
+    tag[cell] = 1;
+    car_[cell] = value;
+    cdr_[cell] = -1;
+    return cell;
+}
+
+int int_value(int cell) {
+    return car_[cell];
+}
+
+int build_list(int length, int bound) {
+    // A proper list of random integer atoms.
+    int head;
+    int i;
+    head = -1;
+    for (i = 0; i < length; i = i + 1) {
+        head = cons(make_int(rng() % bound), head);
+    }
+    return head;
+}
+
+int list_length(int cell) {
+    int count;
+    count = 0;
+    while (cell != -1) {
+        count = count + 1;
+        cell = cdr_[cell];
+    }
+    return count;
+}
+
+int list_sum(int cell) {
+    int total;
+    total = 0;
+    while (cell != -1) {
+        total = (total + int_value(car_[cell])) % 1000000007;
+        cell = cdr_[cell];
+    }
+    return total;
+}
+
+int list_reverse(int cell) {
+    int result;
+    result = -1;
+    while (cell != -1) {
+        result = cons(car_[cell], result);
+        cell = cdr_[cell];
+    }
+    return result;
+}
+
+int map_scale(int cell, int factor) {
+    if (cell == -1) {
+        return -1;
+    }
+    return cons(make_int((int_value(car_[cell]) * factor) % 65536),
+                map_scale(cdr_[cell], factor));
+}
+
+int build_expr(int depth, int bound) {
+    // Expression tree: (op left right) where op is 0 '+', 1 '-', 2 '*',
+    // 3 'if>' (ternary via extra cdr).
+    int op;
+    int left;
+    int right;
+    if (depth <= 0) {
+        return make_int(rng() % bound);
+    }
+    op = rng() % 4;
+    left = build_expr(depth - 1, bound);
+    right = build_expr(depth - 1, bound);
+    return cons(make_int(op), cons(left, cons(right, -1)));
+}
+
+int eval(int cell) {
+    int op;
+    int left;
+    int right;
+    eval_count = eval_count + 1;
+    if (tag[cell] == 1) {
+        return int_value(cell);
+    }
+    op = int_value(car_[cell]);
+    left = eval(car_[cdr_[cell]]);
+    right = eval(car_[cdr_[cdr_[cell]]]);
+    if (op == 0) { return (left + right) % 1000003; }
+    if (op == 1) { return left - right; }
+    if (op == 2) { return (left * right) % 1000003; }
+    if (left > right) { return left; }
+    return right;
+}
+
+void main() {
+    int trees;
+    int depth;
+    int lists;
+    int list_len;
+    int i;
+    int expr;
+    int result;
+    int work;
+
+    rng_state = in();
+    trees = in();
+    depth = in();
+    lists = in();
+    list_len = in();
+    heap_next = 0;
+    eval_count = 0;
+    result = 0;
+
+    for (i = 0; i < trees; i = i + 1) {
+        expr = build_expr(depth, 10000);
+        result = (result * 31 + eval(expr)) % 1000000007;
+        // Evaluate twice more: re-walking the same tree is where the
+        // original's value locality comes from.
+        result = (result + eval(expr)) % 1000000007;
+        result = (result + eval(expr)) % 1000000007;
+        heap_next = 0;   // arena GC: the whole tree is dead
+    }
+    out(result);
+
+    work = 0;
+    for (i = 0; i < lists; i = i + 1) {
+        expr = build_list(list_len, 50000);
+        work = (work + list_sum(expr)) % 1000000007;
+        expr = list_reverse(expr);
+        work = (work + list_sum(map_scale(expr, 3 + i))) % 1000000007;
+        work = (work + list_length(expr)) % 1000000007;
+        heap_next = 0;   // arena GC between transactions
+    }
+    out(work);
+    out(eval_count);
+    out(heap_next);
+}
+"""
+
+#: (seed, trees, depth, lists, list length) per input set.
+_CONFIGS = [
+    (111, 7, 6, 8, 26),
+    (222, 5, 7, 7, 30),
+    (333, 10, 5, 9, 22),
+    (444, 4, 7, 8, 26),
+    (555, 8, 6, 7, 24),
+    (666, 7, 6, 8, 27),  # held-out test input
+]
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[int]:
+    seed, trees, depth, lists, list_len = _CONFIGS[index % len(_CONFIGS)]
+    trees = scaled(trees, scale, minimum=2)
+    lists = scaled(lists, scale, minimum=2)
+    return [seed, trees, depth, lists, list_len]
+
+
+WORKLOAD = Workload(
+    name="130.li",
+    suite="int",
+    description="Lisp interpreter: cons arena, recursive eval, list utilities",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

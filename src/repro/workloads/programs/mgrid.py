@@ -1,0 +1,159 @@
+"""107.mgrid stand-in: multigrid relaxation of a 3D potential field.
+
+The SPEC original is a multi-grid solver on a 3D potential field.  The
+stand-in runs Jacobi-style relaxation sweeps over a flattened N^3 grid
+with a 7-point stencil, plus a coarse-grid restriction/prolongation pair —
+classic FP stride-heavy loops.  Like all FP workloads here, it marks the
+paper's two execution phases: ``phase(1)`` while reading input data and
+``phase(2)`` for the computation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import Lcg, scaled
+
+SOURCE = """
+// 107.mgrid stand-in: 7-point stencil relaxation + two-grid cycle.
+float grid[4096];    // up to 16^3
+float rhs[4096];
+float coarse[512];   // up to 8^3
+int n;               // fine-grid edge length
+int nc;              // coarse-grid edge length
+
+int idx(int i, int j, int k) {
+    return (i * n + j) * n + k;
+}
+
+int cidx(int i, int j, int k) {
+    return (i * nc + j) * nc + k;
+}
+
+void relax(float weight) {
+    // Indices are maintained incrementally (hand-optimized, like the
+    // Fortran original): the center index walks the k-row with stride 1,
+    // the i-neighbours sit a plane (n*n) away, the j-neighbours a row away.
+    int i;
+    int j;
+    int k;
+    int center;
+    int plane;
+    float value;
+    float neighbors;
+    plane = n * n;
+    for (i = 1; i < n - 1; i = i + 1) {
+        for (j = 1; j < n - 1; j = j + 1) {
+            center = (i * n + j) * n + 1;
+            for (k = 1; k < n - 1; k = k + 1) {
+                value = grid[center];
+                neighbors = grid[center - plane] + grid[center + plane]
+                          + grid[center - n] + grid[center + n]
+                          + grid[center - 1] + grid[center + 1];
+                grid[center] = (1.0 - weight) * value
+                             + weight * (neighbors + rhs[center]) / 6.0;
+                center = center + 1;
+            }
+        }
+    }
+}
+
+void restrict_grid() {
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < nc; i = i + 1) {
+        for (j = 0; j < nc; j = j + 1) {
+            for (k = 0; k < nc; k = k + 1) {
+                coarse[cidx(i, j, k)] = grid[idx(2 * i, 2 * j, 2 * k)];
+            }
+        }
+    }
+}
+
+void prolong_grid(float blend) {
+    int i;
+    int j;
+    int k;
+    for (i = 0; i < nc; i = i + 1) {
+        for (j = 0; j < nc; j = j + 1) {
+            for (k = 0; k < nc; k = k + 1) {
+                grid[idx(2 * i, 2 * j, 2 * k)] =
+                    grid[idx(2 * i, 2 * j, 2 * k)] + blend * coarse[cidx(i, j, k)];
+            }
+        }
+    }
+}
+
+float norm() {
+    int i;
+    int total;
+    float sum;
+    total = n * n * n;
+    sum = 0.0;
+    for (i = 0; i < total; i = i + 1) {
+        sum = sum + grid[i] * grid[i];
+    }
+    return sum;
+}
+
+void main() {
+    int i;
+    int total;
+    int sweeps;
+    int s;
+    float weight;
+
+    phase(1);
+    n = in();
+    nc = n / 2;
+    sweeps = in();
+    weight = fin();
+    total = n * n * n;
+    for (i = 0; i < total; i = i + 1) {
+        rhs[i] = fin();
+        grid[i] = 0.0;
+    }
+
+    out(norm());   // initial-field checksum, still in the init phase
+
+    phase(2);
+    for (s = 0; s < sweeps; s = s + 1) {
+        relax(weight);
+        if (s % 3 == 2) {
+            restrict_grid();
+            prolong_grid(0.25);
+        }
+    }
+    out(norm());
+}
+"""
+
+#: (edge length, sweeps, seed) per input set.
+_CONFIGS = [
+    (12, 4, 301),
+    (14, 3, 302),
+    (12, 5, 403),
+    (10, 7, 404),
+    (14, 2, 505),
+    (12, 4, 606),  # held-out test input
+]
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[float]:
+    edge, sweeps, seed = _CONFIGS[index % len(_CONFIGS)]
+    sweeps = scaled(sweeps, scale, minimum=2)
+    generator = Lcg(seed + 13 * index)
+    stream: List[float] = [edge, sweeps, 0.8]
+    stream.extend(generator.floats(edge**3, -1.0, 1.0))
+    return stream
+
+
+WORKLOAD = Workload(
+    name="107.mgrid",
+    suite="fp",
+    description="3D multigrid potential-field relaxation (7-point stencil)",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

@@ -1,0 +1,225 @@
+"""134.perl stand-in: anagram search over a word list.
+
+The paper's Table 4.1 describes 134.perl as "anagram search program".
+The stand-in reads a dictionary of letter-code words, computes a
+letter-multiset signature per word, buckets signatures in a hash table,
+then answers anagram queries (with exact letter-count verification) and a
+substring-match scan — hashing, string loops and table probing with
+data-dependent control, like the interpreter-driven original.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import Lcg, scaled
+
+SOURCE = """
+// 134.perl stand-in: anagram search with signature hashing.
+int words[9000];        // flattened letter codes (0..25)
+int word_start[900];
+int word_len[900];
+int word_count;
+int signature[26];
+int sig_hash[1024];     // signature-hash -> first bucket entry (chained)
+int bucket_next[900];
+int bucket_word[900];
+int bucket_count;
+int match_total;
+
+int compute_signature(int word) {
+    // Fills signature[] with letter counts; returns a rolling hash.
+    int i;
+    int start;
+    int length;
+    int hash;
+    for (i = 0; i < 26; i = i + 1) {
+        signature[i] = 0;
+    }
+    start = word_start[word];
+    length = word_len[word];
+    for (i = 0; i < length; i = i + 1) {
+        signature[words[start + i]] = signature[words[start + i]] + 1;
+    }
+    hash = length;
+    for (i = 0; i < 26; i = i + 1) {
+        hash = (hash * 67 + signature[i]) % 1048573;
+    }
+    return hash;
+}
+
+int same_letters(int first, int second) {
+    // Exact multiset comparison, needed because hashes can collide.
+    int i;
+    int start_a;
+    int start_b;
+    int length;
+    if (word_len[first] != word_len[second]) {
+        return 0;
+    }
+    compute_signature(first);
+    length = word_len[second];
+    start_b = word_start[second];
+    for (i = 0; i < length; i = i + 1) {
+        signature[words[start_b + i]] = signature[words[start_b + i]] - 1;
+    }
+    for (i = 0; i < 26; i = i + 1) {
+        if (signature[i] != 0) {
+            return 0;
+        }
+    }
+    return 1;
+}
+
+void index_words() {
+    int word;
+    int hash;
+    int slot;
+    for (slot = 0; slot < 1024; slot = slot + 1) {
+        sig_hash[slot] = -1;
+    }
+    bucket_count = 0;
+    for (word = 0; word < word_count; word = word + 1) {
+        hash = compute_signature(word) % 1024;
+        bucket_word[bucket_count] = word;
+        bucket_next[bucket_count] = sig_hash[hash];
+        sig_hash[hash] = bucket_count;
+        bucket_count = bucket_count + 1;
+    }
+}
+
+int count_anagrams(int query) {
+    int hash;
+    int entry;
+    int matches;
+    hash = compute_signature(query) % 1024;
+    matches = 0;
+    entry = sig_hash[hash];
+    while (entry != -1) {
+        if (bucket_word[entry] != query
+            && same_letters(query, bucket_word[entry])) {
+            matches = matches + 1;
+        }
+        entry = bucket_next[entry];
+    }
+    return matches;
+}
+
+int substring_scan(int needle_a, int needle_b) {
+    // Count words containing the two-letter sequence (needle_a, needle_b).
+    int word;
+    int i;
+    int start;
+    int length;
+    int hits;
+    hits = 0;
+    for (word = 0; word < word_count; word = word + 1) {
+        start = word_start[word];
+        length = word_len[word];
+        for (i = 0; i + 1 < length; i = i + 1) {
+            if (words[start + i] == needle_a
+                && words[start + i + 1] == needle_b) {
+                hits = hits + 1;
+                break;
+            }
+        }
+    }
+    return hits;
+}
+
+void main() {
+    int i;
+    int j;
+    int cursor;
+    int length;
+    int queries;
+    int scans;
+
+    word_count = in();
+    cursor = 0;
+    for (i = 0; i < word_count; i = i + 1) {
+        length = in();
+        word_start[i] = cursor;
+        word_len[i] = length;
+        for (j = 0; j < length; j = j + 1) {
+            words[cursor] = in();
+            cursor = cursor + 1;
+        }
+    }
+    index_words();
+
+    match_total = 0;
+    queries = in();
+    for (i = 0; i < queries; i = i + 1) {
+        match_total = match_total + count_anagrams(in() % word_count);
+    }
+    out(match_total);
+
+    scans = in();
+    match_total = 0;
+    for (i = 0; i < scans; i = i + 1) {
+        match_total = match_total + substring_scan(in() % 26, in() % 26);
+    }
+    out(match_total);
+    out(bucket_count);
+}
+"""
+
+#: (word count, queries, scans, seed) per input set.
+_CONFIGS = [
+    (200, 60, 4, 71717),
+    (240, 48, 3, 71719),
+    (170, 72, 5, 71723),
+    (220, 54, 4, 71729),
+    (210, 50, 4, 71731),
+    (230, 58, 4, 71737),  # held-out test input
+]
+
+
+def _word_list(count: int, seed: int) -> List[int]:
+    """Words of 3-9 biased letters; some deliberate anagram families."""
+    generator = Lcg(seed)
+    stream: List[int] = []
+    base_words: List[List[int]] = []
+    for word_index in range(count):
+        if base_words and generator.below(100) < 20:
+            # Permute an existing word -> guaranteed anagram family member.
+            source = base_words[generator.below(len(base_words))]
+            letters = list(source)
+            for position in range(len(letters) - 1, 0, -1):
+                other = generator.below(position + 1)
+                letters[position], letters[other] = letters[other], letters[position]
+        else:
+            length = 3 + generator.below(7)
+            letters = [
+                min(generator.below(26), generator.below(26))
+                for _ in range(length)
+            ]
+            base_words.append(letters)
+        stream.append(len(letters))
+        stream.extend(letters)
+    return stream
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[int]:
+    count, queries, scans, seed = _CONFIGS[index % len(_CONFIGS)]
+    queries = scaled(queries, scale, minimum=2)
+    scans = scaled(scans, scale, minimum=1)
+    generator = Lcg(seed ^ 0x5A5A)
+    stream: List[int] = [count]
+    stream.extend(_word_list(count, seed + 13 * index))
+    stream.append(queries)
+    stream.extend(generator.integers(queries, 1 << 20))
+    stream.append(scans)
+    stream.extend(generator.integers(scans * 2, 26))
+    return stream
+
+
+WORKLOAD = Workload(
+    name="134.perl",
+    suite="int",
+    description="anagram search: signature hashing + substring scans",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

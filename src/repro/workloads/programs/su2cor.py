@@ -1,0 +1,168 @@
+"""103.su2cor stand-in: Monte-Carlo lattice updates plus correlations.
+
+The SPEC original computes elementary-particle masses with quantum field
+theory: Monte-Carlo sweeps over a lattice followed by correlation-function
+measurements.  The stand-in alternates pseudo-random heat-bath-like
+updates of a 2D lattice (data-dependent, poorly predictable values) with
+displacement-correlation sums (regular strided reductions) — the
+bimodal mix that gives su2cor its characteristic predictability split.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import Lcg, scaled
+
+SOURCE = """
+// 103.su2cor stand-in: lattice Monte Carlo + correlation measurements.
+float lattice[1600];     // up to 40x40
+float correlations[32];
+int n;
+int rng_state;
+int accepted;
+
+int rng() {
+    rng_state = (rng_state * 1103515245 + 12345) % 2147483648;
+    return rng_state;
+}
+
+float uniform() {
+    return (float)rng() / 2147483648.0;
+}
+
+float neighbor_action(int i, int j) {
+    // Sum of the four periodic neighbours.
+    int up;
+    int down;
+    int left;
+    int right;
+    up = i - 1; if (up < 0) { up = n - 1; }
+    down = i + 1; if (down >= n) { down = 0; }
+    left = j - 1; if (left < 0) { left = n - 1; }
+    right = j + 1; if (right >= n) { right = 0; }
+    return lattice[up * n + j] + lattice[down * n + j]
+         + lattice[i * n + left] + lattice[i * n + right];
+}
+
+void monte_carlo_sweep(float beta) {
+    // Metropolis-like update with a data-dependent accept test.
+    int i;
+    int j;
+    int center;
+    float proposal;
+    float old_value;
+    float action_old;
+    float action_new;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            center = i * n + j;
+            old_value = lattice[center];
+            proposal = old_value + (uniform() - 0.5);
+            action_old = -beta * old_value * neighbor_action(i, j)
+                       + old_value * old_value;
+            action_new = -beta * proposal * neighbor_action(i, j)
+                       + proposal * proposal;
+            if (action_new < action_old || uniform() < 0.2) {
+                lattice[center] = proposal;
+                accepted = accepted + 1;
+            }
+        }
+    }
+}
+
+void measure_correlations(int max_displacement) {
+    // correlation[d] = sum over sites of s(i,j) * s(i, j+d) (periodic).
+    int d;
+    int i;
+    int j;
+    int shifted;
+    float total;
+    for (d = 0; d < max_displacement; d = d + 1) {
+        total = 0.0;
+        for (i = 0; i < n; i = i + 1) {
+            for (j = 0; j < n; j = j + 1) {
+                shifted = j + d;
+                if (shifted >= n) { shifted = shifted - n; }
+                total = total + lattice[i * n + j] * lattice[i * n + shifted];
+            }
+        }
+        correlations[d] = correlations[d] + total;
+    }
+}
+
+float correlation_checksum(int max_displacement) {
+    int d;
+    float sum;
+    sum = 0.0;
+    for (d = 0; d < max_displacement; d = d + 1) {
+        sum = sum + correlations[d] / (float)(d + 1);
+    }
+    return sum;
+}
+
+void main() {
+    int i;
+    int total;
+    int sweeps;
+    int s;
+    int displacements;
+    float beta;
+
+    phase(1);
+    n = in();
+    sweeps = in();
+    displacements = in();
+    rng_state = in();
+    beta = fin();
+    total = n * n;
+    for (i = 0; i < total; i = i + 1) {
+        lattice[i] = fin();
+    }
+    for (i = 0; i < 32; i = i + 1) {
+        correlations[i] = 0.0;
+    }
+    accepted = 0;
+
+    measure_correlations(displacements);   // cold-lattice measurement (init)
+
+    phase(2);
+    for (s = 0; s < sweeps; s = s + 1) {
+        monte_carlo_sweep(beta);
+        if (s % 2 == 1) {
+            measure_correlations(displacements);
+        }
+    }
+    out(correlation_checksum(displacements));
+    out(accepted);
+}
+"""
+
+#: (lattice edge, sweeps, displacements, rng seed, init seed) per input set.
+_CONFIGS = [
+    (16, 3, 6, 1001, 51),
+    (20, 2, 6, 1003, 52),
+    (14, 4, 8, 1005, 53),
+    (22, 2, 4, 1007, 54),
+    (16, 3, 7, 1009, 55),
+    (18, 3, 6, 1011, 56),  # held-out test input
+]
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[float]:
+    edge, sweeps, displacements, rng_seed, init_seed = _CONFIGS[index % len(_CONFIGS)]
+    sweeps = scaled(sweeps, scale, minimum=2)
+    generator = Lcg(init_seed + 23 * index)
+    stream: List[float] = [edge, sweeps, displacements, rng_seed + index, 0.35]
+    stream.extend(generator.floats(edge * edge, -1.0, 1.0))
+    return stream
+
+
+WORKLOAD = Workload(
+    name="103.su2cor",
+    suite="fp",
+    description="lattice Monte Carlo sweeps + correlation measurements",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

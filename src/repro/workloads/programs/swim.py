@@ -1,0 +1,139 @@
+"""102.swim stand-in: shallow-water equations on a periodic grid.
+
+The SPEC original solves the shallow-water equations with finite
+differences.  The stand-in updates velocity (U, V) and pressure (P)
+fields with neighbour stencils and periodic boundary wraparound, plus a
+periodic time-smoothing pass — three-field FP stencils with modular index
+arithmetic, like the original.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import Lcg, scaled
+
+SOURCE = """
+// 102.swim stand-in: shallow-water stencils with periodic boundaries.
+float field_u[1296];    // up to 36x36
+float field_v[1296];
+float field_p[1296];
+float new_u[1296];
+float new_v[1296];
+float new_p[1296];
+int n;
+
+int wrap(int value) {
+    if (value < 0) { return value + n; }
+    if (value >= n) { return value - n; }
+    return value;
+}
+
+int at(int i, int j) {
+    return wrap(i) * n + wrap(j);
+}
+
+void timestep(float dt) {
+    int i;
+    int j;
+    int center;
+    float du;
+    float dv;
+    float dp;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            center = i * n + j;
+            du = field_p[at(i, j - 1)] - field_p[at(i, j + 1)]
+               + field_v[center] * 0.5;
+            dv = field_p[at(i - 1, j)] - field_p[at(i + 1, j)]
+               - field_u[center] * 0.5;
+            dp = field_u[at(i, j - 1)] - field_u[at(i, j + 1)]
+               + field_v[at(i - 1, j)] - field_v[at(i + 1, j)];
+            new_u[center] = field_u[center] + dt * du;
+            new_v[center] = field_v[center] + dt * dv;
+            new_p[center] = field_p[center] - dt * dp * 0.25;
+        }
+    }
+}
+
+void commit_fields(float smoothing) {
+    int i;
+    int total;
+    total = n * n;
+    for (i = 0; i < total; i = i + 1) {
+        field_u[i] = field_u[i] * smoothing + new_u[i] * (1.0 - smoothing);
+        field_v[i] = field_v[i] * smoothing + new_v[i] * (1.0 - smoothing);
+        field_p[i] = field_p[i] * smoothing + new_p[i] * (1.0 - smoothing);
+    }
+}
+
+float total_energy() {
+    int i;
+    int total;
+    float energy;
+    total = n * n;
+    energy = 0.0;
+    for (i = 0; i < total; i = i + 1) {
+        energy = energy + field_u[i] * field_u[i]
+               + field_v[i] * field_v[i] + field_p[i] * field_p[i];
+    }
+    return energy;
+}
+
+void main() {
+    int i;
+    int total;
+    int steps;
+    int s;
+    float dt;
+
+    phase(1);
+    n = in();
+    steps = in();
+    dt = fin();
+    total = n * n;
+    for (i = 0; i < total; i = i + 1) {
+        field_u[i] = fin();
+        field_v[i] = fin();
+        field_p[i] = 1.0 + fin() * 0.1;
+    }
+
+    out(total_energy());   // initial-field checksum, still in init
+
+    phase(2);
+    for (s = 0; s < steps; s = s + 1) {
+        timestep(dt);
+        commit_fields(0.1);
+    }
+    out(total_energy());
+}
+"""
+
+#: (grid edge, steps, seed) per input set.
+_CONFIGS = [
+    (20, 2, 901),
+    (24, 1, 902),
+    (16, 3, 903),
+    (24, 2, 904),
+    (20, 2, 905),
+    (22, 2, 906),  # held-out test input
+]
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[float]:
+    edge, steps, seed = _CONFIGS[index % len(_CONFIGS)]
+    steps = scaled(steps, scale, minimum=1)
+    generator = Lcg(seed + 11 * index)
+    stream: List[float] = [edge, steps, 0.01]
+    stream.extend(generator.floats(3 * edge * edge, -0.5, 0.5))
+    return stream
+
+
+WORKLOAD = Workload(
+    name="102.swim",
+    suite="fp",
+    description="shallow-water stencils with periodic boundaries",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

@@ -1,0 +1,139 @@
+"""101.tomcatv stand-in: vectorized mesh generation.
+
+The SPEC original generates a 2D mesh by iterating residual smoothing
+over coordinate arrays.  The stand-in keeps X/Y coordinate grids, computes
+second-difference residuals per interior point, and applies damped
+corrections until the sweep budget is spent — two-array FP stencils with
+data-dependent max-residual tracking, like the original.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import Lcg, scaled
+
+SOURCE = """
+// 101.tomcatv stand-in: coordinate-mesh smoothing.
+float mesh_x[1600];    // up to 40x40
+float mesh_y[1600];
+float res_x[1600];
+float res_y[1600];
+int n;
+float max_residual;
+
+void compute_residuals() {
+    int i;
+    int j;
+    int center;
+    float rx;
+    float ry;
+    max_residual = 0.0;
+    for (i = 1; i < n - 1; i = i + 1) {
+        center = i * n + 1;
+        for (j = 1; j < n - 1; j = j + 1) {
+            rx = mesh_x[center - 1] + mesh_x[center + 1]
+               + mesh_x[center - n] + mesh_x[center + n]
+               - 4.0 * mesh_x[center];
+            ry = mesh_y[center - 1] + mesh_y[center + 1]
+               + mesh_y[center - n] + mesh_y[center + n]
+               - 4.0 * mesh_y[center];
+            res_x[center] = rx;
+            res_y[center] = ry;
+            if (rx < 0.0) { rx = -rx; }
+            if (ry < 0.0) { ry = -ry; }
+            if (rx > max_residual) { max_residual = rx; }
+            if (ry > max_residual) { max_residual = ry; }
+            center = center + 1;
+        }
+    }
+}
+
+void apply_corrections(float damping) {
+    int i;
+    int j;
+    int center;
+    for (i = 1; i < n - 1; i = i + 1) {
+        center = i * n + 1;
+        for (j = 1; j < n - 1; j = j + 1) {
+            mesh_x[center] = mesh_x[center] + damping * res_x[center];
+            mesh_y[center] = mesh_y[center] + damping * res_y[center];
+            center = center + 1;
+        }
+    }
+}
+
+float mesh_energy() {
+    int i;
+    int total;
+    float energy;
+    total = n * n;
+    energy = 0.0;
+    for (i = 0; i < total; i = i + 1) {
+        energy = energy + mesh_x[i] * mesh_x[i] + mesh_y[i] * mesh_y[i];
+    }
+    return energy;
+}
+
+void main() {
+    int i;
+    int j;
+    int total;
+    int sweeps;
+    int s;
+    float damping;
+    float jitter;
+
+    phase(1);
+    n = in();
+    sweeps = in();
+    damping = fin();
+    total = n * n;
+    for (i = 0; i < n; i = i + 1) {
+        for (j = 0; j < n; j = j + 1) {
+            jitter = fin();
+            mesh_x[i * n + j] = (float)j + jitter;
+            mesh_y[i * n + j] = (float)i - jitter;
+        }
+    }
+
+    out(mesh_energy());   // initial-mesh checksum, still in init
+
+    phase(2);
+    for (s = 0; s < sweeps; s = s + 1) {
+        compute_residuals();
+        apply_corrections(damping);
+    }
+    out(mesh_energy());
+    out(max_residual);
+}
+"""
+
+#: (mesh edge, sweeps, seed) per input set.
+_CONFIGS = [
+    (28, 4, 801),
+    (32, 3, 802),
+    (24, 6, 803),
+    (36, 2, 804),
+    (28, 5, 805),
+    (30, 4, 806),  # held-out test input
+]
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[float]:
+    edge, sweeps, seed = _CONFIGS[index % len(_CONFIGS)]
+    sweeps = scaled(sweeps, scale, minimum=2)
+    generator = Lcg(seed + 7 * index)
+    stream: List[float] = [edge, sweeps, 0.12]
+    stream.extend(generator.floats(edge * edge, -0.3, 0.3))
+    return stream
+
+
+WORKLOAD = Workload(
+    name="101.tomcatv",
+    suite="fp",
+    description="mesh generation: residual smoothing over coordinate grids",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

@@ -1,0 +1,310 @@
+"""147.vortex stand-in: an object-oriented database under transactions.
+
+The SPEC original is a single-user OO database benchmark.  The stand-in
+keeps three "object" tables (persons, parts, orders) in parallel field
+arrays with an open-addressing primary index each, and drives a seeded
+transaction mix — insert, point lookup, field update, delete, referential
+join, and per-department report scans.  Many small accessor/validator
+functions give it the large static footprint that makes vortex a
+table-pressure benchmark in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..base import Workload
+from ..inputs import scaled
+
+SOURCE = """
+// 147.vortex stand-in: three object tables + hash indexes + transactions.
+int person_id[1200];
+int person_age[1200];
+int person_dept[1200];
+int person_salary[1200];
+int person_live[1200];
+int person_count;
+int person_index[2048];
+
+int part_id[1200];
+int part_weight[1200];
+int part_stock[1200];
+int part_live[1200];
+int part_count;
+int part_index[2048];
+
+int order_id[1600];
+int order_person[1600];
+int order_part[1600];
+int order_qty[1600];
+int order_live[1600];
+int order_count;
+
+int rng_state;
+int commits;
+int aborts;
+int report_value;
+
+int rng() {
+    rng_state = (rng_state * 1103515245 + 12345) % 2147483648;
+    return rng_state;
+}
+
+int hash_id(int id) {
+    return ((id * 2654435761) % 2048 + 2048) % 2048;
+}
+
+// ---- person accessors ------------------------------------------------
+int person_find(int id) {
+    int slot;
+    slot = hash_id(id);
+    while (person_index[slot] != -1) {
+        if (person_id[person_index[slot]] == id
+            && person_live[person_index[slot]]) {
+            return person_index[slot];
+        }
+        slot = (slot + 1) % 2048;
+    }
+    return -1;
+}
+
+int person_insert(int id, int age, int dept, int salary) {
+    int row;
+    int slot;
+    if (person_count >= 1200) { return -1; }
+    if (person_find(id) != -1) { return -1; }
+    row = person_count;
+    person_count = person_count + 1;
+    person_id[row] = id;
+    person_age[row] = age;
+    person_dept[row] = dept;
+    person_salary[row] = salary;
+    person_live[row] = 1;
+    slot = hash_id(id);
+    while (person_index[slot] != -1) {
+        slot = (slot + 1) % 2048;
+    }
+    person_index[slot] = row;
+    return row;
+}
+
+int person_get_salary(int row) { return person_salary[row]; }
+int person_get_dept(int row) { return person_dept[row]; }
+int person_get_age(int row) { return person_age[row]; }
+void person_set_salary(int row, int salary) { person_salary[row] = salary; }
+int person_valid(int row) {
+    return row >= 0 && row < person_count && person_live[row];
+}
+
+// ---- part accessors --------------------------------------------------
+int part_find(int id) {
+    int slot;
+    slot = hash_id(id);
+    while (part_index[slot] != -1) {
+        if (part_id[part_index[slot]] == id && part_live[part_index[slot]]) {
+            return part_index[slot];
+        }
+        slot = (slot + 1) % 2048;
+    }
+    return -1;
+}
+
+int part_insert(int id, int weight, int stock) {
+    int row;
+    int slot;
+    if (part_count >= 1200) { return -1; }
+    if (part_find(id) != -1) { return -1; }
+    row = part_count;
+    part_count = part_count + 1;
+    part_id[row] = id;
+    part_weight[row] = weight;
+    part_stock[row] = stock;
+    part_live[row] = 1;
+    slot = hash_id(id);
+    while (part_index[slot] != -1) {
+        slot = (slot + 1) % 2048;
+    }
+    part_index[slot] = row;
+    return row;
+}
+
+int part_get_stock(int row) { return part_stock[row]; }
+void part_take_stock(int row, int amount) {
+    part_stock[row] = part_stock[row] - amount;
+}
+int part_valid(int row) {
+    return row >= 0 && row < part_count && part_live[row];
+}
+
+// ---- order operations --------------------------------------------------
+int order_insert(int person, int part, int qty) {
+    int row;
+    if (order_count >= 1600) { return -1; }
+    row = order_count;
+    order_count = order_count + 1;
+    order_id[row] = row + 100000;
+    order_person[row] = person;
+    order_part[row] = part;
+    order_qty[row] = qty;
+    order_live[row] = 1;
+    return row;
+}
+
+int order_join_value(int row) {
+    // Referential traversal: order -> person salary, order -> part weight.
+    int person;
+    int part;
+    if (!order_live[row]) { return 0; }
+    person = order_person[row];
+    part = order_part[row];
+    if (!person_valid(person) || !part_valid(part)) { return 0; }
+    return (person_get_salary(person) / 100 + part_weight[part])
+           * order_qty[row];
+}
+
+// ---- transactions --------------------------------------------------------
+void txn_new_person() {
+    int id;
+    id = rng() % 50000;
+    if (person_insert(id, 20 + rng() % 45, rng() % 16,
+                      30000 + rng() % 70000) >= 0) {
+        commits = commits + 1;
+    } else {
+        aborts = aborts + 1;
+    }
+}
+
+void txn_new_part() {
+    int id;
+    id = rng() % 50000;
+    if (part_insert(id, 1 + rng() % 900, rng() % 500) >= 0) {
+        commits = commits + 1;
+    } else {
+        aborts = aborts + 1;
+    }
+}
+
+void txn_place_order() {
+    int person;
+    int part;
+    int qty;
+    person = rng() % (person_count + 1);
+    part = rng() % (part_count + 1);
+    qty = 1 + rng() % 9;
+    if (person_valid(person) && part_valid(part)
+        && part_get_stock(part) >= qty) {
+        part_take_stock(part, qty);
+        order_insert(person, part, qty);
+        commits = commits + 1;
+    } else {
+        aborts = aborts + 1;
+    }
+}
+
+void txn_raise_salary() {
+    int row;
+    row = person_find(rng() % 50000);
+    if (row != -1) {
+        person_set_salary(row, person_get_salary(row) * 21 / 20);
+        commits = commits + 1;
+    } else {
+        aborts = aborts + 1;
+    }
+}
+
+void txn_fire_person() {
+    int row;
+    row = person_find(rng() % 50000);
+    if (row != -1) {
+        person_live[row] = 0;
+        commits = commits + 1;
+    } else {
+        aborts = aborts + 1;
+    }
+}
+
+int report_department(int dept) {
+    // Aggregate salary and headcount for one department.
+    int row;
+    int total;
+    for (row = 0; row < person_count; row = row + 1) {
+        if (person_live[row] && person_get_dept(row) == dept) {
+            report_value = (report_value + person_get_salary(row))
+                           % 1000000007;
+        }
+    }
+    total = 0;
+    for (row = 0; row < order_count; row = row + 1) {
+        total = (total + order_join_value(row)) % 1000000007;
+    }
+    return total;
+}
+
+void main() {
+    int i;
+    int seed_people;
+    int seed_parts;
+    int transactions;
+    int kind;
+
+    rng_state = in();
+    seed_people = in();
+    seed_parts = in();
+    transactions = in();
+
+    for (i = 0; i < 2048; i = i + 1) {
+        person_index[i] = -1;
+        part_index[i] = -1;
+    }
+    person_count = 0;
+    part_count = 0;
+    order_count = 0;
+    commits = 0;
+    aborts = 0;
+    report_value = 0;
+
+    for (i = 0; i < seed_people; i = i + 1) { txn_new_person(); }
+    for (i = 0; i < seed_parts; i = i + 1) { txn_new_part(); }
+
+    for (i = 0; i < transactions; i = i + 1) {
+        kind = rng() % 100;
+        if (kind < 18) { txn_new_person(); }
+        else { if (kind < 30) { txn_new_part(); }
+        else { if (kind < 62) { txn_place_order(); }
+        else { if (kind < 80) { txn_raise_salary(); }
+        else { if (kind < 95) { txn_fire_person(); }
+        else { report_value = (report_value
+                               + report_department(rng() % 16))
+                              % 1000000007; } } } } }
+    }
+    out(commits);
+    out(aborts);
+    out(report_value);
+    out(person_count * 1000000 + part_count * 1000 + order_count);
+}
+"""
+
+#: (rng seed, seeded people, seeded parts, transactions) per input set.
+_CONFIGS = [
+    (31415, 140, 100, 260),
+    (27182, 165, 90, 230),
+    (16180, 120, 120, 290),
+    (14142, 150, 105, 245),
+    (17320, 130, 95, 275),
+    (12345, 145, 100, 260),  # held-out test input
+]
+
+
+def make_inputs(index: int, scale: float = 1.0) -> List[int]:
+    seed, people, parts, transactions = _CONFIGS[index % len(_CONFIGS)]
+    transactions = scaled(transactions, scale, minimum=10)
+    return [seed, people, parts, transactions]
+
+
+WORKLOAD = Workload(
+    name="147.vortex",
+    suite="int",
+    description="OO database: object tables, hash indexes, transaction mix",
+    source=SOURCE,
+    make_inputs=make_inputs,
+)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.isa import assemble
+from repro.lang import compile_source
+
+#: A small assembly program: counts 0..9 into memory, outputs the last value.
+COUNT_ASM = """
+.name count
+.data
+counter: 0
+.text
+    li r1, 0
+    li r2, 10
+loop:
+    addi r1, r1, 1
+    st r1, gp, 0
+    slt r3, r1, r2
+    bnez r3, loop
+    ld r4, gp, 0
+    out r4
+    halt
+"""
+
+#: A small mini-C program exercising most language features.
+SUM_MINIC = """
+int table[16];
+
+int accumulate(int limit) {
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < limit; i = i + 1) {
+        table[i] = i * 2;
+        total = total + table[i];
+    }
+    return total;
+}
+
+void main() {
+    out(accumulate(in()));
+}
+"""
+
+
+@pytest.fixture
+def count_program():
+    return assemble(COUNT_ASM)
+
+
+@pytest.fixture
+def sum_program():
+    return compile_source(SUM_MINIC, name="sum")
+
+
+@pytest.fixture(scope="session")
+def tiny_context():
+    """A tiny-scale experiment context shared across experiment tests.
+
+    scale=0.05 keeps every workload run in the tens of thousands of
+    dynamic instructions; artifacts are memoized for the whole session.
+    """
+    return ExperimentContext(scale=0.05, training_runs=3)

@@ -1,0 +1,169 @@
+"""Unit tests for basic blocks, CFG and critical-path analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    BasicBlock,
+    analyze_blocks,
+    basic_blocks,
+    block_critical_path,
+    block_of,
+    block_statistics,
+    control_flow_graph,
+    find_leaders,
+    predictable_addresses,
+    summarize_paths,
+)
+from repro.annotate import AnnotationPolicy
+from repro.isa import assemble
+from repro.lang import compile_source
+from repro.profiling import collect_profile
+
+BRANCHY = """
+.text
+    li r1, 0          ; 0 leader (entry)
+    li r2, 10         ; 1
+loop:
+    addi r1, r1, 1    ; 2 leader (branch target)
+    slt r3, r1, r2    ; 3
+    bnez r3, loop     ; 4
+    out r1            ; 5 leader (after branch)
+    halt              ; 6
+"""
+
+
+class TestBasicBlocks:
+    def test_leaders(self):
+        program = assemble(BRANCHY)
+        assert find_leaders(program) == {0, 2, 5}
+
+    def test_partition_covers_code_exactly(self):
+        program = assemble(BRANCHY)
+        blocks = basic_blocks(program)
+        covered = []
+        for block in blocks:
+            covered.extend(block.addresses)
+        assert covered == list(range(len(program)))
+
+    def test_block_boundaries(self):
+        program = assemble(BRANCHY)
+        blocks = basic_blocks(program)
+        assert [(b.start, b.end) for b in blocks] == [(0, 2), (2, 5), (5, 7)]
+
+    def test_block_of_lookup(self):
+        program = assemble(BRANCHY)
+        blocks = basic_blocks(program)
+        assert block_of(blocks, 3) == blocks[1]
+        assert block_of(blocks, 0) == blocks[0]
+        assert block_of(blocks, 6) == blocks[2]
+        with pytest.raises(ValueError):
+            block_of(blocks, 99)
+
+    def test_empty_program(self):
+        from repro.isa import build_program
+
+        assert basic_blocks(build_program([])) == []
+
+    def test_statistics(self):
+        program = assemble(BRANCHY)
+        count, mean, largest = block_statistics(program)
+        assert count == 3
+        assert largest == 3
+        assert mean == pytest.approx(7 / 3)
+
+
+class TestControlFlowGraph:
+    def test_branch_edges(self):
+        program = assemble(BRANCHY)
+        cfg = control_flow_graph(program)
+        assert set(cfg[2]) == {2, 5}   # loop back-edge + fall-through
+        assert cfg[0] == [2]           # straight-line into the loop
+        assert cfg[5] == []            # ends in halt
+
+    def test_call_has_target_and_fallthrough(self):
+        program = assemble(
+            ".text\n call fn\n out r24\n halt\nfn:\n li r24, 1\n jr ra\n"
+        )
+        cfg = control_flow_graph(program)
+        assert set(cfg[0]) == {3, 1}   # callee entry + return continuation
+        assert cfg[3] == []            # jr: dynamic successor
+
+    def test_jump_only_target(self):
+        program = assemble(".text\n jmp end\n nop\nend:\n halt\n")
+        cfg = control_flow_graph(program)
+        assert cfg[0] == [2]
+
+
+class TestCriticalPath:
+    def test_serial_block(self):
+        program = assemble(
+            ".text\n li r1, 1\n addi r1, r1, 1\n addi r1, r1, 1\n halt\n"
+        )
+        block = BasicBlock(0, 3)
+        assert block_critical_path(program, block) == 3
+
+    def test_parallel_block(self):
+        program = assemble(".text\n li r1, 1\n li r2, 2\n li r3, 3\n halt\n")
+        block = BasicBlock(0, 3)
+        assert block_critical_path(program, block) == 1
+
+    def test_predictable_producer_collapses_chain(self):
+        program = assemble(
+            ".text\n li r1, 1\n addi r2, r1, 1\n addi r3, r2, 1\n halt\n"
+        )
+        block = BasicBlock(0, 3)
+        assert block_critical_path(program, block) == 3
+        # If the middle addi is predictable, its consumer starts early.
+        assert block_critical_path(program, block, predictable={1}) == 2
+        # All predictable -> everything issues in the first cycle.
+        assert block_critical_path(program, block, predictable={0, 1, 2}) == 1
+
+    def test_memory_serialization(self):
+        program = assemble(
+            ".text\n li r1, 1\n st r1, gp, 0\n ld r2, gp, 0\n addi r3, r2, 1\n halt\n"
+        )
+        block = BasicBlock(0, 4)
+        # li(1) -> st(2) -> ld(3) -> addi(4)
+        assert block_critical_path(program, block) == 4
+
+    def test_height_never_increases_with_prediction(self):
+        source = """
+        int t[8];
+        void main() {
+            int i; int acc;
+            acc = 0;
+            for (i = 0; i < 8; i = i + 1) {
+                t[i] = i * 3;
+                acc = acc + t[i];
+            }
+            out(acc);
+        }
+        """
+        program = compile_source(source)
+        image = collect_profile(program)
+        paths = analyze_blocks(program, image, AnnotationPolicy(50.0))
+        for path in paths:
+            assert path.predicted_length <= path.length
+            assert path.shortening >= 0
+            assert path.speedup >= 1.0
+
+    def test_predictable_addresses_respects_policy(self):
+        program = assemble(BRANCHY)
+        image = collect_profile(program)
+        strict = predictable_addresses(program, image, AnnotationPolicy(99.0))
+        loose = predictable_addresses(program, image, AnnotationPolicy(10.0))
+        assert strict <= loose
+        assert 2 in loose  # the loop counter
+
+    def test_summary_of_empty(self):
+        summary = summarize_paths([])
+        assert summary.blocks == 0
+        assert summary.relative_shortening == 0.0
+
+    def test_min_size_filter(self):
+        program = assemble(BRANCHY)
+        all_paths = analyze_blocks(program, min_size=1)
+        big_paths = analyze_blocks(program, min_size=3)
+        assert len(big_paths) < len(all_paths)

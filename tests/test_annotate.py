@@ -1,0 +1,124 @@
+"""Unit tests for the annotation policy and the phase-3 annotator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotate import (
+    AnnotationPolicy,
+    annotate_program,
+    annotation_report,
+    plan_directives,
+)
+from repro.isa import Directive, assemble
+from repro.profiling import InstructionProfile, ProfileImage, collect_profile
+
+
+def make_profile(address, executions, attempts, correct, nonzero):
+    return InstructionProfile(address, executions, attempts, correct, nonzero)
+
+
+class TestPolicy:
+    def test_high_accuracy_high_stride_gets_stride(self):
+        policy = AnnotationPolicy(accuracy_threshold=90.0)
+        profile = make_profile(1, 100, 100, 95, 90)
+        assert policy.classify(profile) is Directive.STRIDE
+
+    def test_high_accuracy_low_stride_gets_last_value(self):
+        policy = AnnotationPolicy(accuracy_threshold=90.0)
+        profile = make_profile(1, 100, 100, 95, 5)
+        assert policy.classify(profile) is Directive.LAST_VALUE
+
+    def test_low_accuracy_untagged(self):
+        policy = AnnotationPolicy(accuracy_threshold=90.0)
+        profile = make_profile(1, 100, 100, 50, 50)
+        assert policy.classify(profile) is None
+
+    def test_threshold_is_inclusive(self):
+        # Paper: "greater than or equal to 90% are marked as predictable".
+        policy = AnnotationPolicy(accuracy_threshold=90.0)
+        profile = make_profile(1, 100, 100, 90, 0)
+        assert policy.classify(profile) is Directive.LAST_VALUE
+
+    def test_min_attempts_guard(self):
+        policy = AnnotationPolicy(accuracy_threshold=50.0, min_attempts=5)
+        profile = make_profile(1, 2, 1, 1, 1)   # 100% accurate but 1 attempt
+        assert policy.classify(profile) is None
+
+    def test_stride_threshold_boundary_is_exclusive(self):
+        # "greater than 50%" -> exactly 50% goes to last-value.
+        policy = AnnotationPolicy(accuracy_threshold=0.0, stride_threshold=50.0)
+        profile = make_profile(1, 100, 100, 100, 50)
+        assert policy.classify(profile) is Directive.LAST_VALUE
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"accuracy_threshold": -1.0},
+            {"accuracy_threshold": 101.0},
+            {"stride_threshold": 101.0},
+            {"min_attempts": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            AnnotationPolicy(**kwargs)
+
+
+class TestAnnotator:
+    STRIDE_LOOP = """
+.text
+    li r1, 0
+    li r2, 50
+loop:
+    addi r1, r1, 1
+    slt r3, r1, r2
+    bnez r3, loop
+    halt
+"""
+
+    def annotated_loop(self, threshold=90.0):
+        program = assemble(self.STRIDE_LOOP)
+        image = collect_profile(program)
+        policy = AnnotationPolicy(accuracy_threshold=threshold)
+        return program, image, annotate_program(program, image, policy)
+
+    def test_loop_counter_tagged_stride(self):
+        _program, _image, annotated = self.annotated_loop()
+        assert annotated[2].directive is Directive.STRIDE  # the addi
+
+    def test_code_is_not_moved(self):
+        program, _image, annotated = self.annotated_loop()
+        assert len(annotated) == len(program)
+        for original, tagged in zip(program, annotated):
+            assert original.opcode is tagged.opcode
+            assert original.srcs == tagged.srcs
+            assert original.target == tagged.target
+
+    def test_original_program_untouched(self):
+        program, _image, _annotated = self.annotated_loop()
+        assert program.directives() == {}
+
+    def test_unprofiled_candidates_untagged(self):
+        program = assemble(self.STRIDE_LOOP)
+        empty_image = ProfileImage("empty")
+        annotated = annotate_program(program, empty_image, AnnotationPolicy())
+        assert annotated.directives() == {}
+
+    def test_plan_covers_all_candidates(self):
+        program, image, _annotated = self.annotated_loop()
+        plan = plan_directives(program, image, AnnotationPolicy())
+        assert set(plan) == set(program.candidate_addresses)
+
+    def test_report_counts(self):
+        program, image, _annotated = self.annotated_loop(threshold=90.0)
+        report = annotation_report(program, image, AnnotationPolicy(90.0))
+        assert report.candidates == len(program.candidate_addresses)
+        assert report.tagged == report.stride_tagged + report.last_value_tagged
+        assert 0 < report.tagged_fraction <= 1.0
+
+    def test_lower_threshold_tags_more(self):
+        program, image, _annotated = self.annotated_loop()
+        strict = annotation_report(program, image, AnnotationPolicy(95.0))
+        loose = annotation_report(program, image, AnnotationPolicy(10.0))
+        assert loose.tagged >= strict.tagged

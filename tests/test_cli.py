@@ -1,0 +1,173 @@
+"""Tests for the toolchain CLI (python -m repro ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import _parse_inputs, main
+
+DEMO_SOURCE = """
+int t[8];
+void main() {
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < 8; i = i + 1) {
+        t[i] = in() * 2;
+        total = total + t[i];
+    }
+    out(total);
+}
+"""
+
+
+@pytest.fixture
+def demo(tmp_path):
+    source = tmp_path / "demo.mc"
+    source.write_text(DEMO_SOURCE, encoding="utf-8")
+    return tmp_path, source
+
+
+class TestParseInputs:
+    def test_inline(self):
+        assert _parse_inputs("1,2,3.5") == [1, 2, 3.5]
+
+    def test_empty(self):
+        assert _parse_inputs(None) == []
+        assert _parse_inputs("") == []
+
+    def test_file(self, tmp_path):
+        path = tmp_path / "in.txt"
+        path.write_text("4 5\n6.5\n", encoding="utf-8")
+        assert _parse_inputs(f"@{path}") == [4, 5, 6.5]
+
+
+class TestPipeline:
+    def test_compile_run(self, demo, capsys):
+        directory, source = demo
+        assembly = directory / "demo.asm"
+        assert main(["compile", str(source), "-o", str(assembly)]) == 0
+        assert assembly.exists()
+        assert main(["run", str(assembly), "--inputs", "1,2,3,4,5,6,7,8"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == str(2 * sum(range(1, 9)))
+
+    def test_full_three_phases(self, demo, capsys):
+        directory, source = demo
+        assembly = directory / "demo.asm"
+        profile = directory / "demo.profile"
+        tagged = directory / "tagged.asm"
+        main(["compile", str(source), "-o", str(assembly)])
+        assert (
+            main(
+                [
+                    "profile",
+                    str(assembly),
+                    "--inputs",
+                    "1,2,3,4,5,6,7,8",
+                    "--inputs",
+                    "8,7,6,5,4,3,2,1",
+                    "-o",
+                    str(profile),
+                ]
+            )
+            == 0
+        )
+        assert profile.read_text().startswith("# repro-profile-image v1")
+        assert (
+            main(
+                [
+                    "annotate",
+                    str(assembly),
+                    str(profile),
+                    "--threshold",
+                    "80",
+                    "-o",
+                    str(tagged),
+                ]
+            )
+            == 0
+        )
+        text = tagged.read_text()
+        assert ".s " in text or ".lv " in text
+        # The annotated binary still runs and computes the same function.
+        capsys.readouterr()
+        main(["run", str(tagged), "--inputs", "1,1,1,1,1,1,1,1"])
+        assert capsys.readouterr().out.strip() == "16"
+
+    def test_disasm_roundtrip(self, demo, capsys):
+        directory, source = demo
+        assembly = directory / "demo.asm"
+        main(["compile", str(source), "-o", str(assembly)])
+        capsys.readouterr()
+        assert main(["disasm", str(assembly)]) == 0
+        out = capsys.readouterr().out
+        assert ".text" in out and "call main" in out
+
+    def test_profile_to_stdout(self, demo, capsys):
+        directory, source = demo
+        assembly = directory / "demo.asm"
+        main(["compile", str(source), "-o", str(assembly)])
+        capsys.readouterr()
+        main(["profile", str(assembly), "--inputs", "1,2,3,4,5,6,7,8"])
+        assert capsys.readouterr().out.startswith("# repro-profile-image v1")
+
+    def test_no_optimize_flag(self, demo):
+        directory, source = demo
+        optimized = directory / "o2.asm"
+        plain = directory / "o0.asm"
+        main(["compile", str(source), "-o", str(optimized)])
+        main(["compile", str(source), "--no-optimize", "-o", str(plain)])
+        count = lambda path: sum(  # noqa: E731
+            1
+            for line in path.read_text().splitlines()
+            if line.startswith("    ")
+        )
+        assert count(optimized) <= count(plain)
+
+    def test_report(self, demo, capsys):
+        directory, source = demo
+        assembly = directory / "demo.asm"
+        profile = directory / "demo.profile"
+        main(["compile", str(source), "-o", str(assembly)])
+        main(
+            ["profile", str(assembly), "--inputs", "1,2,3,4,5,6,7,8",
+             "-o", str(profile)]
+        )
+        capsys.readouterr()
+        assert main(["report", str(assembly), str(profile), "--top", "3",
+                     "--min-attempts", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "most predictable" in out
+        assert "least predictable" in out
+        assert "overall accuracy" in out
+
+    def test_trace_and_offline_profile(self, demo, capsys):
+        directory, source = demo
+        assembly = directory / "demo.asm"
+        trace = directory / "demo.trace.gz"
+        profile = directory / "offline.profile"
+        main(["compile", str(source), "-o", str(assembly)])
+        assert main(
+            ["trace", str(assembly), "--inputs", "1,2,3,4,5,6,7,8",
+             "-o", str(trace)]
+        ) == 0
+        assert trace.exists()
+        assert main(
+            ["profile", str(assembly), "--trace", str(trace), "-o", str(profile)]
+        ) == 0
+        # Offline profile matches a live one on the same input.
+        live = directory / "live.profile"
+        main(["profile", str(assembly), "--inputs", "1,2,3,4,5,6,7,8",
+              "-o", str(live)])
+        from repro.profiling import read_profile
+
+        offline_image = read_profile(profile)
+        live_image = read_profile(live)
+        assert {
+            a: (p.attempts, p.correct)
+            for a, p in offline_image.instructions.items()
+        } == {
+            a: (p.attempts, p.correct)
+            for a, p in live_image.instructions.items()
+        }

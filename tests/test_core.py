@@ -1,0 +1,228 @@
+"""Unit tests for classification schemes and the simulation driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotate import AnnotationPolicy
+from repro.core import (
+    AlwaysClassification,
+    HardwareClassification,
+    PredictionEngine,
+    ProbeScheme,
+    ProfileClassification,
+    evaluate_hardware_scheme,
+    evaluate_profile_scheme,
+    run_methodology,
+    simulate_prediction,
+    simulate_prediction_many,
+)
+from repro.isa import Directive, assemble
+from repro.predictors import LastValuePredictor, StridePredictor
+
+STRIDE_LOOP = """
+.text
+    li r1, 0
+    li r2, 60
+loop:
+    addi r1, r1, 1
+    slt r3, r1, r2
+    bnez r3, loop
+    halt
+"""
+
+MINIC_MIX = """
+int table[32];
+
+int hash(int x) { return (x * 37 + 11) % 97; }
+
+void main() {
+    int i;
+    int noise;
+    noise = 0;
+    for (i = 0; i < 40; i = i + 1) {
+        table[i % 32] = hash(i * i + noise);
+        noise = (noise * 5 + table[i % 32]) % 1000;
+        out(noise);
+    }
+}
+"""
+
+
+class TestSchemes:
+    def test_always_scheme(self):
+        scheme = AlwaysClassification()
+        assert scheme.may_allocate(0) and scheme.should_take(0)
+
+    def test_hardware_scheme_learns(self):
+        scheme = HardwareClassification()
+        assert scheme.may_allocate(5)
+        assert not scheme.should_take(5)       # warm-up
+        scheme.record(5, True)
+        assert scheme.should_take(5)
+        scheme.record(5, False)
+        scheme.record(5, False)
+        assert not scheme.should_take(5)
+
+    def test_profile_scheme_is_static(self):
+        scheme = ProfileClassification.from_directives({3: Directive.STRIDE})
+        assert scheme.may_allocate(3) and scheme.should_take(3)
+        assert not scheme.may_allocate(4) and not scheme.should_take(4)
+        scheme.record(4, True)                  # learning is a no-op
+        assert not scheme.should_take(4)
+        assert scheme.directive_of(3) is Directive.STRIDE
+        assert scheme.tagged_count == 1
+
+    def test_probe_forces_allocation(self):
+        inner = ProfileClassification.from_directives({})
+        probe = ProbeScheme(inner)
+        assert probe.may_allocate(9)
+        assert not probe.should_take(9)
+
+
+class TestSimulateDriver:
+    def test_counts_are_consistent(self):
+        program = assemble(STRIDE_LOOP)
+        stats = simulate_prediction(program)
+        assert stats.attempts <= stats.executions
+        assert stats.would_correct <= stats.attempts
+        assert stats.taken <= stats.attempts
+        assert stats.taken_correct <= stats.would_correct
+        assert stats.taken_incorrect <= stats.would_incorrect
+        assert stats.avoided == stats.attempts - stats.taken
+
+    def test_always_scheme_takes_everything(self):
+        program = assemble(STRIDE_LOOP)
+        stats = simulate_prediction(program, scheme=AlwaysClassification())
+        assert stats.taken == stats.attempts
+        assert stats.taken_correct == stats.would_correct
+
+    def test_stride_loop_mostly_correct(self):
+        program = assemble(STRIDE_LOOP)
+        stats = simulate_prediction(program)
+        assert stats.would_correct / stats.attempts > 0.9
+
+    def test_per_address_totals_match_aggregate(self):
+        program = assemble(STRIDE_LOOP)
+        stats = simulate_prediction(program)
+        assert sum(s.executions for s in stats.per_address.values()) == stats.executions
+        assert sum(s.attempts for s in stats.per_address.values()) == stats.attempts
+        assert sum(s.would_correct for s in stats.per_address.values()) == stats.would_correct
+
+    def test_classification_accuracy_bounds(self):
+        program = assemble(STRIDE_LOOP)
+        stats = simulate_prediction(
+            program, scheme=ProbeScheme(HardwareClassification())
+        )
+        assert 0.0 <= stats.misprediction_classification_accuracy <= 100.0
+        assert 0.0 <= stats.correct_classification_accuracy <= 100.0
+
+    def test_multi_engine_matches_single(self):
+        from repro.lang import compile_source
+
+        program = compile_source(MINIC_MIX)
+        single = simulate_prediction(
+            program, predictor=StridePredictor(64, 2), scheme=HardwareClassification()
+        )
+        many = simulate_prediction_many(
+            program,
+            (),
+            {
+                "a": PredictionEngine(
+                    program, StridePredictor(64, 2), HardwareClassification()
+                ),
+                "b": PredictionEngine(
+                    program, LastValuePredictor(64, 2), AlwaysClassification()
+                ),
+            },
+        )
+        assert many["a"].taken_correct == single.taken_correct
+        assert many["a"].attempts == single.attempts
+
+    def test_empty_engines_rejected(self):
+        program = assemble(STRIDE_LOOP)
+        with pytest.raises(ValueError):
+            simulate_prediction_many(program, (), {})
+
+
+class TestPipeline:
+    def test_run_methodology_from_source(self):
+        result = run_methodology(
+            MINIC_MIX, train_inputs=[[], []], policy=AnnotationPolicy(80.0)
+        )
+        assert len(result.training_images) == 2
+        assert result.report.candidates > 0
+        assert len(result.annotated) == len(result.program)
+
+    def test_requires_training_inputs(self):
+        with pytest.raises(ValueError):
+            run_methodology(MINIC_MIX, train_inputs=[])
+
+    def test_evaluate_both_schemes(self):
+        result = run_methodology(MINIC_MIX, train_inputs=[[]])
+        profile_stats = evaluate_profile_scheme(result, [], entries=64)
+        hardware_stats = evaluate_hardware_scheme(result.program, [], entries=64)
+        # The profile scheme never takes an untagged instruction's
+        # prediction, so every taken prediction maps to a directive.
+        tagged = set(result.annotated.directives())
+        for address, per_address in profile_stats.per_address.items():
+            if per_address.taken:
+                assert address in tagged
+        assert hardware_stats.executions == profile_stats.executions
+
+    def test_profile_scheme_allocations_only_tagged(self):
+        result = run_methodology(MINIC_MIX, train_inputs=[[]])
+        stats = evaluate_profile_scheme(result, [], entries=64)
+        tagged = set(result.annotated.directives())
+        for address, per_address in stats.per_address.items():
+            if per_address.allocations:
+                assert address in tagged
+
+
+class TestHybridEngineIntegration:
+    def test_engine_routes_hybrid_by_directive(self):
+        from repro.isa import Directive, assemble
+        from repro.predictors import HybridPredictor
+
+        # One stride-patterned instruction, one constant repeater.
+        program = assemble(
+            """
+.text
+    li r1, 0
+    li r2, 40
+loop:
+    addi r1, r1, 1
+    li r3, 7
+    slt r4, r1, r2
+    bnez r4, loop
+    halt
+"""
+        )
+        addi_address, li7_address = 2, 3
+        annotated = program.with_directives(
+            {addi_address: Directive.STRIDE, li7_address: Directive.LAST_VALUE}
+        )
+        engine = PredictionEngine(
+            annotated,
+            predictor=HybridPredictor(),
+            scheme=ProfileClassification(annotated),
+        )
+        stats = simulate_prediction_many(annotated, (), {"hybrid": engine})["hybrid"]
+        # Both instructions get predicted via their own tables.
+        assert addi_address in dict(engine.predictor.stride.table)
+        assert li7_address in dict(engine.predictor.last_value.table)
+        assert stats.taken_correct > 0
+
+    def test_untagged_instruction_never_in_hybrid_tables(self):
+        from repro.isa import assemble
+        from repro.predictors import HybridPredictor
+
+        program = assemble(".text\n li r1, 5\n li r1, 5\n halt\n")
+        engine = PredictionEngine(
+            program,
+            predictor=HybridPredictor(),
+            scheme=ProfileClassification(program),  # no directives at all
+        )
+        simulate_prediction_many(program, (), {"h": engine})
+        assert len(engine.predictor.stride.table) == 0
+        assert len(engine.predictor.last_value.table) == 0

@@ -1,0 +1,136 @@
+"""Edge-case tests across modules: zero denominators, boundaries, misuse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PredictionStats
+from repro.core.results import AddressStats
+from repro.isa import AssemblerError, Opcode, assemble
+from repro.machine import (
+    ExecutionError,
+    InstructionBudgetExceeded,
+    run_program,
+)
+from repro.profiling import InstructionProfile, ProfileImage
+from repro.workloads import Workload
+
+
+class TestPredictionStatsEdges:
+    def test_zero_attempts(self):
+        stats = PredictionStats()
+        assert stats.would_incorrect == 0
+        assert stats.taken_incorrect == 0
+        assert stats.avoided == 0
+        assert stats.taken_accuracy == 0.0
+        # With no mispredictions to classify, accuracy is vacuously 100%.
+        assert stats.misprediction_classification_accuracy == 100.0
+        assert stats.correct_classification_accuracy == 100.0
+
+    def test_address_stats_derived_counts(self):
+        stats = AddressStats(executions=10, attempts=8, would_correct=5,
+                             taken=6, taken_correct=4, allocations=1)
+        assert stats.would_incorrect == 3
+        assert stats.taken_incorrect == 2
+
+    def test_aggregate_derived_counts(self):
+        stats = PredictionStats(attempts=100, would_correct=80, taken=70,
+                                taken_correct=65)
+        assert stats.would_incorrect == 20
+        assert stats.taken_incorrect == 5
+        assert stats.avoided == 30
+        assert stats.avoided_incorrect == 15
+        assert stats.misprediction_classification_accuracy == pytest.approx(75.0)
+        assert stats.correct_classification_accuracy == pytest.approx(
+            100.0 * 65 / 80
+        )
+
+
+class TestProfileEdges:
+    def test_accuracy_with_zero_attempts(self):
+        profile = InstructionProfile(0)
+        assert profile.accuracy == 0.0
+        assert profile.stride_efficiency == 0.0
+
+    def test_image_lookup_of_missing_address(self):
+        image = ProfileImage("p")
+        assert image.accuracy_of(42) == 0.0
+        assert image.stride_efficiency_of(42) == 0.0
+
+    def test_overall_accuracy_empty(self):
+        image = ProfileImage("p")
+        assert image.overall_accuracy() == 0.0
+
+
+class TestExecutorBoundaries:
+    def test_budget_boundary_exact(self):
+        # Exactly enough budget: li + halt = 2 instructions.
+        program = assemble(".text\n li r1, 1\n halt\n")
+        result = run_program(program, max_instructions=2)
+        assert result.halted
+        with pytest.raises(InstructionBudgetExceeded):
+            run_program(program, max_instructions=1)
+
+    def test_jr_outside_code_raises(self):
+        program = assemble(".text\n li r31, 999\n jr ra\n halt\n")
+        with pytest.raises(ExecutionError):
+            run_program(program)
+
+    def test_empty_input_stream_ok_when_unused(self):
+        program = assemble(".text\n halt\n")
+        assert run_program(program, inputs=[]).halted
+
+    def test_output_preserves_number_types(self):
+        program = assemble(".text\n li r1, 3\n out r1\n fli r2, 2.5\n out r2\n halt\n")
+        outputs = run_program(program).outputs
+        assert outputs == [3, 2.5]
+        assert isinstance(outputs[0], int)
+        assert isinstance(outputs[1], float)
+
+
+class TestAssemblerBoundaries:
+    def test_name_requires_value(self):
+        with pytest.raises(AssemblerError):
+            assemble(".name\n.text\n halt\n")
+
+    def test_org_requires_nonnegative_int(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\n.org -3\n.text\n halt\n")
+        with pytest.raises(AssemblerError):
+            assemble(".data\n.org 1.5\n.text\n halt\n")
+
+    def test_unknown_dot_directive(self):
+        with pytest.raises(AssemblerError):
+            assemble(".bogus\n.text\n halt\n")
+
+    def test_branch_to_label_at_end_of_code(self):
+        # A label marking one-past-the-end must not silently misresolve.
+        program = assemble(".text\n li r1, 1\n beqz r1, end\nend:\n halt\n")
+        assert program[1].target == 2
+
+
+class TestWorkloadValidation:
+    def test_invalid_suite_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                name="x",
+                suite="neither",
+                description="",
+                source="void main() { }",
+                make_inputs=lambda index, scale: [],
+            )
+
+
+class TestOpcodeSurface:
+    def test_every_control_op_except_jr_requires_target(self):
+        from repro.isa import Instruction, ProgramError, build_program
+
+        for opcode in (Opcode.BEQZ, Opcode.BNEZ, Opcode.JMP, Opcode.CALL):
+            with pytest.raises(ProgramError):
+                build_program([Instruction(opcode, srcs=(1,) if opcode.value.startswith("b") else ())])
+
+    def test_jr_needs_no_target(self):
+        from repro.isa import Instruction, build_program
+
+        program = build_program([Instruction(Opcode.JR, srcs=(31,))])
+        assert program[0].target is None

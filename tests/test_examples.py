@@ -1,0 +1,69 @@
+"""Every example must run end to end (at reduced scale where supported)."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_example(monkeypatch, capsys, name: str, argv: list) -> str:
+    module = load_example(name)
+    monkeypatch.setattr(sys, "argv", [f"{name}.py"] + argv)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = sorted(path.stem for path in EXAMPLES_DIR.glob("*.py"))
+        assert "quickstart" in names
+        assert len(names) >= 3
+
+    def test_quickstart(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "quickstart", [])
+        assert "annotation report" in out
+        assert "profile-guided" in out
+
+    def test_custom_workload(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "custom_workload", [])
+        assert "repro-profile-image v1" in out
+        assert "<-- directive" in out
+
+    @pytest.mark.slow
+    def test_input_sensitivity(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "input_sensitivity", ["129.compress", "0.05"]
+        )
+        assert "M(V)max" in out and "M(S)avg" in out
+
+    @pytest.mark.slow
+    def test_hybrid_predictor(self, monkeypatch, capsys):
+        out = run_example(
+            monkeypatch, capsys, "hybrid_predictor", ["129.compress", "0.05"]
+        )
+        assert "hybrid 128s + 384lv" in out
+
+    @pytest.mark.slow
+    def test_spec_study(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "spec_study", ["129.compress", "0.05"])
+        assert "abstract machine ILP" in out
+        assert "saturating counters" in out
+
+    @pytest.mark.slow
+    def test_critical_path(self, monkeypatch, capsys):
+        out = run_example(monkeypatch, capsys, "critical_path", ["129.compress", "70"])
+        assert "mean critical path" in out
+        assert "shorten the most" in out

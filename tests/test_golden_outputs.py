@@ -1,0 +1,40 @@
+"""Golden-output regression tests for every workload.
+
+Snapshotted at scale 0.04 on input set 0.  Any change to a workload
+program, the compiler, or the executor that alters these outputs is a
+behavioural change and must be deliberate.  To regenerate after a
+deliberate change::
+
+    python -c "from repro.workloads import all_workloads; \
+from repro.machine import run_program; \
+[print(w.name, run_program(w.compile(), w.input_set(0, scale=0.04)).outputs) \
+ for w in all_workloads()]"
+"""
+
+import pytest
+
+from repro.machine import run_program
+from repro.workloads import get_workload
+
+GOLDEN = {
+    "099.go": [0, 4, 0, 277357417],
+    "101.tomcatv": [388198.90884557995, 388181.89039673534, 0.7637883353680408],
+    "102.swim": [469.250863894754, 469.23997999804504],
+    "103.su2cor": [151.3251146442969, 284],
+    "104.hydro2d": [479.6438965839334, 477.0510133598887],
+    "107.mgrid": [0.0, 11.093982525953152],
+    "124.m88ksim": [426696361, 92, 57000026],
+    "126.gcc": [7, 6, 10, 3, 564601196],
+    "129.compress": [722586328, 907974507, 68],
+    "130.li": [67026246, 2963713, 762, 0],
+    "132.ijpeg": [271, 1950],
+    "134.perl": [3, 4, 200],
+    "147.vortex": [243, 6, 507, 141100002],
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_golden_outputs(name):
+    workload = get_workload(name)
+    result = run_program(workload.compile(), workload.input_set(0, scale=0.04))
+    assert result.outputs == GOLDEN[name]

@@ -1,0 +1,161 @@
+"""Cross-module integration tests: the full methodology end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotate import AnnotationPolicy
+from repro.core import (
+    HardwareClassification,
+    PredictionEngine,
+    ProfileClassification,
+    evaluate_hardware_scheme,
+    evaluate_profile_scheme,
+    run_methodology,
+    simulate_prediction,
+)
+from repro.ilp import measure_ilp
+from repro.isa import assemble, disassemble
+from repro.machine import run_program
+from repro.predictors import StridePredictor
+from repro.profiling import collect_profile
+from repro.workloads import get_workload
+
+SCALE = 0.05
+
+
+@pytest.fixture(scope="module")
+def gcc_methodology():
+    workload = get_workload("126.gcc")
+    return workload, run_methodology(
+        workload.compile(),
+        workload.training_inputs(count=3, scale=SCALE),
+        policy=AnnotationPolicy(accuracy_threshold=80.0),
+    )
+
+
+class TestAnnotatedBinaryEquivalence:
+    """Phase 3 must not change program behaviour, only directive bits."""
+
+    def test_same_outputs(self, gcc_methodology):
+        workload, result = gcc_methodology
+        inputs = workload.test_inputs(scale=SCALE)
+        original = run_program(result.program, inputs)
+        annotated = run_program(result.annotated, inputs)
+        assert original.outputs == annotated.outputs
+        assert original.instruction_count == annotated.instruction_count
+
+    def test_assembly_roundtrip_of_annotated_binary(self, gcc_methodology):
+        workload, result = gcc_methodology
+        text = disassemble(result.annotated)
+        reassembled = assemble(text)
+        assert reassembled.instructions == result.annotated.instructions
+        inputs = workload.test_inputs(scale=SCALE)
+        assert (
+            run_program(reassembled, inputs).outputs
+            == run_program(result.annotated, inputs).outputs
+        )
+
+    def test_directive_suffixes_in_listing(self, gcc_methodology):
+        _workload, result = gcc_methodology
+        text = disassemble(result.annotated)
+        assert ".s " in text or ".lv " in text
+
+
+class TestProfileSimulationConsistency:
+    """The profiler and the simulation driver must agree on the protocol."""
+
+    def test_profile_matches_always_scheme_simulation(self, gcc_methodology):
+        workload, result = gcc_methodology
+        inputs = workload.training_inputs(count=3, scale=SCALE)[0]
+        image = collect_profile(result.program, inputs)
+        stats = simulate_prediction(
+            result.program, inputs, predictor=StridePredictor()
+        )
+        total_attempts = sum(p.attempts for p in image.instructions.values())
+        total_correct = sum(p.correct for p in image.instructions.values())
+        assert total_attempts == stats.attempts
+        assert total_correct == stats.would_correct
+
+    def test_training_profile_predicts_test_behaviour(self, gcc_methodology):
+        """The whole premise: training accuracy transfers to test inputs."""
+        workload, result = gcc_methodology
+        test_image = collect_profile(
+            result.program, workload.test_inputs(scale=SCALE)
+        )
+        tagged = set(result.annotated.directives())
+        accuracies = [
+            test_image.instructions[address].accuracy
+            for address in tagged
+            if address in test_image.instructions
+            and test_image.instructions[address].attempts >= 5
+        ]
+        assert accuracies, "tagged instructions must appear on test inputs"
+        high = sum(1 for accuracy in accuracies if accuracy >= 60.0)
+        assert high / len(accuracies) > 0.8
+
+
+class TestSchemeComparison:
+    def test_profile_scheme_cuts_mispredictions(self, gcc_methodology):
+        workload, result = gcc_methodology
+        inputs = workload.test_inputs(scale=SCALE)
+        profile_stats = evaluate_profile_scheme(result, inputs)
+        hardware_stats = evaluate_hardware_scheme(result.program, inputs)
+        assert profile_stats.taken_incorrect < hardware_stats.taken_incorrect
+        assert profile_stats.taken_accuracy > hardware_stats.taken_accuracy
+
+    def test_value_prediction_raises_ilp(self, gcc_methodology):
+        workload, result = gcc_methodology
+        inputs = workload.test_inputs(scale=SCALE)
+        baseline = measure_ilp(result.program, inputs)
+        annotated = result.annotated
+        predicted = measure_ilp(
+            annotated,
+            inputs,
+            engine=PredictionEngine(
+                annotated,
+                predictor=StridePredictor(512, 2),
+                scheme=ProfileClassification(annotated),
+            ),
+        )
+        assert predicted.ilp > baseline.ilp
+        assert predicted.instructions == baseline.instructions
+
+    def test_hardware_scheme_also_raises_ilp(self, gcc_methodology):
+        workload, result = gcc_methodology
+        inputs = workload.test_inputs(scale=SCALE)
+        baseline = measure_ilp(result.program, inputs)
+        predicted = measure_ilp(
+            result.program,
+            inputs,
+            engine=PredictionEngine(
+                result.program,
+                predictor=StridePredictor(512, 2),
+                scheme=HardwareClassification(),
+            ),
+        )
+        assert predicted.ilp > baseline.ilp
+
+
+class TestDeterminism:
+    """Every stage must be bit-for-bit repeatable."""
+
+    def test_methodology_is_deterministic(self):
+        workload = get_workload("129.compress")
+        def build():
+            return run_methodology(
+                workload.compile(),
+                workload.training_inputs(count=2, scale=SCALE),
+                policy=AnnotationPolicy(accuracy_threshold=70.0),
+            )
+        first, second = build(), build()
+        assert first.annotated.directives() == second.annotated.directives()
+
+    def test_ilp_is_deterministic(self):
+        workload = get_workload("129.compress")
+        program = workload.compile()
+        inputs = workload.test_inputs(scale=SCALE)
+        assert (
+            measure_ilp(program, inputs).cycles
+            == measure_ilp(program, inputs).cycles
+        )

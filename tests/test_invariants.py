@@ -1,0 +1,136 @@
+"""Cross-cutting invariants tying the subsystems together."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annotate import AnnotationPolicy, annotate_program
+from repro.core import AlwaysClassification, PredictionEngine
+from repro.ilp import IlpConfig, measure_ilp
+from repro.machine import trace_program
+from repro.predictors import StridePredictor
+from repro.profiling import collect_profile, merge_profiles
+from repro.workloads import get_workload
+
+SCALE = 0.04
+WORKLOAD = "129.compress"
+
+
+@pytest.fixture(scope="module")
+def workload_setup():
+    workload = get_workload(WORKLOAD)
+    program = workload.compile()
+    inputs = workload.input_set(0, scale=SCALE)
+    image = collect_profile(program, inputs)
+    return workload, program, inputs, image
+
+
+class TestDirectiveInvariance:
+    """Directives are pure metadata: execution must be identical."""
+
+    @pytest.mark.parametrize("threshold", [95.0, 70.0, 30.0, 0.0])
+    def test_traces_identical(self, workload_setup, threshold):
+        _workload, program, inputs, image = workload_setup
+        annotated = annotate_program(
+            program, image, AnnotationPolicy(accuracy_threshold=threshold)
+        )
+        original = [
+            (r.address, r.value, r.mem_address)
+            for r in trace_program(program, inputs)
+        ]
+        tagged = [
+            (r.address, r.value, r.mem_address)
+            for r in trace_program(annotated, inputs)
+        ]
+        assert original == tagged
+
+
+class TestIlpMonotonicity:
+    def test_larger_window_never_slower(self, workload_setup):
+        _workload, program, inputs, _image = workload_setup
+        cycles = [
+            measure_ilp(program, inputs, config=IlpConfig(window_size=w)).cycles
+            for w in (4, 16, 64)
+        ]
+        assert cycles[0] >= cycles[1] >= cycles[2]
+
+    def test_higher_penalty_never_faster(self, workload_setup):
+        _workload, program, inputs, _image = workload_setup
+
+        def run(penalty):
+            engine = PredictionEngine(
+                program, StridePredictor(), AlwaysClassification()
+            )
+            return measure_ilp(
+                program,
+                inputs,
+                engine=engine,
+                config=IlpConfig(misprediction_penalty=penalty),
+            ).cycles
+
+        assert run(0) <= run(2) <= run(8)
+
+    def test_vp_between_baseline_and_unit_ipc_bound(self, workload_setup):
+        _workload, program, inputs, _image = workload_setup
+        baseline = measure_ilp(program, inputs)
+        engine = PredictionEngine(program, StridePredictor(), AlwaysClassification())
+        predicted = measure_ilp(program, inputs, engine=engine)
+        # Unit latency, in-order retire: at most window_size IPC.
+        assert predicted.ilp <= IlpConfig().window_size
+        assert predicted.cycles <= baseline.cycles
+
+
+class TestProfileMergeAlgebra:
+    def test_merge_is_order_independent(self, workload_setup):
+        workload, program, _inputs, _image = workload_setup
+        images = [
+            collect_profile(program, workload.input_set(index, scale=SCALE))
+            for index in range(3)
+        ]
+        forward = merge_profiles(images)
+        backward = merge_profiles(list(reversed(images)))
+        assert set(forward.instructions) == set(backward.instructions)
+        for address in forward.instructions:
+            first = forward.instructions[address]
+            second = backward.instructions[address]
+            assert (first.executions, first.attempts, first.correct) == (
+                second.executions, second.attempts, second.correct,
+            )
+
+    def test_merge_with_self_doubles_counts(self, workload_setup):
+        _workload, _program, _inputs, image = workload_setup
+        doubled = merge_profiles([image, image])
+        for address, profile in image.instructions.items():
+            assert doubled.instructions[address].executions == 2 * profile.executions
+            # Ratios are unchanged.
+            assert doubled.instructions[address].accuracy == pytest.approx(
+                profile.accuracy
+            )
+
+
+class TestAccuracyMonotonicity:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=2,
+            max_size=2,
+            unique=True,
+        )
+    )
+    def test_stricter_threshold_tags_subset(self, thresholds):
+        # hypothesis + fixtures don't mix; rebuild cheaply at module scope.
+        workload = get_workload(WORKLOAD)
+        program = workload.compile()
+        image = _IMAGE_CACHE.setdefault(
+            "image", collect_profile(program, workload.input_set(0, scale=SCALE))
+        )
+        low, high = sorted(thresholds)
+        loose = annotate_program(program, image, AnnotationPolicy(low))
+        strict = annotate_program(program, image, AnnotationPolicy(high))
+        assert set(strict.directives()) <= set(loose.directives())
+
+
+_IMAGE_CACHE: dict = {}

@@ -1,0 +1,161 @@
+"""Unit tests for the assembler, disassembler and Program container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import (
+    AssemblerError,
+    Directive,
+    Instruction,
+    Opcode,
+    Program,
+    ProgramError,
+    assemble,
+    build_program,
+    disassemble,
+    parse_register,
+    register_name,
+)
+
+
+class TestRegisters:
+    def test_alias_roundtrip(self):
+        for name in ("zero", "gp", "sp", "fp", "ra"):
+            assert register_name(parse_register(name)) == name
+
+    def test_numeric_names(self):
+        assert parse_register("r7") == 7
+        assert register_name(7) == "r7"
+
+    def test_bad_names(self):
+        for bad in ("r32", "r-1", "x3", "", "rr"):
+            with pytest.raises(ValueError):
+                parse_register(bad)
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        program = assemble(".text\n li r1, 5\n halt\n")
+        assert program[0] == Instruction(Opcode.LI, dest=1, imm=5)
+        assert program[1].opcode is Opcode.HALT
+
+    def test_labels_resolve(self):
+        program = assemble(".text\nstart:\n jmp start\n halt\n")
+        assert program[0].target == 0
+        assert program.labels["start"] == 0
+
+    def test_forward_reference(self):
+        program = assemble(".text\n jmp end\n nop\nend:\n halt\n")
+        assert program[0].target == 2
+
+    def test_absolute_target(self):
+        program = assemble(".text\n jmp @1\n halt\n")
+        assert program[0].target == 1
+
+    def test_data_section(self):
+        program = assemble(".data\nvalue: 42\nother: 7 8\n.text\n halt\n")
+        assert program.data == {0: 42, 1: 7, 2: 8}
+        assert program.symbols == {"value": 0, "other": 1}
+
+    def test_org_directive(self):
+        program = assemble(".data\n.org 5\nx: 1\n.text\n halt\n")
+        assert program.data == {5: 1}
+        assert program.symbols == {"x": 5}
+
+    def test_float_data(self):
+        program = assemble(".data\npi: 3.25\n.text\n halt\n")
+        assert program.data[0] == 3.25
+
+    def test_directive_suffixes(self):
+        program = assemble(".text\n add.s r1, r2, r3\n ld.lv r4, gp, 0\n halt\n")
+        assert program[0].directive is Directive.STRIDE
+        assert program[1].directive is Directive.LAST_VALUE
+
+    def test_comments_ignored(self):
+        program = assemble(".text\n li r1, 1 ; comment\n; whole line\n halt\n")
+        assert len(program) == 2
+
+    def test_name_directive(self):
+        program = assemble(".name myprog\n.text\n halt\n")
+        assert program.name == "myprog"
+
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            (".text\n bogus r1\n", "unknown mnemonic"),
+            (".text\n li r1\n", "expects 2 operand"),
+            (".text\n li r99, 1\n", "invalid register"),
+            (".text\n jmp nowhere\n", "undefined label"),
+            (".text\nx:\nx:\n halt\n", "duplicate label"),
+            (".text\n st.s r1, gp, 0\n", "cannot carry"),
+            (".text\n jmp @99\n", "out of range"),
+            (".data\nv: oops\n.text\n halt\n", "invalid numeric"),
+        ],
+    )
+    def test_errors_carry_line_info(self, source, fragment):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(source)
+        assert fragment in str(excinfo.value)
+
+
+class TestDisassembler:
+    def test_roundtrip_instructions(self, count_program):
+        text = disassemble(count_program)
+        again = assemble(text)
+        assert again.instructions == count_program.instructions
+        assert dict(again.data) == dict(count_program.data)
+
+    def test_roundtrip_preserves_directives(self):
+        source = ".text\n add.s r1, r2, r3\n mul.lv r2, r1, r1\n halt\n"
+        program = assemble(source)
+        again = assemble(disassemble(program))
+        assert again.instructions == program.instructions
+
+    def test_roundtrip_sparse_data(self):
+        program = build_program(
+            [Instruction(Opcode.HALT)], data={0: 1, 7: 2.5}, name="sparse"
+        )
+        again = assemble(disassemble(program))
+        assert dict(again.data) == {0: 1, 7: 2.5}
+
+
+class TestProgram:
+    def test_validation_rejects_bad_targets(self):
+        with pytest.raises(ProgramError):
+            build_program([Instruction(Opcode.JMP, target=5)])
+        with pytest.raises(ProgramError):
+            build_program([Instruction(Opcode.BEQZ, srcs=(1,))])
+
+    def test_candidate_addresses(self, count_program):
+        candidates = count_program.candidate_addresses
+        # li, li, addi, slt, ld are candidates; st/bnez/out/halt are not.
+        assert len(candidates) == 5
+
+    def test_with_directives_returns_new_program(self, count_program):
+        address = count_program.candidate_addresses[0]
+        tagged = count_program.with_directives({address: Directive.STRIDE})
+        assert tagged[address].directive is Directive.STRIDE
+        assert count_program[address].directive is None
+        assert len(tagged) == len(count_program)
+
+    def test_with_directives_rejects_non_candidates(self, count_program):
+        store_address = next(
+            addr
+            for addr, instr in enumerate(count_program.instructions)
+            if instr.opcode is Opcode.ST
+        )
+        with pytest.raises(ProgramError):
+            count_program.with_directives({store_address: Directive.STRIDE})
+
+    def test_strip_directives(self, count_program):
+        address = count_program.candidate_addresses[0]
+        tagged = count_program.with_directives({address: Directive.LAST_VALUE})
+        assert tagged.strip_directives().directives() == {}
+
+    def test_directives_map(self, count_program):
+        a, b = count_program.candidate_addresses[:2]
+        tagged = count_program.with_directives(
+            {a: Directive.STRIDE, b: Directive.LAST_VALUE}
+        )
+        assert tagged.directives() == {a: Directive.STRIDE, b: Directive.LAST_VALUE}

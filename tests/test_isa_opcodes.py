@@ -1,0 +1,92 @@
+"""Unit tests for opcode metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Category, Opcode, opcode_from_mnemonic
+from repro.isa.formats import FORMATS
+
+
+class TestCategories:
+    def test_every_opcode_has_a_category(self):
+        for opcode in Opcode:
+            assert isinstance(opcode.category, Category)
+
+    def test_integer_alu_examples(self):
+        for opcode in (Opcode.ADD, Opcode.ADDI, Opcode.SLT, Opcode.LI,
+                       Opcode.MOV, Opcode.CVTFI):
+            assert opcode.category is Category.INT_ALU
+
+    def test_fp_alu_examples(self):
+        for opcode in (Opcode.FADD, Opcode.FLI, Opcode.FSLT, Opcode.CVTIF):
+            assert opcode.category is Category.FP_ALU
+
+    def test_loads_split_by_type(self):
+        assert Opcode.LD.category is Category.INT_LOAD
+        assert Opcode.FLD.category is Category.FP_LOAD
+
+    def test_stores_are_one_category(self):
+        assert Opcode.ST.category is Category.STORE
+        assert Opcode.FST.category is Category.STORE
+
+    def test_control_flow_flags(self):
+        assert Opcode.BEQZ.is_control
+        assert Opcode.JMP.is_control
+        assert Opcode.CALL.is_control
+        assert Opcode.JR.is_control
+        assert not Opcode.ADD.is_control
+
+
+class TestPredictionCandidates:
+    def test_alu_and_loads_are_candidates(self):
+        for opcode in (Opcode.ADD, Opcode.FADD, Opcode.LD, Opcode.FLD,
+                       Opcode.LI, Opcode.MOV):
+            assert opcode.is_prediction_candidate
+
+    def test_non_writers_are_not_candidates(self):
+        for opcode in (Opcode.ST, Opcode.BEQZ, Opcode.JMP, Opcode.OUT,
+                       Opcode.HALT, Opcode.NOP, Opcode.PHASE):
+            assert not opcode.is_prediction_candidate
+
+    def test_call_and_input_write_but_are_not_candidates(self):
+        # They write a register but compute nothing predictable the paper
+        # would target.
+        assert Opcode.CALL.writes_register
+        assert not Opcode.CALL.is_prediction_candidate
+        assert Opcode.IN.writes_register
+        assert not Opcode.IN.is_prediction_candidate
+
+    def test_candidates_all_write_registers(self):
+        for opcode in Opcode:
+            if opcode.is_prediction_candidate:
+                assert opcode.writes_register
+
+
+class TestMemoryFlags:
+    def test_reads_memory(self):
+        assert Opcode.LD.reads_memory
+        assert Opcode.FLD.reads_memory
+        assert not Opcode.ST.reads_memory
+
+    def test_writes_memory(self):
+        assert Opcode.ST.writes_memory
+        assert Opcode.FST.writes_memory
+        assert not Opcode.LD.writes_memory
+
+
+class TestMnemonics:
+    def test_roundtrip_all(self):
+        for opcode in Opcode:
+            assert opcode_from_mnemonic(opcode.value) is opcode
+
+    def test_case_insensitive(self):
+        assert opcode_from_mnemonic("ADD") is Opcode.ADD
+        assert opcode_from_mnemonic("Beqz") is Opcode.BEQZ
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            opcode_from_mnemonic("frobnicate")
+
+    def test_formats_cover_every_opcode(self):
+        assert set(FORMATS) == set(Opcode)

@@ -1,0 +1,97 @@
+"""Property-based tests for the ISA layer (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    Directive,
+    Instruction,
+    Opcode,
+    assemble,
+    build_program,
+    disassemble,
+)
+from repro.isa.formats import FLOAT_IMMEDIATE, FORMATS
+
+_REGISTERS = st.integers(min_value=0, max_value=31)
+_INT_IMMEDIATES = st.integers(min_value=-(2**31), max_value=2**31)
+_FLOAT_IMMEDIATES = st.floats(
+    allow_nan=False, allow_infinity=False, width=64, min_value=-1e9, max_value=1e9
+)
+
+
+@st.composite
+def instructions(draw, code_size: int = 8):
+    """A random well-formed instruction for a program of ``code_size``."""
+    opcode = draw(st.sampled_from(list(Opcode)))
+    signature = FORMATS[opcode]
+    dest = None
+    srcs = []
+    imm = None
+    target = None
+    for kind in signature:
+        if kind == "d":
+            dest = draw(_REGISTERS)
+        elif kind == "s":
+            srcs.append(draw(_REGISTERS))
+        elif kind == "i":
+            if opcode in FLOAT_IMMEDIATE:
+                imm = draw(_FLOAT_IMMEDIATES)
+            else:
+                imm = draw(_INT_IMMEDIATES)
+        else:
+            target = draw(st.integers(min_value=0, max_value=code_size - 1))
+    directive = None
+    if opcode.is_prediction_candidate:
+        directive = draw(st.sampled_from([None, Directive.STRIDE, Directive.LAST_VALUE]))
+    return Instruction(
+        opcode=opcode,
+        dest=dest,
+        srcs=tuple(srcs),
+        imm=imm,
+        target=target,
+        directive=directive,
+    )
+
+
+@st.composite
+def programs(draw):
+    size = draw(st.integers(min_value=1, max_value=12))
+    body = [draw(instructions(code_size=size)) for _ in range(size)]
+    data_addresses = draw(
+        st.lists(st.integers(min_value=0, max_value=50), unique=True, max_size=6)
+    )
+    data = {
+        address: draw(st.one_of(_INT_IMMEDIATES, _FLOAT_IMMEDIATES))
+        for address in data_addresses
+    }
+    return build_program(body, data=data, name="prop")
+
+
+@settings(max_examples=200, deadline=None)
+@given(programs())
+def test_disassemble_assemble_roundtrip(program):
+    """assemble(disassemble(p)) reproduces instructions and data exactly."""
+    text = disassemble(program)
+    again = assemble(text)
+    assert again.instructions == program.instructions
+    assert dict(again.data) == dict(program.data)
+
+
+@settings(max_examples=200, deadline=None)
+@given(instructions())
+def test_render_is_parseable_fragment(instruction):
+    """Instruction.render() is stable and non-empty for all instructions."""
+    text = instruction.render()
+    assert text.strip()
+    assert text.split()[0].split(".")[0] == instruction.opcode.value
+
+
+@settings(max_examples=100, deadline=None)
+@given(programs())
+def test_strip_directives_idempotent(program):
+    stripped = program.strip_directives()
+    assert stripped.directives() == {}
+    assert stripped.strip_directives().instructions == stripped.instructions

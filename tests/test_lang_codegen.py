@@ -1,0 +1,300 @@
+"""Behavioral tests: compiled mini-C programs must compute C semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import CompileError, compile_source
+from repro.machine import run_program
+
+
+def run_minic(source: str, inputs=()):
+    return run_program(compile_source(source), inputs=inputs).outputs
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        assert run_minic("void main() { out(2 + 3 * 4 - 1); }") == [13]
+
+    def test_parentheses(self):
+        assert run_minic("void main() { out((2 + 3) * 4); }") == [20]
+
+    def test_unary_minus_and_not(self):
+        assert run_minic("void main() { out(-(3 - 5)); out(!0); out(!7); }") == [
+            2, 1, 0,
+        ]
+
+    def test_comparisons(self):
+        source = """
+        void main() {
+            out(3 < 4); out(4 < 3); out(3 <= 3); out(4 > 3);
+            out(3 >= 4); out(3 == 3); out(3 != 3);
+        }
+        """
+        assert run_minic(source) == [1, 0, 1, 1, 0, 1, 0]
+
+    def test_bitwise_and_shifts(self):
+        source = """
+        void main() {
+            out(12 & 10); out(12 | 3); out(12 ^ 10);
+            out(1 << 5); out(-32 >> 3);
+        }
+        """
+        assert run_minic(source) == [8, 15, 6, 32, -4]
+
+    def test_short_circuit_and_skips_rhs(self):
+        source = """
+        int calls;
+        int bump() { calls = calls + 1; return 1; }
+        void main() {
+            calls = 0;
+            out(0 && bump());
+            out(calls);
+            out(1 && bump());
+            out(calls);
+        }
+        """
+        assert run_minic(source) == [0, 0, 1, 1]
+
+    def test_short_circuit_or_skips_rhs(self):
+        source = """
+        int calls;
+        int bump() { calls = calls + 1; return 1; }
+        void main() {
+            calls = 0;
+            out(1 || bump());
+            out(calls);
+            out(0 || bump());
+            out(calls);
+        }
+        """
+        assert run_minic(source) == [1, 0, 1, 1]
+
+    def test_logical_results_are_normalized(self):
+        assert run_minic("void main() { out(5 && 7); out(0 || 9); }") == [1, 1]
+
+    def test_division_truncates_like_c(self):
+        source = """
+        void main() {
+            out(7 / 2); out(-7 / 2); out(7 / -2); out(-7 / -2);
+            out(7 % 3); out(-7 % 3); out(7 % -3);
+        }
+        """
+        assert run_minic(source) == [3, -3, -3, 3, 1, -1, 1]
+
+
+class TestVariablesAndArrays:
+    def test_global_initializers(self):
+        assert run_minic("int g = 42; void main() { out(g); }") == [42]
+
+    def test_array_initializer_and_indexing(self):
+        source = """
+        int t[5] = {10, 20, 30, 40, 50};
+        void main() { out(t[0] + t[4]); t[2] = 99; out(t[2]); }
+        """
+        assert run_minic(source) == [60, 99]
+
+    def test_local_initializer(self):
+        assert run_minic("void main() { int x = 5; out(x * x); }") == [25]
+
+    def test_computed_index(self):
+        source = """
+        int t[8];
+        void main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) { t[i] = i * i; }
+            out(t[3 + 2]);
+        }
+        """
+        assert run_minic(source) == [25]
+
+
+class TestControlFlow:
+    def test_if_else_chain(self):
+        source = """
+        int grade(int score) {
+            if (score >= 90) { return 4; }
+            else if (score >= 80) { return 3; }
+            else if (score >= 70) { return 2; }
+            else { return 0; }
+        }
+        void main() { out(grade(95)); out(grade(85)); out(grade(10)); }
+        """
+        assert run_minic(source) == [4, 3, 0]
+
+    def test_while_with_break_continue(self):
+        source = """
+        void main() {
+            int i; int total;
+            i = 0; total = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) { break; }
+                if (i % 2 == 0) { continue; }
+                total = total + i;
+            }
+            out(total);   // 1+3+5+7+9
+        }
+        """
+        assert run_minic(source) == [25]
+
+    def test_nested_loops_with_break(self):
+        source = """
+        void main() {
+            int i; int j; int count;
+            count = 0;
+            for (i = 0; i < 5; i = i + 1) {
+                for (j = 0; j < 5; j = j + 1) {
+                    if (j > i) { break; }
+                    count = count + 1;
+                }
+            }
+            out(count);   // 1+2+3+4+5
+        }
+        """
+        assert run_minic(source) == [15]
+
+    def test_for_continue_still_steps(self):
+        source = """
+        void main() {
+            int i; int total;
+            total = 0;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i % 3 != 0) { continue; }
+                total = total + i;
+            }
+            out(total);   // 0+3+6+9
+        }
+        """
+        assert run_minic(source) == [18]
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        int fact(int n) {
+            if (n <= 1) { return 1; }
+            return n * fact(n - 1);
+        }
+        void main() { out(fact(10)); }
+        """
+        assert run_minic(source) == [3628800]
+
+    def test_mutual_recursion(self):
+        source = """
+        int is_even(int n) {
+            if (n == 0) { return 1; }
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) { return 0; }
+            return is_even(n - 1);
+        }
+        void main() { out(is_even(10)); out(is_odd(10)); }
+        """
+        assert run_minic(source) == [1, 0]
+
+    def test_many_arguments(self):
+        source = """
+        int sum6(int a, int b, int c, int d, int e, int f) {
+            return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+        }
+        void main() { out(sum6(1, 2, 3, 4, 5, 6)); }
+        """
+        assert run_minic(source) == [1 + 4 + 9 + 16 + 25 + 36]
+
+    def test_call_in_expression_preserves_live_temps(self):
+        # The partially evaluated left operand must survive the call.
+        source = """
+        int g;
+        int bump() { g = g + 100; return g; }
+        void main() {
+            g = 0;
+            out(1000 + bump());
+            out((2000 + g) - bump());
+        }
+        """
+        assert run_minic(source) == [1100, 1900]
+
+    def test_nested_calls_in_arguments(self):
+        source = """
+        int double_(int x) { return x * 2; }
+        int add(int a, int b) { return a + b; }
+        void main() { out(add(double_(3), double_(add(1, 1)))); }
+        """
+        assert run_minic(source) == [10]
+
+    def test_float_function(self):
+        source = """
+        float mean(float a, float b) { return (a + b) / 2.0; }
+        void main() { out(mean(1.0, 4.0)); }
+        """
+        assert run_minic(source) == [2.5]
+
+
+class TestFloatSemantics:
+    def test_mixed_arithmetic_promotes(self):
+        assert run_minic("void main() { out(1 + 0.5); }") == [1.5]
+
+    def test_assignment_truncates_to_int(self):
+        assert run_minic("void main() { int x; x = 7.9; out(x); }") == [7]
+
+    def test_explicit_casts(self):
+        assert run_minic(
+            "void main() { out((float)3); out((int)3.99); out((int)-3.99); }"
+        ) == [3.0, 3, -3]
+
+    def test_float_compare_feeds_int_condition(self):
+        source = """
+        void main() {
+            float f = 2.5;
+            if (f > 2.0) { out(1); } else { out(0); }
+        }
+        """
+        assert run_minic(source) == [1]
+
+
+class TestEnvironmentBuiltins:
+    def test_in_and_out(self):
+        assert run_minic(
+            "void main() { out(in() + in()); }", inputs=[3, 4]
+        ) == [7]
+
+    def test_fin(self):
+        assert run_minic("void main() { out(fin() * 2.0); }", inputs=[1.25]) == [2.5]
+
+    def test_phase_requires_constant(self):
+        with pytest.raises(CompileError):
+            compile_source("void main() { phase(in()); }")
+
+
+class TestOptimizerEquivalence:
+    SOURCES = [
+        "void main() { out(2 * 3 + 4 * (1 + 1)); }",
+        """
+        int t[4] = {1, 2, 3, 4};
+        int f(int x) { return x * 1 + 0; }
+        void main() {
+            int i;
+            for (i = 0; i < 4; i = i + 1) { out(f(t[i]) + 2 - 2); }
+        }
+        """,
+        """
+        void main() {
+            int x = 10;
+            if (1 == 1 && x > 5) { out(x / 1); } else { out(0); }
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_optimized_matches_unoptimized(self, source):
+        optimized = run_program(compile_source(source, optimize=True)).outputs
+        plain = run_program(compile_source(source, optimize=False)).outputs
+        assert optimized == plain
+
+    def test_optimizer_shrinks_code(self):
+        source = "void main() { out(1 + 2 + 3 + 4); }"
+        optimized = compile_source(source, optimize=True)
+        plain = compile_source(source, optimize=False)
+        assert len(optimized) < len(plain)

@@ -1,0 +1,178 @@
+"""Unit tests for the mini-C lexer, parser and semantic analyzer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang import LexError, ParseError, SemanticError, parse, tokenize
+from repro.lang import astnodes as ast
+from repro.lang.semantics import analyze
+from repro.lang.tokens import TokenKind
+
+
+class TestLexer:
+    def test_identifiers_and_keywords(self):
+        tokens = tokenize("int foo while whilefoo")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == [
+            TokenKind.KEYWORD,
+            TokenKind.IDENTIFIER,
+            TokenKind.KEYWORD,
+            TokenKind.IDENTIFIER,
+        ]
+
+    def test_numbers(self):
+        tokens = tokenize("42 0x1F 3.5 2e3 1.5e-2 .25")
+        values = [t.value for t in tokens[:-1]]
+        assert values == [42, 31, 3.5, 2000.0, 0.015, 0.25]
+        assert tokens[0].kind is TokenKind.INT_LITERAL
+        assert tokens[2].kind is TokenKind.FLOAT_LITERAL
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\\'")
+        assert [t.value for t in tokens[:-1]] == [97, 10, 92]
+
+    def test_comments_stripped(self):
+        tokens = tokenize("1 // line\n/* block\nmore */ 2")
+        assert [t.value for t in tokens[:-1]] == [1, 2]
+
+    def test_line_numbers(self):
+        tokens = tokenize("1\n2\n  3")
+        assert [t.line for t in tokens[:-1]] == [1, 2, 3]
+
+    def test_two_char_operators(self):
+        tokens = tokenize("<= >= == != && || << >>")
+        assert [t.value for t in tokens[:-1]] == [
+            "<=", ">=", "==", "!=", "&&", "||", "<<", ">>"
+        ]
+
+    @pytest.mark.parametrize("bad", ["@", "$", "'unterminated", "/* open", "0x"])
+    def test_lex_errors(self, bad):
+        with pytest.raises(LexError):
+            tokenize(bad)
+
+
+class TestParser:
+    def test_global_declarations(self):
+        unit = parse("int x; float y = 1.5; int arr[4] = {1, 2, 3, 4};")
+        assert len(unit.globals) == 3
+        assert unit.globals[2].size == 4
+        assert list(unit.globals[2].init) == [1, 2, 3, 4]
+
+    def test_negative_initializer(self):
+        unit = parse("int x = -5;")
+        assert list(unit.globals[0].init) == [-5]
+
+    def test_function_with_params(self):
+        unit = parse("int add(int a, int b) { return a + b; }")
+        function = unit.functions[0]
+        assert function.params == [(ast.Type.INT, "a"), (ast.Type.INT, "b")]
+        assert isinstance(function.body.statements[0], ast.Return)
+
+    def test_precedence(self):
+        unit = parse("void main() { int x; x = 1 + 2 * 3; }")
+        assign = unit.functions[0].body.statements[1]
+        assert assign.value.op == "+"
+        assert assign.value.right.op == "*"
+
+    def test_cast_vs_parenthesized(self):
+        unit = parse("void main() { int x; float f; x = (int)f; x = (x); }")
+        statements = unit.functions[0].body.statements
+        assert isinstance(statements[2].value, ast.Unary)
+        assert statements[2].value.op == "(int)"
+        assert isinstance(statements[3].value, ast.VarRef)
+
+    def test_dangling_else_binds_inner(self):
+        unit = parse(
+            "void main() { int x; if (1) if (2) x = 1; else x = 2; }"
+        )
+        outer = unit.functions[0].body.statements[1]
+        assert outer.else_body is None
+        inner = outer.then_body.statements[0]
+        assert inner.else_body is not None
+
+    def test_for_with_empty_slots(self):
+        unit = parse("void main() { for (;;) { break; } }")
+        loop = unit.functions[0].body.statements[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "int;",
+            "void main() { 1 + 2; }",           # bare non-call expression
+            "void main() { x = ; }",
+            "void main() { if 1 {} }",
+            "void main() { int arr[3]; }",       # local arrays unsupported
+            "int f(void v) { return 0; }",
+            "void main() { (1 + 2) = 3; }",
+        ],
+    )
+    def test_parse_errors(self, source):
+        with pytest.raises(ParseError):
+            parse(source)
+
+
+class TestSemantics:
+    def check(self, source):
+        return analyze(parse(source))
+
+    def test_happy_path(self):
+        info = self.check("int g; void main() { g = 1; }")
+        assert "g" in info.globals
+        assert "main" in info.functions
+
+    def test_global_data_layout(self):
+        info = self.check("int a; int b[3]; float c; void main() { }")
+        assert info.globals["a"].address == 0
+        assert info.globals["b"].base_address == 1
+        assert info.globals["c"].address == 4
+        assert info.data_size == 5
+
+    def test_initializers_fill_data(self):
+        info = self.check("int a = 9; float f = 2.5; void main() { }")
+        assert info.data[0] == 9
+        assert info.data[1] == 2.5
+
+    def test_implicit_conversions_inserted(self):
+        info = self.check("float f; void main() { f = 1; }")
+        assign = info.functions["main"].decl.body.statements[0]
+        assert isinstance(assign.value, ast.Unary)
+        assert assign.value.op == "(float)"
+
+    def test_binary_promotion(self):
+        info = self.check("float f; void main() { f = f + 1; }")
+        assign = info.functions["main"].decl.body.statements[0]
+        assert assign.value.right.op == "(float)"
+
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("void main() { x = 1; }", "undefined variable"),
+            ("void main() { foo(); }", "undefined function"),
+            ("int g; int g; void main() { }", "duplicate global"),
+            ("void main() { int a; int a; }", "duplicate declaration"),
+            ("int f(int a, int a) { return 0; }", "duplicate parameter"),
+            ("void main() { break; }", "outside a loop"),
+            ("void f() { } void main() { int x; x = f(); }", "void value"),
+            ("int f() { return 1; } void main() { f(1); }", "expects 0"),
+            ("void main() { return 1; }", "void but returns"),
+            ("int f() { return; } void main() { }", "must return"),
+            ("float f; void main() { f = f % 2.0; }", "requires int"),
+            ("float f; void main() { if (f) { } }", "requires an int"),
+            ("int a[3]; void main() { a = 1; }", "whole array"),
+            ("int a[3]; void main() { out(a); }", "without an index"),
+            ("int g; void main() { g[0] = 1; }", "not an array"),
+            ("int x; void main() { }", "has no main"),
+        ],
+    )
+    def test_semantic_errors(self, source, fragment):
+        if "has no main" in fragment:
+            source = "int x;"
+        with pytest.raises(SemanticError) as excinfo:
+            self.check(source)
+        assert fragment in str(excinfo.value)
+
+    def test_main_with_params_rejected(self):
+        with pytest.raises(SemanticError):
+            self.check("void main(int x) { }")

@@ -1,0 +1,235 @@
+"""Unit tests for the AST folder and the stream peephole optimizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Opcode, SP
+from repro.lang import parse
+from repro.lang import astnodes as ast
+from repro.lang.emitter import Emitter, LabelMark, PendingInstruction
+from repro.lang.optimizer import _fold_expr, fold_unit, peephole
+
+
+def fold_expression(text: str):
+    """Parse ``out(<text>);`` and fold the argument expression."""
+    unit = parse(f"void main() {{ out({text}); }}")
+    call = unit.functions[0].body.statements[0].expr
+    return _fold_expr(call.args[0])
+
+
+class TestConstantFolding:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("1 + 2 * 3", 7),
+            ("(10 - 4) / 2", 3),
+            ("-7 / 2", -3),
+            ("-7 % 2", -1),
+            ("1 << 4", 16),
+            ("255 & 15", 15),
+            ("1 && 0", 0),
+            ("0 || 7", 1),
+            ("3 < 4", 1),
+            ("!5", 0),
+            ("-(2 + 3)", -5),
+        ],
+    )
+    def test_integer_folds(self, text, expected):
+        folded = fold_expression(text)
+        assert isinstance(folded, ast.IntLiteral)
+        assert folded.value == expected
+
+    def test_float_folds(self):
+        folded = fold_expression("1.5 * 2.0 + 1.0")
+        assert isinstance(folded, ast.FloatLiteral)
+        assert folded.value == 4.0
+
+    def test_mixed_promotes(self):
+        folded = fold_expression("1 + 0.5")
+        assert isinstance(folded, ast.FloatLiteral)
+        assert folded.value == 1.5
+
+    def test_cast_folds(self):
+        assert fold_expression("(int)3.9").value == 3
+        assert fold_expression("(float)2").value == 2.0
+
+    def test_identity_x_plus_zero(self):
+        folded = fold_expression("x + 0")
+        assert isinstance(folded, ast.VarRef)
+
+    def test_identity_x_times_one(self):
+        folded = fold_expression("x * 1")
+        assert isinstance(folded, ast.VarRef)
+
+    def test_division_by_zero_left_for_runtime(self):
+        folded = fold_expression("1 / 0")
+        assert isinstance(folded, ast.Binary)
+
+    def test_does_not_drop_side_effects(self):
+        # f() * 0 must NOT fold to 0.
+        unit = parse(
+            "int f() { return 1; } void main() { out(f() * 0); }"
+        )
+        fold_unit(unit)
+        call_stmt = unit.functions[1].body.statements[0]
+        assert isinstance(call_stmt.expr.args[0], ast.Binary)
+
+    def test_fold_unit_walks_all_constructs(self):
+        unit = parse(
+            """
+            void main() {
+                int x = 1 + 1;
+                if (2 > 1) { x = 2 * 2; }
+                while (x < 3 + 3) { x = x + (4 - 2); }
+                for (x = 0 + 0; x < 5 * 1; x = x + 1) { out(x); }
+                return;
+            }
+            """
+        )
+        fold_unit(unit)
+        body = unit.functions[0].body.statements
+        assert body[0].init.value == 2          # local init folded
+        assert body[1].cond.value == 1          # if condition folded
+        assert body[2].cond.right.value == 6    # while bound folded
+
+
+def _instruction(opcode, dest=None, srcs=(), imm=None, target=None):
+    return PendingInstruction(opcode, dest, srcs, imm, target)
+
+
+class TestPeephole:
+    def test_mov_self_removed(self):
+        stream = [_instruction(Opcode.MOV, dest=3, srcs=(3,))]
+        assert peephole(stream) == []
+
+    def test_mov_other_kept(self):
+        stream = [_instruction(Opcode.MOV, dest=3, srcs=(4,))]
+        assert peephole(stream) == stream
+
+    def test_zero_adjust_removed(self):
+        stream = [_instruction(Opcode.ADDI, dest=5, srcs=(5,), imm=0)]
+        assert peephole(stream) == []
+
+    def test_sp_adjustments_merge(self):
+        stream = [
+            _instruction(Opcode.SUBI, dest=SP, srcs=(SP,), imm=3),
+            _instruction(Opcode.SUBI, dest=SP, srcs=(SP,), imm=2),
+        ]
+        merged = peephole(stream)
+        assert len(merged) == 1
+        assert merged[0].opcode is Opcode.SUBI and merged[0].imm == 5
+
+    def test_opposite_sp_adjustments_cancel(self):
+        stream = [
+            _instruction(Opcode.ADDI, dest=SP, srcs=(SP,), imm=4),
+            _instruction(Opcode.SUBI, dest=SP, srcs=(SP,), imm=4),
+        ]
+        assert peephole(stream) == []
+
+    def test_sp_merge_stops_at_label(self):
+        stream = [
+            _instruction(Opcode.SUBI, dest=SP, srcs=(SP,), imm=3),
+            LabelMark("x"),
+            _instruction(Opcode.SUBI, dest=SP, srcs=(SP,), imm=2),
+        ]
+        merged = peephole(stream)
+        assert len([i for i in merged if isinstance(i, PendingInstruction)]) == 2
+
+    def test_jump_to_next_label_removed(self):
+        stream = [
+            _instruction(Opcode.JMP, target="end"),
+            LabelMark("end"),
+            _instruction(Opcode.HALT),
+        ]
+        merged = peephole(stream)
+        assert all(
+            not (isinstance(item, PendingInstruction) and item.opcode is Opcode.JMP)
+            for item in merged
+        )
+
+    def test_jump_elsewhere_kept(self):
+        stream = [
+            _instruction(Opcode.JMP, target="far"),
+            LabelMark("near"),
+            _instruction(Opcode.NOP),
+            LabelMark("far"),
+            _instruction(Opcode.HALT),
+        ]
+        merged = peephole(stream)
+        jumps = [
+            item
+            for item in merged
+            if isinstance(item, PendingInstruction) and item.opcode is Opcode.JMP
+        ]
+        assert len(jumps) == 1
+
+    def test_unreachable_code_after_jmp_removed(self):
+        stream = [
+            _instruction(Opcode.JMP, target="end"),
+            _instruction(Opcode.LI, dest=1, imm=42),   # dead
+            _instruction(Opcode.LI, dest=2, imm=43),   # dead
+            LabelMark("end"),
+            _instruction(Opcode.HALT),
+        ]
+        merged = peephole(stream)
+        li_count = sum(
+            1
+            for item in merged
+            if isinstance(item, PendingInstruction) and item.opcode is Opcode.LI
+        )
+        assert li_count == 0
+
+    def test_code_after_label_not_removed(self):
+        stream = [
+            _instruction(Opcode.JR, srcs=(31,)),
+            LabelMark("entry"),
+            _instruction(Opcode.LI, dest=1, imm=1),
+        ]
+        merged = peephole(stream)
+        assert any(
+            isinstance(item, PendingInstruction) and item.opcode is Opcode.LI
+            for item in merged
+        )
+
+    def test_idempotent(self):
+        stream = [
+            _instruction(Opcode.SUBI, dest=SP, srcs=(SP,), imm=3),
+            _instruction(Opcode.SUBI, dest=SP, srcs=(SP,), imm=2),
+            _instruction(Opcode.JMP, target="x"),
+            LabelMark("x"),
+            _instruction(Opcode.HALT),
+        ]
+        once = peephole(stream)
+        assert peephole(once) == once
+
+
+class TestEmitter:
+    def test_labels_resolve_to_addresses(self):
+        emitter = Emitter()
+        emitter.emit(Opcode.JMP, target="end")
+        emitter.emit(Opcode.NOP)
+        emitter.mark("end")
+        emitter.emit(Opcode.HALT)
+        program = emitter.finalize(data={}, symbols={}, name="t")
+        assert program[0].target == 2
+
+    def test_unresolved_label_raises(self):
+        from repro.lang.errors import CompileError
+
+        emitter = Emitter()
+        emitter.emit(Opcode.JMP, target="nowhere")
+        with pytest.raises(CompileError):
+            emitter.finalize(data={}, symbols={}, name="t")
+
+    def test_generated_labels_unique(self):
+        emitter = Emitter()
+        assert emitter.new_label() != emitter.new_label()
+
+    def test_public_labels_exported(self):
+        emitter = Emitter()
+        emitter.mark("main")
+        emitter.emit(Opcode.HALT)
+        emitter.mark(".hidden")
+        program = emitter.finalize(data={}, symbols={}, name="t")
+        assert program.labels == {"main": 0}

@@ -1,0 +1,121 @@
+"""Property-based tests: mini-C arithmetic matches a Python reference."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import compile_source
+from repro.machine import run_program
+
+
+def _c_div(a: int, b: int) -> int:
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _c_mod(a: int, b: int) -> int:
+    return a - _c_div(a, b) * b
+
+
+class ExpressionTree:
+    """A random integer expression with a mini-C rendering and a reference
+    Python evaluation (C semantics for / and %)."""
+
+    def __init__(self, text: str, value: int):
+        self.text = text
+        self.value = value
+
+
+_SAFE_INTS = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def expression_trees(draw, depth: int = 0) -> ExpressionTree:
+    if depth >= 4 or draw(st.booleans()):
+        value = draw(_SAFE_INTS)
+        if value < 0:
+            return ExpressionTree(f"(0 - {-value})", value)
+        return ExpressionTree(str(value), value)
+    op = draw(st.sampled_from(["+", "-", "*", "/", "%", "&", "|", "^"]))
+    left = draw(expression_trees(depth=depth + 1))
+    right = draw(expression_trees(depth=depth + 1))
+    if op == "+":
+        value = left.value + right.value
+    elif op == "-":
+        value = left.value - right.value
+    elif op == "*":
+        value = left.value * right.value
+    elif op == "/":
+        if right.value == 0:
+            return left
+        value = _c_div(left.value, right.value)
+    elif op == "%":
+        if right.value == 0:
+            return left
+        value = _c_mod(left.value, right.value)
+    elif op == "&":
+        value = left.value & right.value
+    elif op == "|":
+        value = left.value | right.value
+    else:
+        value = left.value ^ right.value
+    return ExpressionTree(f"({left.text} {op} {right.text})", value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expression_trees())
+def test_expression_evaluation_matches_reference(tree):
+    source = f"void main() {{ out({tree.text}); }}"
+    outputs = run_program(compile_source(source)).outputs
+    assert outputs == [tree.value]
+
+
+@settings(max_examples=60, deadline=None)
+@given(expression_trees())
+def test_optimized_and_unoptimized_agree(tree):
+    source = f"void main() {{ out({tree.text}); }}"
+    optimized = run_program(compile_source(source, optimize=True)).outputs
+    plain = run_program(compile_source(source, optimize=False)).outputs
+    assert optimized == plain
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(_SAFE_INTS, min_size=1, max_size=10),
+    st.integers(min_value=2, max_value=9),
+)
+def test_loop_sum_matches_python(values, scale):
+    """A data-driven loop over in() matches the Python computation."""
+    source = """
+    void main() {
+        int n; int i; int total;
+        n = in();
+        total = 0;
+        for (i = 0; i < n; i = i + 1) {
+            total = total + in() * %d;
+        }
+        out(total);
+    }
+    """ % scale
+    inputs = [len(values)] + values
+    outputs = run_program(compile_source(source), inputs=inputs).outputs
+    assert outputs == [sum(v * scale for v in values)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=12))
+def test_array_reverse_roundtrip(values):
+    """Writing then reading an array in reverse preserves all elements."""
+    source = """
+    int buffer[16];
+    void main() {
+        int n; int i;
+        n = in();
+        for (i = 0; i < n; i = i + 1) { buffer[i] = in(); }
+        for (i = n - 1; i >= 0; i = i - 1) { out(buffer[i]); }
+    }
+    """
+    inputs = [len(values)] + values
+    outputs = run_program(compile_source(source), inputs=inputs).outputs
+    assert outputs == list(reversed(values))

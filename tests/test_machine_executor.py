@@ -1,0 +1,199 @@
+"""Unit tests for the functional simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import assemble
+from repro.machine import (
+    DivisionByZero,
+    ExecutionError,
+    Executor,
+    InputExhausted,
+    InstructionBudgetExceeded,
+    InvalidMemoryAccess,
+    candidate_records,
+    run_program,
+    trace_program,
+)
+
+
+def run_asm(body: str, inputs=(), **kwargs):
+    program = assemble(f".text\n{body}\n halt\n")
+    return run_program(program, inputs=inputs, **kwargs)
+
+
+class TestIntegerAlu:
+    @pytest.mark.parametrize(
+        "body, expected",
+        [
+            ("li r1, 6\n li r2, 7\n mul r3, r1, r2\n out r3", 42),
+            ("li r1, 7\n li r2, 2\n div r3, r1, r2\n out r3", 3),
+            ("li r1, -7\n li r2, 2\n div r3, r1, r2\n out r3", -3),
+            ("li r1, 7\n li r2, -2\n div r3, r1, r2\n out r3", -3),
+            ("li r1, -7\n li r2, 2\n mod r3, r1, r2\n out r3", -1),
+            ("li r1, 7\n li r2, -2\n mod r3, r1, r2\n out r3", 1),
+            ("li r1, 12\n andi r2, r1, 10\n out r2", 8),
+            ("li r1, 12\n ori r2, r1, 3\n out r2", 15),
+            ("li r1, 12\n xori r2, r1, 10\n out r2", 6),
+            ("li r1, 3\n shli r2, r1, 4\n out r2", 48),
+            ("li r1, -16\n shri r2, r1, 2\n out r2", -4),
+            ("li r1, 5\n slti r2, r1, 6\n out r2", 1),
+            ("li r1, 5\n slei r2, r1, 5\n out r2", 1),
+            ("li r1, 5\n seqi r2, r1, 4\n out r2", 0),
+            ("li r1, 5\n snei r2, r1, 4\n out r2", 1),
+            ("li r1, 5\n neg r2, r1\n out r2", -5),
+            ("li r1, 0\n not r2, r1\n out r2", 1),
+            ("li r1, 3\n not r2, r1\n out r2", 0),
+        ],
+    )
+    def test_arithmetic(self, body, expected):
+        assert run_asm(body).outputs == [expected]
+
+    def test_c_division_matches_paper_semantics(self):
+        # Truncation toward zero for every sign combination.
+        for a, b in [(7, 3), (-7, 3), (7, -3), (-7, -3)]:
+            result = run_asm(f"li r1, {a}\n li r2, {b}\n div r3, r1, r2\n out r3")
+            expected = abs(a) // abs(b) * (1 if (a < 0) == (b < 0) else -1)
+            assert result.outputs == [expected]
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(DivisionByZero):
+            run_asm("li r1, 1\n li r2, 0\n div r3, r1, r2")
+        with pytest.raises(DivisionByZero):
+            run_asm("li r1, 1\n li r2, 0\n mod r3, r1, r2")
+
+    def test_r0_is_hardwired_zero(self):
+        result = run_asm("li r0, 99\n out r0")
+        assert result.outputs == [0]
+
+
+class TestFloatingPoint:
+    def test_fp_arithmetic(self):
+        result = run_asm(
+            "fli r1, 1.5\n fli r2, 2.0\n fmul r3, r1, r2\n out r3"
+        )
+        assert result.outputs == [3.0]
+
+    def test_fp_division_by_zero_raises(self):
+        with pytest.raises(DivisionByZero):
+            run_asm("fli r1, 1.0\n fli r2, 0.0\n fdiv r3, r1, r2")
+
+    def test_conversions(self):
+        result = run_asm("li r1, 3\n cvtif r2, r1\n out r2")
+        assert result.outputs == [3.0]
+        result = run_asm("fli r1, -2.9\n cvtfi r2, r1\n out r2")
+        assert result.outputs == [-2]  # truncation toward zero
+
+    def test_fp_compare(self):
+        result = run_asm("fli r1, 1.5\n fli r2, 2.5\n fslt r3, r1, r2\n out r3")
+        assert result.outputs == [1]
+
+
+class TestMemory:
+    def test_store_load(self):
+        result = run_asm("li r1, 123\n st r1, gp, 4\n ld r2, gp, 4\n out r2")
+        assert result.outputs == [123]
+
+    def test_uninitialized_memory_reads_zero(self):
+        assert run_asm("ld r1, gp, 100\n out r1").outputs == [0]
+
+    def test_data_segment_preloaded(self):
+        program = assemble(".data\nv: 55\n.text\n ld r1, gp, 0\n out r1\n halt\n")
+        assert run_program(program).outputs == [55]
+
+    def test_negative_address_raises(self):
+        with pytest.raises(InvalidMemoryAccess):
+            run_asm("li r1, -5\n ld r2, r1, 0")
+        with pytest.raises(InvalidMemoryAccess):
+            run_asm("li r1, -5\n st r1, r1, 0")
+
+
+class TestControlFlow:
+    def test_loop_terminates(self, count_program):
+        result = run_program(count_program)
+        assert result.outputs == [10]
+        assert result.halted
+
+    def test_call_and_return(self):
+        program = assemble(
+            """
+.text
+    call fn
+    out r24
+    halt
+fn:
+    li r24, 77
+    jr ra
+"""
+        )
+        assert run_program(program).outputs == [77]
+
+    def test_falling_off_code_raises(self):
+        program = assemble(".text\n nop\n")
+        with pytest.raises(ExecutionError):
+            run_program(program)
+
+    def test_budget_exceeded(self):
+        program = assemble(".text\nspin:\n jmp spin\n halt\n")
+        with pytest.raises(InstructionBudgetExceeded):
+            run_program(program, max_instructions=1000)
+
+
+class TestEnvironment:
+    def test_inputs_consumed_in_order(self):
+        result = run_asm("in r1\n in r2\n sub r3, r1, r2\n out r3", inputs=[10, 4])
+        assert result.outputs == [6]
+
+    def test_fin_coerces_float(self):
+        result = run_asm("fin r1\n out r1", inputs=[3])
+        assert result.outputs == [3.0]
+
+    def test_in_coerces_int(self):
+        result = run_asm("in r1\n out r1", inputs=[3.7])
+        assert result.outputs == [3]
+
+    def test_exhausted_inputs_raise(self):
+        with pytest.raises(InputExhausted):
+            run_asm("in r1", inputs=[])
+
+    def test_phase_changes_trace_phase(self):
+        program = assemble(".text\n li r1, 1\n phase 2\n li r2, 2\n halt\n")
+        records = list(trace_program(program))
+        assert records[0].phase == 0
+        assert records[-2].phase == 2
+
+
+class TestTraces:
+    def test_one_record_per_retired_instruction(self, count_program):
+        records = list(trace_program(count_program))
+        executor = Executor(count_program)
+        executor.run_to_completion()
+        assert len(records) == executor.instruction_count
+
+    def test_values_recorded_for_writers(self, count_program):
+        records = list(trace_program(count_program))
+        li_record = records[0]
+        assert li_record.value == 0
+        addi_values = [
+            r.value for r in records if count_program[r.address].opcode.value == "addi"
+        ]
+        assert addi_values == list(range(1, 11))
+
+    def test_mem_address_recorded(self, count_program):
+        records = list(trace_program(count_program))
+        stores = [r for r in records if count_program[r.address].opcode.value == "st"]
+        assert all(r.mem_address == 0 for r in stores)
+
+    def test_candidate_filter(self, count_program):
+        records = list(trace_program(count_program))
+        candidates = list(candidate_records(count_program, records))
+        assert 0 < len(candidates) < len(records)
+        assert all(
+            count_program[r.address].is_prediction_candidate for r in candidates
+        )
+
+    def test_trace_is_deterministic(self, count_program):
+        first = [(r.address, r.value) for r in trace_program(count_program)]
+        second = [(r.address, r.value) for r in trace_program(count_program)]
+        assert first == second

@@ -1,0 +1,66 @@
+"""Tests for the dynamic run-statistics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa import Category, assemble
+from repro.machine import collect_statistics, run_program
+
+
+class TestCollectStatistics:
+    def test_instruction_count_matches_run(self, count_program):
+        stats = collect_statistics(count_program)
+        result = run_program(count_program)
+        assert stats.instructions == result.instruction_count
+
+    def test_category_counts_sum_to_total(self, count_program):
+        stats = collect_statistics(count_program)
+        assert sum(stats.by_category.values()) == stats.instructions
+
+    def test_candidate_fraction(self, count_program):
+        stats = collect_statistics(count_program)
+        assert 0.0 < stats.candidate_fraction < 100.0
+        assert stats.candidate_footprint == len(count_program.candidate_addresses)
+
+    def test_branch_accounting(self):
+        # Loop of 5 iterations: bnez taken 4 times, not taken once.
+        program = assemble(
+            """
+.text
+    li r1, 0
+loop:
+    addi r1, r1, 1
+    slti r2, r1, 5
+    bnez r2, loop
+    halt
+"""
+        )
+        stats = collect_statistics(program)
+        assert stats.branches == 5
+        assert stats.taken_branches == 4
+        assert stats.taken_branch_fraction == pytest.approx(80.0)
+
+    def test_untaken_branch(self):
+        program = assemble(".text\n li r1, 1\n beqz r1, end\n nop\nend:\n halt\n")
+        stats = collect_statistics(program)
+        assert stats.branches == 1
+        assert stats.taken_branches == 0
+
+    def test_data_footprint(self, count_program):
+        stats = collect_statistics(count_program)
+        assert stats.data_footprint == 1  # only `counter`
+
+    def test_static_footprint_at_most_code_size(self, count_program):
+        stats = collect_statistics(count_program)
+        assert stats.static_footprint <= len(count_program)
+
+    def test_fp_categories_counted(self):
+        program = assemble(
+            ".text\n fli r1, 1.5\n fli r2, 2.0\n fadd r3, r1, r2\n fst r3, gp, 0\n"
+            " fld r4, gp, 0\n halt\n"
+        )
+        stats = collect_statistics(program)
+        assert stats.by_category[Category.FP_ALU] == 3
+        assert stats.by_category[Category.FP_LOAD] == 1
+        assert stats.by_category[Category.STORE] == 1

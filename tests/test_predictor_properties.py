@@ -1,0 +1,98 @@
+"""Property-based tests for predictor and table invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predictors import (
+    LastValuePredictor,
+    PredictionTable,
+    StridePredictor,
+)
+
+_ADDRESSES = st.integers(min_value=0, max_value=200)
+_VALUES = st.integers(min_value=-(10**6), max_value=10**6)
+_ACCESSES = st.lists(st.tuples(_ADDRESSES, _VALUES), max_size=300)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_ACCESSES)
+def test_table_capacity_never_exceeded(accesses):
+    table = PredictionTable(entries=16, ways=4)
+    for address, value in accesses:
+        if table.lookup(address) is None:
+            table.insert(address, value)
+    assert len(table) <= 16
+
+
+@settings(max_examples=100, deadline=None)
+@given(_ACCESSES)
+def test_eviction_callback_fires_for_every_eviction(accesses):
+    table = PredictionTable(entries=8, ways=2)
+    victims = []
+    for address, value in accesses:
+        table.insert(address, value, on_evict=victims.append)
+    assert len(victims) == table.evictions
+    # A victim is never still resident immediately after its eviction; in
+    # aggregate, the final contents plus all victims cover every insert.
+    inserted = {address for address, _ in accesses}
+    resident = {address for address, _ in table}
+    assert resident | set(victims) >= inserted
+
+
+@settings(max_examples=100, deadline=None)
+@given(_ACCESSES)
+def test_last_value_predictor_learns_immediately(accesses):
+    """After access(a, v), the next prediction for ``a`` is exactly ``v``."""
+    predictor = LastValuePredictor()
+    for address, value in accesses:
+        predictor.access(address, value)
+        assert predictor.lookup_prediction(address) == value
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-100, max_value=100),
+    st.integers(min_value=3, max_value=30),
+)
+def test_stride_predictor_perfect_on_arithmetic_sequences(start, stride, length):
+    """From the third element on, an arithmetic sequence is always correct."""
+    predictor = StridePredictor()
+    correct = 0
+    for index in range(length):
+        result = predictor.access(0, start + index * stride)
+        if index >= 2:
+            assert result.correct
+            correct += 1
+        if index >= 2 and stride != 0:
+            assert result.nonzero_stride
+    assert correct == length - 2
+
+
+@settings(max_examples=100, deadline=None)
+@given(_ACCESSES)
+def test_stride_predictor_invariant_prediction_formula(accesses):
+    """The exposed prediction always equals last_value + stride."""
+    predictor = StridePredictor()
+    for address, value in accesses:
+        predictor.access(address, value)
+        entry = predictor.table.peek(address)
+        assert predictor.lookup_prediction(address) == (
+            entry.last_value + entry.stride
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(_ACCESSES)
+def test_infinite_and_huge_tables_agree(accesses):
+    """A table far larger than the address space behaves like infinite."""
+    unbounded = StridePredictor(entries=None)
+    huge = StridePredictor(entries=1024, ways=2)
+    for address, value in accesses:
+        a = unbounded.access(address, value)
+        b = huge.access(address, value)
+        assert (a.hit, a.predicted_value, a.correct) == (
+            b.hit, b.predicted_value, b.correct,
+        )

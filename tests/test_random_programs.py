@@ -1,0 +1,132 @@
+"""Property tests over randomly generated mini-C programs.
+
+A hypothesis strategy builds small, always-terminating mini-C programs
+(bounded for-loops, guarded division); every generated program must
+
+* compile with and without optimization to the *same observable outputs*,
+* survive the assembler round-trip with identical behaviour,
+* produce a directive-tagged variant that behaves identically.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annotate import AnnotationPolicy, annotate_program
+from repro.isa import assemble, disassemble
+from repro.lang import compile_source
+from repro.machine import run_program
+from repro.profiling import collect_profile
+
+_SCALARS = ["a", "b", "c"]
+_ARRAY = "buf"
+_ARRAY_SIZE = 8
+
+
+@st.composite
+def expressions(draw, depth: int = 0) -> str:
+    """An int-valued expression over the declared scalars and array."""
+    choices = ["literal", "scalar", "element"]
+    if depth < 3:
+        choices += ["binary", "binary", "unary"]
+    kind = draw(st.sampled_from(choices))
+    if kind == "literal":
+        return str(draw(st.integers(min_value=-50, max_value=50)))
+    if kind == "scalar":
+        return draw(st.sampled_from(_SCALARS))
+    if kind == "element":
+        index = draw(expressions(depth=3))
+        return f"{_ARRAY}[({index}) % {_ARRAY_SIZE} * (({index}) % {_ARRAY_SIZE} >= 0) ]"
+    if kind == "unary":
+        inner = draw(expressions(depth=depth + 1))
+        op = draw(st.sampled_from(["-", "!"]))
+        return f"{op}({inner})"
+    left = draw(expressions(depth=depth + 1))
+    right = draw(expressions(depth=depth + 1))
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^", "<", "==", "&&"]))
+    return f"({left} {op} {right})"
+
+
+@st.composite
+def safe_index(draw) -> str:
+    """An always-in-bounds array index."""
+    base = draw(expressions(depth=3))
+    return f"((({base}) % {_ARRAY_SIZE}) + {_ARRAY_SIZE}) % {_ARRAY_SIZE}"
+
+
+@st.composite
+def statements(draw, depth: int = 0) -> str:
+    kinds = ["assign", "assign", "element", "out"]
+    if depth < 2:
+        kinds += ["if", "for"]
+    kind = draw(st.sampled_from(kinds))
+    if kind == "assign":
+        target = draw(st.sampled_from(_SCALARS))
+        value = draw(expressions())
+        return f"{target} = {value};"
+    if kind == "element":
+        index = draw(safe_index())
+        value = draw(expressions())
+        return f"{_ARRAY}[{index}] = {value};"
+    if kind == "out":
+        return f"out({draw(expressions())});"
+    if kind == "if":
+        condition = draw(expressions())
+        body = draw(statements(depth=depth + 1))
+        alternative = draw(statements(depth=depth + 1))
+        return f"if ({condition}) {{ {body} }} else {{ {alternative} }}"
+    # Bounded for loop over a dedicated counter; always terminates.
+    counter = f"i{depth}"
+    trips = draw(st.integers(min_value=1, max_value=5))
+    body = draw(statements(depth=depth + 1))
+    return (
+        f"for ({counter} = 0; {counter} < {trips}; {counter} = {counter} + 1) "
+        f"{{ {body} }}"
+    )
+
+
+@st.composite
+def programs(draw) -> str:
+    body = "\n        ".join(
+        draw(statements()) for _ in range(draw(st.integers(1, 6)))
+    )
+    seeds = draw(st.lists(st.integers(-20, 20), min_size=3, max_size=3))
+    return f"""
+    int {_ARRAY}[{_ARRAY_SIZE}];
+    void main() {{
+        int a; int b; int c;
+        int i0; int i1;
+        a = {seeds[0]}; b = {seeds[1]}; c = {seeds[2]};
+        {body}
+        out(a); out(b); out(c);
+        out({_ARRAY}[0] + {_ARRAY}[{_ARRAY_SIZE - 1}]);
+    }}
+    """
+
+
+@settings(max_examples=40, deadline=None)
+@given(programs())
+def test_optimizer_preserves_behaviour(source):
+    optimized = compile_source(source, optimize=True)
+    plain = compile_source(source, optimize=False)
+    assert run_program(optimized).outputs == run_program(plain).outputs
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs())
+def test_assembler_roundtrip_preserves_behaviour(source):
+    program = compile_source(source)
+    reassembled = assemble(disassemble(program))
+    assert run_program(reassembled).outputs == run_program(program).outputs
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs(), st.sampled_from([90.0, 50.0, 10.0]))
+def test_annotation_preserves_behaviour(source, threshold):
+    program = compile_source(source)
+    image = collect_profile(program)
+    annotated = annotate_program(
+        program, image, AnnotationPolicy(accuracy_threshold=threshold)
+    )
+    assert run_program(annotated).outputs == run_program(program).outputs

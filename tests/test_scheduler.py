@@ -1,0 +1,134 @@
+"""Tests for the value-prediction-aware basic-block list scheduler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    BasicBlock,
+    analyze_blocks,
+    basic_blocks,
+    block_critical_path,
+    format_schedule,
+    predictable_addresses,
+    schedule_block,
+)
+from repro.annotate import AnnotationPolicy
+from repro.isa import assemble
+from repro.profiling import collect_profile
+from repro.workloads import get_workload
+
+
+def block_program(body: str):
+    program = assemble(f".text\n{body}\n halt\n")
+    return program, BasicBlock(0, len(program) - 1)
+
+
+class TestAsapSchedule:
+    def test_independent_instructions_share_cycle_zero(self):
+        program, block = block_program(" li r1, 1\n li r2, 2\n li r3, 3")
+        schedule = schedule_block(program, block)
+        assert schedule.makespan == 1
+        assert schedule.cycles[0] == [0, 1, 2]
+
+    def test_chain_is_sequential(self):
+        program, block = block_program(
+            " li r1, 1\n addi r2, r1, 1\n addi r3, r2, 1"
+        )
+        schedule = schedule_block(program, block)
+        assert schedule.makespan == 3
+        assert [schedule.cycle_of[a] for a in range(3)] == [0, 1, 2]
+
+    def test_makespan_equals_critical_path(self):
+        program, block = block_program(
+            " li r1, 1\n li r2, 2\n add r3, r1, r2\n mul r4, r3, r3\n st r4, gp, 0\n ld r5, gp, 0"
+        )
+        schedule = schedule_block(program, block)
+        assert schedule.makespan == block_critical_path(program, block)
+
+    def test_predictable_producer_releases_consumer(self):
+        program, block = block_program(
+            " li r1, 1\n addi r2, r1, 1\n addi r3, r2, 1"
+        )
+        schedule = schedule_block(program, block, predictable={0, 1})
+        assert schedule.makespan == 1
+
+    def test_memory_serialization(self):
+        program, block = block_program(
+            " li r1, 7\n st r1, gp, 0\n ld r2, gp, 0"
+        )
+        schedule = schedule_block(program, block)
+        assert schedule.cycle_of[2] > schedule.cycle_of[1]
+
+    def test_verify_accepts_own_schedule(self):
+        program, block = block_program(
+            " li r1, 1\n addi r2, r1, 1\n li r3, 9\n mul r4, r2, r3"
+        )
+        schedule = schedule_block(program, block)
+        schedule.verify(program)  # must not raise
+
+    def test_verify_rejects_broken_schedule(self):
+        program, block = block_program(" li r1, 1\n addi r2, r1, 1")
+        schedule = schedule_block(program, block)
+        broken = type(schedule)(
+            block=block,
+            cycle_of={0: 0, 1: 0},   # consumer in the producer's cycle
+            cycles=[[0, 1]],
+        )
+        with pytest.raises(AssertionError):
+            broken.verify(program)
+
+    def test_format_schedule(self):
+        program, block = block_program(" li r1, 1\n addi r2, r1, 1")
+        text = format_schedule(program, schedule_block(program, block))
+        assert "cycle   0" in text and "cycle   1" in text
+
+
+class TestWorkloadSchedules:
+    def test_every_block_schedule_is_valid_and_optimal(self):
+        workload = get_workload("129.compress")
+        program = workload.compile()
+        image = collect_profile(program, workload.input_set(0, scale=0.03))
+        predictable = predictable_addresses(
+            program, image, AnnotationPolicy(70.0)
+        )
+        for block in basic_blocks(program):
+            plain = schedule_block(program, block)
+            plain.verify(program)
+            assert plain.makespan == block_critical_path(program, block)
+            speculative = schedule_block(program, block, predictable)
+            speculative.verify(program, predictable)
+            assert speculative.makespan == block_critical_path(
+                program, block, predictable
+            )
+            assert speculative.makespan <= plain.makespan
+
+    def test_schedule_matches_analyze_blocks(self):
+        workload = get_workload("124.m88ksim")
+        program = workload.compile()
+        for path in analyze_blocks(program, min_size=2):
+            schedule = schedule_block(program, path.block)
+            assert schedule.makespan == path.length
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=10))
+def test_schedule_every_instruction_exactly_once(shape):
+    # Build a block of alternating independent/dependent instructions.
+    lines = [" li r1, 1"]
+    for index, kind in enumerate(shape):
+        register = 2 + (index % 20)
+        if kind == 0:
+            lines.append(f" li r{register}, {index}")
+        elif kind == 1:
+            lines.append(f" addi r{register}, r1, {index}")
+        else:
+            lines.append(" addi r1, r1, 1")
+    program = assemble(".text\n" + "\n".join(lines) + "\n halt\n")
+    block = BasicBlock(0, len(program) - 1)
+    schedule = schedule_block(program, block)
+    scheduled = [address for cycle in schedule.cycles for address in cycle]
+    assert sorted(scheduled) == list(block.addresses)
+    schedule.verify(program)

@@ -1,0 +1,97 @@
+"""Tests for trace persistence and replay (the trace/analyze split)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import (
+    TraceFormatError,
+    read_trace,
+    save_trace,
+    trace_program,
+)
+from repro.profiling import collect_profile
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def traced(tmp_path_factory):
+    workload = get_workload("129.compress")
+    program = workload.compile()
+    inputs = workload.input_set(0, scale=0.03)
+    path = tmp_path_factory.mktemp("traces") / "run.trace"
+    count = save_trace(program, path, inputs=inputs)
+    return workload, program, inputs, path, count
+
+
+class TestRoundTrip:
+    def test_record_count_matches_live_run(self, traced):
+        _workload, program, inputs, path, count = traced
+        live = sum(1 for _ in trace_program(program, inputs))
+        assert count == live
+        replayed = sum(1 for _ in read_trace(path))
+        assert replayed == live
+
+    def test_records_identical_to_live(self, traced):
+        _workload, program, inputs, path, _count = traced
+        for live, stored in zip(trace_program(program, inputs), read_trace(path)):
+            assert live.address == stored.address
+            assert live.value == stored.value
+            assert live.phase == stored.phase
+            assert live.mem_address == stored.mem_address
+
+    def test_float_values_replay_exactly(self, tmp_path):
+        workload = get_workload("107.mgrid")
+        program = workload.compile()
+        inputs = workload.input_set(0, scale=0.03)
+        path = tmp_path / "fp.trace"
+        save_trace(program, path, inputs=inputs)
+        live_values = [r.value for r in trace_program(program, inputs)]
+        stored_values = [r.value for r in read_trace(path)]
+        assert live_values == stored_values
+
+    def test_gzip_variant(self, tmp_path):
+        workload = get_workload("129.compress")
+        program = workload.compile()
+        inputs = workload.input_set(1, scale=0.03)
+        plain = tmp_path / "t.trace"
+        packed = tmp_path / "t.trace.gz"
+        save_trace(program, plain, inputs=inputs)
+        save_trace(program, packed, inputs=inputs)
+        assert packed.stat().st_size < plain.stat().st_size
+        assert sum(1 for _ in read_trace(packed)) == sum(
+            1 for _ in read_trace(plain)
+        )
+
+
+class TestOfflineProfiling:
+    def test_profile_from_trace_matches_live_profile(self, traced):
+        _workload, program, inputs, path, _count = traced
+        live = collect_profile(program, inputs)
+        offline = collect_profile(program, records=read_trace(path))
+        assert set(live.instructions) == set(offline.instructions)
+        for address, profile in live.instructions.items():
+            other = offline.instructions[address]
+            assert (profile.attempts, profile.correct) == (
+                other.attempts, other.correct,
+            )
+
+
+class TestFormatErrors:
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("nope\n", encoding="utf-8")
+        with pytest.raises(TraceFormatError):
+            list(read_trace(path))
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\n1 2\n", encoding="utf-8")
+        with pytest.raises(TraceFormatError):
+            list(read_trace(path))
+
+    def test_non_numeric_field(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace v1\nx 1 0 -\n", encoding="utf-8")
+        with pytest.raises(TraceFormatError):
+            list(read_trace(path))

@@ -1,0 +1,110 @@
+"""Tests for TSV serialization of result tables and the ASCII charts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentTable
+from repro.viz import (
+    bar,
+    chart_histogram_rows,
+    chart_table,
+    histogram_chart,
+    series_chart,
+    signed_bar,
+)
+
+
+def make_table():
+    table = ExperimentTable(
+        "fig-x.y", "A demo table", headers=["benchmark", "count", "gain"],
+        notes=["a note"],
+    )
+    table.add_row("alpha", 10, 12.5)
+    table.add_row("beta", 20, -3.25)
+    return table
+
+
+class TestTsv:
+    def test_roundtrip(self):
+        table = make_table()
+        again = ExperimentTable.from_tsv(table.to_tsv())
+        assert again.experiment_id == table.experiment_id
+        assert again.title == table.title
+        assert again.headers == table.headers
+        assert again.rows == table.rows
+        assert again.notes == table.notes
+
+    def test_float_precision_preserved(self):
+        table = ExperimentTable("x", "t", headers=["k", "v"])
+        table.add_row("pi-ish", 3.141592653589793)
+        again = ExperimentTable.from_tsv(table.to_tsv())
+        assert again.rows[0][1] == 3.141592653589793
+
+    def test_cell_types_preserved(self):
+        again = ExperimentTable.from_tsv(make_table().to_tsv())
+        assert isinstance(again.rows[0][1], int)
+        assert isinstance(again.rows[0][2], float)
+        assert isinstance(again.rows[0][0], str)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentTable.from_tsv("# experiment: x\n")
+
+
+class TestBars:
+    def test_bar_full_and_empty(self):
+        assert bar(10, 10, width=10) == "█" * 10
+        assert bar(0, 10, width=10) == ""
+        assert bar(5, 0) == ""
+
+    def test_bar_clamps_overflow(self):
+        assert len(bar(100, 10, width=10)) == 10
+
+    def test_signed_bar_negative_texture(self):
+        positive = signed_bar(5, 10, width=10)
+        negative = signed_bar(-5, 10, width=10)
+        assert "█" in positive
+        assert negative.startswith("-")
+        assert "▒" in negative
+
+
+class TestCharts:
+    def test_histogram_chart_lines(self):
+        chart = histogram_chart(["a", "bb"], [50.0, 100.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("█") == 10
+        assert lines[0].count("█") == 5
+
+    def test_series_chart_alignment(self):
+        chart = series_chart(["one", "two"], [1.0, -2.0])
+        assert len(chart.splitlines()) == 2
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_chart(["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            series_chart(["a", "b"], [1.0])
+
+    def test_chart_table_defaults_to_last_numeric(self):
+        chart = chart_table(make_table())
+        assert "gain" in chart
+        assert "alpha" in chart and "beta" in chart
+
+    def test_chart_table_explicit_column(self):
+        chart = chart_table(make_table(), column="count")
+        assert "count" in chart
+
+    def test_chart_table_no_numeric_column(self):
+        table = ExperimentTable("x", "t", headers=["a", "b"])
+        table.add_row("one", "two")
+        with pytest.raises(ValueError):
+            chart_table(table)
+
+    def test_chart_histogram_rows(self):
+        table = ExperimentTable("x", "t", headers=["name", "[0,10]", "(10,20]"])
+        table.add_row("w1", 75.0, 25.0)
+        table.add_row("w2", 10.0, 90.0)
+        chart = chart_histogram_rows(table)
+        assert "-- w1 --" in chart and "-- w2 --" in chart

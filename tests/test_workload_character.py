@@ -1,0 +1,139 @@
+"""Workload-idiom tests: each stand-in must exhibit its SPEC original's
+characteristic value behaviour (at tiny scale, so the suite stays fast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import collect_statistics
+from repro.predictors import FcmPredictor, LastValuePredictor, StridePredictor
+from repro.profiling import collect_profile, collect_profiles
+from repro.workloads import get_workload
+
+SCALE = 0.05
+
+
+def profile_of(name: str, scale: float = SCALE):
+    workload = get_workload(name)
+    program = workload.compile()
+    return program, collect_profile(program, workload.input_set(0, scale=scale))
+
+
+class TestFootprints:
+    def test_gcc_overflows_prediction_table(self):
+        workload = get_workload("126.gcc")
+        stats = collect_statistics(
+            workload.compile(), workload.input_set(0, scale=SCALE)
+        )
+        assert stats.candidate_footprint > 512
+
+    def test_m88ksim_and_compress_fit_table(self):
+        for name in ("124.m88ksim", "129.compress"):
+            workload = get_workload(name)
+            stats = collect_statistics(
+                workload.compile(), workload.input_set(0, scale=SCALE)
+            )
+            assert stats.candidate_footprint < 512, name
+
+    def test_compress_touches_most_data(self):
+        footprints = {}
+        for name in ("129.compress", "124.m88ksim", "130.li"):
+            workload = get_workload(name)
+            stats = collect_statistics(
+                workload.compile(), workload.input_set(0, scale=SCALE)
+            )
+            footprints[name] = stats.data_footprint
+        assert footprints["129.compress"] == max(footprints.values())
+
+
+class TestPredictabilityIdioms:
+    def test_ijpeg_is_stride_dominated(self):
+        """The DCT kernel's correct predictions are mostly non-zero-stride."""
+        _program, image = profile_of("132.ijpeg")
+        stride_heavy = sum(
+            1
+            for profile in image.instructions.values()
+            if profile.correct >= 5 and profile.stride_efficiency > 90.0
+        )
+        zero_stride = sum(
+            1
+            for profile in image.instructions.values()
+            if profile.correct >= 5 and profile.stride_efficiency < 10.0
+        )
+        assert stride_heavy > 0.5 * zero_stride
+
+    def test_li_is_fcm_friendly(self):
+        """Pointer-chasing interpreters repeat value *sequences*, not
+        strides: FCM must beat the stride predictor on 130.li."""
+        workload = get_workload("130.li")
+        program = workload.compile()
+        images = collect_profiles(
+            program,
+            workload.input_set(0, scale=SCALE),
+            predictors={"stride": StridePredictor(), "fcm": FcmPredictor(order=2)},
+        )
+
+        def total_correct(image):
+            return sum(p.correct for p in image.instructions.values())
+
+        assert total_correct(images["fcm"]) > total_correct(images["stride"])
+
+    def test_stride_beats_last_value_everywhere(self):
+        """The stride predictor subsumes last-value (zero strides), so it
+        must win or tie on every benchmark."""
+        for name in ("099.go", "129.compress", "132.ijpeg"):
+            workload = get_workload(name)
+            program = workload.compile()
+            images = collect_profiles(
+                program,
+                workload.input_set(0, scale=SCALE),
+                predictors={
+                    "stride": StridePredictor(),
+                    "lv": LastValuePredictor(),
+                },
+            )
+            stride_correct = sum(
+                p.correct for p in images["stride"].instructions.values()
+            )
+            lv_correct = sum(p.correct for p in images["lv"].instructions.values())
+            assert stride_correct >= lv_correct, name
+
+    def test_su2cor_monte_carlo_phase_less_predictable_than_init(self):
+        """The Metropolis sweeps (phase 2, LCG-driven updates) must be
+        less predictable than the regular input/measurement loops of the
+        initialization phase."""
+        from repro.profiling import collect_phase_profiles
+
+        workload = get_workload("103.su2cor")
+        program = workload.compile()
+        images = collect_phase_profiles(program, workload.input_set(0, scale=SCALE))
+
+        def overall(image):
+            attempts = sum(p.attempts for p in image.instructions.values())
+            correct = sum(p.correct for p in image.instructions.values())
+            return correct / attempts if attempts else 0.0
+
+        assert overall(images[2]) < overall(images[1])
+
+    def test_m88ksim_bookkeeping_is_highly_predictable(self):
+        """The interpreter's counters/statistics give m88ksim a large set
+        of near-perfectly-predictable instructions."""
+        _program, image = profile_of("124.m88ksim")
+        near_perfect = sum(
+            1
+            for profile in image.instructions.values()
+            if profile.attempts >= 10 and profile.accuracy > 95.0
+        )
+        assert near_perfect > 20
+
+
+class TestBranchBehaviour:
+    @pytest.mark.parametrize("name", ["099.go", "126.gcc", "134.perl"])
+    def test_control_heavy_benchmarks_have_many_branches(self, name):
+        from repro.isa import Category
+
+        workload = get_workload(name)
+        stats = collect_statistics(
+            workload.compile(), workload.input_set(0, scale=SCALE)
+        )
+        assert stats.category_fraction(Category.BRANCH) > 5.0

@@ -1,0 +1,88 @@
+"""Tests for the deterministic input generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import Lcg, scaled, text_stream
+from repro.workloads import all_workloads
+
+
+class TestLcg:
+    def test_deterministic(self):
+        assert Lcg(42).integers(20, 100) == Lcg(42).integers(20, 100)
+
+    def test_seeds_differ(self):
+        assert Lcg(1).integers(20, 1000) != Lcg(2).integers(20, 1000)
+
+    def test_below_in_range(self):
+        generator = Lcg(7)
+        for _ in range(1000):
+            assert 0 <= generator.below(13) < 13
+
+    def test_in_range_inclusive(self):
+        generator = Lcg(9)
+        values = {generator.in_range(3, 5) for _ in range(200)}
+        assert values == {3, 4, 5}
+
+    def test_floats_in_interval(self):
+        for value in Lcg(3).floats(500, -2.0, 2.0):
+            assert -2.0 <= value < 2.0
+
+    def test_bad_bound(self):
+        with pytest.raises(ValueError):
+            Lcg(1).below(0)
+        with pytest.raises(ValueError):
+            Lcg(1).in_range(5, 4)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_state_stays_in_modulus(self, seed):
+        generator = Lcg(seed)
+        for _ in range(50):
+            assert 0 <= generator.next() < Lcg.MODULUS
+
+
+class TestScaled:
+    def test_identity_at_one(self):
+        assert scaled(100, 1.0) == 100
+
+    def test_minimum_clamp(self):
+        assert scaled(10, 0.01, minimum=3) == 3
+
+    def test_rounding(self):
+        assert scaled(10, 0.25) == 2  # round(2.5) banker's -> 2
+        assert scaled(10, 0.35) == 4
+
+
+class TestTextStream:
+    def test_values_in_alphabet(self):
+        stream = text_stream(5, 1000, alphabet=26)
+        assert all(0 <= value < 26 for value in stream)
+        assert len(stream) == 1000
+
+    def test_skew_toward_low_codes(self):
+        stream = text_stream(5, 5000, alphabet=26)
+        low = sum(1 for value in stream if value < 13)
+        assert low > len(stream) * 0.6
+
+    def test_deterministic(self):
+        assert text_stream(1, 100) == text_stream(1, 100)
+
+
+class TestInputSetProperties:
+    @pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+    def test_input_sets_deterministic(self, workload):
+        assert workload.input_set(0, scale=0.1) == workload.input_set(0, scale=0.1)
+
+    @pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+    def test_input_sets_differ_across_indices(self, workload):
+        streams = {tuple(workload.input_set(i, scale=0.1)) for i in range(6)}
+        assert len(streams) == 6
+
+    def test_negative_index_rejected(self):
+        workload = all_workloads()[0]
+        with pytest.raises(ValueError):
+            workload.input_set(-1)

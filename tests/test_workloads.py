@@ -1,0 +1,134 @@
+"""Tests for the 13 SPEC95-idiom workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import run_program
+from repro.workloads import (
+    TABLE_4_1_NAMES,
+    TEST_INDEX,
+    TRAINING_RUNS,
+    all_workloads,
+    get_workload,
+    table_4_1_workloads,
+    workload_names,
+)
+
+ALL_NAMES = workload_names()
+TINY = 0.03
+
+
+class TestRegistry:
+    def test_thirteen_workloads(self):
+        assert len(ALL_NAMES) == 13
+
+    def test_suites(self):
+        assert len(workload_names("int")) == 8
+        assert len(workload_names("fp")) == 5
+
+    def test_table_4_1_selection(self):
+        names = [w.name for w in table_4_1_workloads()]
+        assert names == TABLE_4_1_NAMES
+        assert len(names) == 9
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_workload("999.nonsense")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEachWorkload:
+    def test_compiles(self, name):
+        program = get_workload(name).compile()
+        assert len(program) > 100
+        assert len(program.candidate_addresses) > 50
+
+    def test_runs_to_completion_and_outputs(self, name):
+        workload = get_workload(name)
+        result = run_program(workload.compile(), workload.input_set(0, scale=TINY))
+        assert result.halted
+        assert result.outputs
+
+    def test_deterministic(self, name):
+        workload = get_workload(name)
+        program = workload.compile()
+        first = run_program(program, workload.input_set(0, scale=TINY))
+        second = run_program(program, workload.input_set(0, scale=TINY))
+        assert first.outputs == second.outputs
+        assert first.instruction_count == second.instruction_count
+
+    def test_training_inputs_are_distinct(self, name):
+        workload = get_workload(name)
+        program = workload.compile()
+        outputs = [
+            tuple(run_program(program, workload.input_set(index, scale=TINY)).outputs)
+            for index in range(TRAINING_RUNS)
+        ]
+        assert len(set(outputs)) == TRAINING_RUNS
+
+    def test_test_input_differs_from_training(self, name):
+        workload = get_workload(name)
+        program = workload.compile()
+        test_output = tuple(
+            run_program(program, workload.input_set(TEST_INDEX, scale=TINY)).outputs
+        )
+        train_output = tuple(
+            run_program(program, workload.input_set(0, scale=TINY)).outputs
+        )
+        assert test_output != train_output
+
+    def test_scale_controls_work(self, name):
+        workload = get_workload(name)
+        program = workload.compile()
+        small = run_program(program, workload.input_set(0, scale=0.25))
+        large = run_program(program, workload.input_set(0, scale=1.0))
+        assert large.instruction_count > small.instruction_count
+
+
+class TestPhases:
+    @pytest.mark.parametrize("name", workload_names("fp"))
+    def test_fp_workloads_mark_both_phases(self, name):
+        from repro.machine import trace_program
+
+        workload = get_workload(name)
+        phases = set()
+        for record in trace_program(
+            workload.compile(), workload.input_set(0, scale=TINY)
+        ):
+            phases.add(record.phase)
+        assert {1, 2} <= phases
+
+    @pytest.mark.parametrize("name", workload_names("int"))
+    def test_int_workloads_are_single_phase(self, name):
+        from repro.machine import trace_program
+
+        workload = get_workload(name)
+        phases = set()
+        for record in trace_program(
+            workload.compile(), workload.input_set(0, scale=TINY)
+        ):
+            phases.add(record.phase)
+        assert phases == {0}
+
+
+class TestSuiteCharacter:
+    def test_fp_workloads_have_fp_instructions(self):
+        from repro.isa import Category
+
+        for workload in all_workloads("fp"):
+            program = workload.compile()
+            categories = {i.category for i in program.instructions}
+            assert Category.FP_ALU in categories
+            assert Category.FP_LOAD in categories
+
+    def test_large_working_set_benchmarks_exceed_table(self):
+        # The table-pressure story of Figures 5.3/5.4 needs gcc and vortex
+        # to have more live candidates than the 512-entry table.
+        assert len(get_workload("126.gcc").compile().candidate_addresses) > 512
+        assert len(get_workload("147.vortex").compile().candidate_addresses) > 512
+
+    def test_small_working_set_benchmarks_fit_table(self):
+        for name in ("124.m88ksim", "129.compress"):
+            candidates = get_workload(name).compile().candidate_addresses
+            assert len(candidates) < 512
