@@ -2,6 +2,7 @@
 
 PYTHON ?= python3
 SCALE ?= 1.0
+JOBS ?= 0
 
 .PHONY: install test test-fast bench experiments examples clean
 
@@ -19,7 +20,7 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 experiments:
-	$(PYTHON) -m repro.experiments.runner all --scale $(SCALE) \
+	$(PYTHON) -m repro experiments all --scale $(SCALE) --jobs $(JOBS) \
 		--output-dir results/tables
 
 examples:

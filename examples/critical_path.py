@@ -15,6 +15,7 @@ Run with: ``python examples/critical_path.py [workload] [threshold]``
 
 import sys
 
+from repro import AnnotationPolicy, collect_profile, merge_profiles
 from repro.analysis import (
     analyze_blocks,
     block_statistics,
@@ -23,8 +24,6 @@ from repro.analysis import (
     schedule_block,
     summarize_paths,
 )
-from repro.annotate import AnnotationPolicy
-from repro.profiling import collect_profile, merge_profiles
 from repro.workloads import get_workload
 
 

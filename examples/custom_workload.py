@@ -17,8 +17,9 @@ from repro import (
     collect_profile,
     compile_source,
     disassemble,
+    merge_profiles,
 )
-from repro.profiling import dumps_profile, merge_profiles
+from repro.profiling import dumps_profile
 
 # Matrix-vector multiply: row/column index arithmetic strides perfectly;
 # the accumulated dot products are data dependent.

@@ -18,15 +18,17 @@ Run with: ``python examples/hybrid_predictor.py [workload] [scale]``
 
 import sys
 
-from repro.annotate import AnnotationPolicy
-from repro.core import (
+from repro import (
+    AnnotationPolicy,
+    Directive,
+    HybridPredictor,
+    LastValuePredictor,
     PredictionEngine,
     ProfileClassification,
+    StridePredictor,
     run_methodology,
-    simulate_prediction_many,
 )
-from repro.isa import Directive
-from repro.predictors import HybridPredictor, LastValuePredictor, StridePredictor
+from repro.core import simulate_prediction_many
 from repro.workloads import get_workload
 
 

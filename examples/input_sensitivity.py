@@ -10,11 +10,11 @@ Run with: ``python examples/input_sensitivity.py [workload] [scale]``
 
 import sys
 
+from repro import collect_profile
 from repro.profiling import (
     HISTOGRAM_LABELS,
     accuracy_vectors,
     average_distance_metric,
-    collect_profile,
     interval_percentages,
     max_distance_metric,
     stride_efficiency_vectors,

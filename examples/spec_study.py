@@ -16,17 +16,17 @@ Run with: ``python examples/spec_study.py [workload] [scale]``
 
 import sys
 
-from repro.core import (
+from repro import (
+    AnnotationPolicy,
     HardwareClassification,
     PredictionEngine,
     ProfileClassification,
+    StridePredictor,
     evaluate_hardware_scheme,
     evaluate_profile_scheme,
     run_methodology,
 )
-from repro.annotate import AnnotationPolicy
 from repro.ilp import ilp_increase, measure_ilp_many
-from repro.predictors import StridePredictor
 from repro.workloads import get_workload
 
 THRESHOLDS = (90.0, 70.0, 50.0)

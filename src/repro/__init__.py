@@ -19,6 +19,12 @@ Subpackages
 * :mod:`repro.workloads` — the 13 SPEC95-idiom workloads and their input
   generators.
 * :mod:`repro.experiments` — one harness per paper table/figure.
+* :mod:`repro.runner` — the parallel experiment engine and its
+  content-addressed artifact cache.
+
+This module is the stable facade: everything in ``__all__`` is supported
+API, re-exported from the subpackages above.  Prefer ``from repro import
+compile_source`` over reaching into submodules.
 
 Quickstart::
 
@@ -30,18 +36,27 @@ Quickstart::
     result = run_methodology(program, workload.training_inputs())
     stats = evaluate_profile_scheme(result, workload.test_inputs())
     print(stats.taken_accuracy)
+
+Or drive the full experiment suite programmatically::
+
+    from repro import ExperimentContext, run_experiments
+
+    context = ExperimentContext(scale=0.1, cache_dir="~/.cache/repro")
+    run_experiments(["fig-2.2", "table-5.2"], context, jobs=4)
 """
 
 from .annotate import AnnotationPolicy, annotate_program
 from .core import (
     HardwareClassification,
+    PredictionEngine,
+    PredictionStats,
     ProfileClassification,
     evaluate_hardware_scheme,
     evaluate_profile_scheme,
     run_methodology,
     simulate_prediction,
 )
-from .ilp import IlpConfig, measure_ilp
+from .ilp import IlpConfig, IlpResult, measure_ilp
 from .isa import Directive, Program, assemble, disassemble
 from .lang import compile_source
 from .machine import run_program, trace_program
@@ -51,18 +66,55 @@ from .predictors import (
     LastValuePredictor,
     StridePredictor,
 )
-from .profiling import ProfileImage, collect_profile, merge_profiles
+from .profiling import (
+    ProfileImage,
+    collect_profile,
+    merge_profiles,
+    read_profile,
+    save_profile,
+)
 
 __version__ = "1.0.0"
 
+#: Facade names resolved lazily — the experiments layer (and with it the
+#: parallel engine) loads only when first touched, keeping plain
+#: ``import repro`` cheap and the import graph cycle-free.
+_LAZY = {
+    "ExperimentContext": ("repro.experiments.context", "ExperimentContext"),
+    "run_experiments": ("repro.experiments.runner", "run_experiments"),
+    "ArtifactCache": ("repro.runner.cache", "ArtifactCache"),
+    "default_cache_dir": ("repro.runner.cache", "default_cache_dir"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target[0]), target[1])
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
 __all__ = [
     "AnnotationPolicy",
+    "ArtifactCache",
     "Directive",
+    "ExperimentContext",
     "FsmClassifier",
     "HardwareClassification",
     "HybridPredictor",
     "IlpConfig",
+    "IlpResult",
     "LastValuePredictor",
+    "PredictionEngine",
+    "PredictionStats",
     "ProfileClassification",
     "ProfileImage",
     "Program",
@@ -71,13 +123,17 @@ __all__ = [
     "assemble",
     "collect_profile",
     "compile_source",
+    "default_cache_dir",
     "disassemble",
     "evaluate_hardware_scheme",
     "evaluate_profile_scheme",
     "measure_ilp",
     "merge_profiles",
+    "read_profile",
+    "run_experiments",
     "run_methodology",
     "run_program",
+    "save_profile",
     "simulate_prediction",
     "trace_program",
     "__version__",

@@ -8,6 +8,14 @@ Mirrors the paper's three-phase workflow as shell commands::
     python -m repro annotate program.asm program.profile --threshold 90 -o tagged.asm
     python -m repro disasm   tagged.asm
 
+and exposes the whole experiment suite through the same entry point::
+
+    python -m repro experiments all --jobs 4
+    python -m repro experiments fig-2.2 table-5.2 --scale 0.3
+
+(the ``repro-experiments`` script is a back-compat alias for the
+``experiments`` subcommand; both share :mod:`repro.experiments.runner`).
+
 Programs on disk are stored in the textual assembly format
 (:mod:`repro.isa.assembler`); ``compile`` turns mini-C into it, and every
 other command consumes it.  Inputs may be given inline (``--inputs 1,2,3``)
@@ -190,13 +198,31 @@ def _command_report(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_experiments(arguments: argparse.Namespace) -> int:
+    from .experiments.runner import run_from_arguments
+
+    return run_from_arguments(arguments)
+
+
 def build_parser() -> argparse.ArgumentParser:
+    # Imported here so `import repro.cli` stays light and the
+    # cli -> experiments dependency exists only at parser-build time.
+    from .experiments.runner import add_arguments as add_experiment_arguments
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Toolchain for the MICRO-30 1997 profiling/value-prediction "
         "reproduction.",
     )
     commands = parser.add_subparsers(dest="command", required=True)
+
+    experiments_parser = commands.add_parser(
+        "experiments",
+        help="reproduce the paper's tables and figures (parallel engine, "
+        "content-addressed cache)",
+    )
+    add_experiment_arguments(experiments_parser)
+    experiments_parser.set_defaults(handler=_command_experiments)
 
     compile_parser = commands.add_parser(
         "compile", help="compile mini-C to textual assembly (phase 1)"

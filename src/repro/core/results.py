@@ -1,4 +1,10 @@
-"""Result records for value-prediction simulations."""
+"""Result records for value-prediction simulations.
+
+Both record types round-trip through plain dicts (:meth:`to_dict` /
+:meth:`from_dict`) so the experiment engine can ship simulation cells
+between pool processes and persist them in the artifact cache; the
+encoding is exact — every field is an integer counter.
+"""
 
 from __future__ import annotations
 
@@ -24,6 +30,13 @@ class AddressStats:
     @property
     def taken_incorrect(self) -> int:
         return self.taken - self.taken_correct
+
+    def to_tuple(self) -> tuple:
+        return dataclasses.astuple(self)
+
+    @classmethod
+    def from_tuple(cls, values) -> "AddressStats":
+        return cls(*(int(value) for value in values))
 
 
 @dataclasses.dataclass
@@ -96,3 +109,39 @@ class PredictionStats:
             stats = AddressStats()
             self.per_address[address] = stats
         return stats
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Exact, JSON-compatible encoding (addresses become strings)."""
+        return {
+            "candidates": self.candidates,
+            "executions": self.executions,
+            "attempts": self.attempts,
+            "would_correct": self.would_correct,
+            "taken": self.taken,
+            "taken_correct": self.taken_correct,
+            "allocations": self.allocations,
+            "evictions": self.evictions,
+            "per_address": {
+                str(address): list(stats.to_tuple())
+                for address, stats in self.per_address.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PredictionStats":
+        return cls(
+            candidates=int(payload["candidates"]),
+            executions=int(payload["executions"]),
+            attempts=int(payload["attempts"]),
+            would_correct=int(payload["would_correct"]),
+            taken=int(payload["taken"]),
+            taken_correct=int(payload["taken_correct"]),
+            allocations=int(payload["allocations"]),
+            evictions=int(payload["evictions"]),
+            per_address={
+                int(address): AddressStats.from_tuple(values)
+                for address, values in payload.get("per_address", {}).items()
+            },
+        )

@@ -22,6 +22,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "ablation-fsm-bits"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ()
+
 #: (bits, initial state, take threshold).
 VARIANTS = ((1, 0, 1), (2, 1, 2), (3, 3, 4))
 

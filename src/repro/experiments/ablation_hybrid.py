@@ -30,6 +30,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "ablation-hybrid"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("annotate",)
+
 THRESHOLD = 70.0
 
 

@@ -25,6 +25,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "ablation-ilp-machine"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("annotate",)
+
 THRESHOLD = 70.0
 WINDOWS = (8, 16, 40, 128)
 PENALTIES = (0, 1, 3)

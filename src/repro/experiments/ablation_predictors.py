@@ -32,6 +32,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "ablation-predictors"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ()
+
 _FAMILIES = ("last-value", "stride", "two-delta", "fcm")
 
 

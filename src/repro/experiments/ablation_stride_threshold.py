@@ -25,6 +25,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "ablation-stride-threshold"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("profile",)
+
 ACCURACY_THRESHOLD = 70.0
 SPLITS = (10.0, 30.0, 50.0, 70.0, 90.0)
 

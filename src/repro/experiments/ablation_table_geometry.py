@@ -25,6 +25,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "ablation-table-geometry"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("annotate",)
+
 THRESHOLD = 70.0
 SIZES = (64, 128, 256, 512, 1024)
 

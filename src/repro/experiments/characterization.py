@@ -18,6 +18,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "characterization"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ()
+
 
 def run(context: ExperimentContext) -> ExperimentTable:
     table = ExperimentTable(

@@ -3,26 +3,35 @@
 Most experiments need the same expensive artifacts — compiled binaries,
 the five training-run profile images per benchmark, merged profiles and
 annotated binaries per threshold.  :class:`ExperimentContext` memoizes
-them (optionally persisting profile images to a cache directory in the
-profile-image file format) so the full experiment suite pays for each
-artifact once.
+them in-process and, when a ``cache_dir`` is given, persists them in the
+content-addressed :class:`~repro.runner.cache.ArtifactCache` shared with
+the parallel experiment engine (:mod:`repro.runner`), so the full
+experiment suite pays for each artifact once — per machine, not per run.
+
+Cache keys digest the program text, the exact input streams and the
+relevant configuration (:mod:`repro.runner.keys`); a changed workload
+source, input generator or ``scale`` therefore misses cleanly, and a
+corrupt cache entry is discarded and recomputed.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..annotate import AnnotationPolicy, annotate_program
 from ..isa import Number, Program
 from ..profiling import (
+    ProfileFormatError,
     ProfileImage,
     collect_profile,
+    dumps_profile,
+    loads_profile,
     merge_profiles,
-    read_profile,
-    save_profile,
 )
+from ..runner import keys
+from ..runner.cache import ArtifactCache
 from ..workloads import TRAINING_RUNS, Workload, get_workload
 
 #: The five classification thresholds swept in Section 5.
@@ -42,8 +51,18 @@ class ExperimentContext:
             (~200-500k dynamic instructions per run), smaller values
             shrink runs proportionally for quick checks and benchmarks.
         training_runs: how many training input sets to profile (paper: 5).
-        cache_dir: optional directory for persisted profile images.
+        cache_dir: optional root of the on-disk content-addressed
+            artifact cache (profile images, merged profiles, simulation
+            cells, finished tables).
         stride_threshold: stride-efficiency split for directive type.
+
+    Attributes:
+        memo: typed scratch space for derived computations keyed by
+            hashable tuples — :mod:`repro.experiments.shared` stores its
+            simulation/ILP grids here, and the parallel engine primes it
+            with cells computed in pool workers.
+        artifacts: the :class:`ArtifactCache` under ``cache_dir``, or
+            ``None`` when no disk cache was requested.
     """
 
     scale: float = 1.0
@@ -52,9 +71,11 @@ class ExperimentContext:
     stride_threshold: float = 50.0
 
     def __post_init__(self) -> None:
+        self.artifacts: Optional[ArtifactCache] = None
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self.artifacts = ArtifactCache(self.cache_dir)
+        self.memo: Dict[Hashable, Any] = {}
         self._profiles: Dict[Tuple[str, int], ProfileImage] = {}
         self._merged: Dict[str, ProfileImage] = {}
         self._annotated: Dict[Tuple[str, float], Program] = {}
@@ -75,32 +96,45 @@ class ExperimentContext:
     def test_inputs(self, name: str) -> List[Number]:
         return get_workload(name).test_inputs(scale=self.scale)
 
-    # -- profiles ------------------------------------------------------------
+    # -- disk cache ----------------------------------------------------------
 
-    def _cache_path(self, name: str, run_index: int) -> Optional[Path]:
-        if self.cache_dir is None:
+    def _cached_profile(self, kind: str, key: str) -> Optional[ProfileImage]:
+        if self.artifacts is None:
             return None
-        stem = f"{name}_run{run_index}_scale{self.scale:g}.profile"
-        return self.cache_dir / stem
+        payload = self.artifacts.load(kind, key, "profile")
+        if payload is None:
+            return None
+        try:
+            return loads_profile(payload)
+        except ProfileFormatError:
+            self.artifacts.discard(kind, key, "profile")
+            return None
+
+    def _store_profile(self, kind: str, key: str, image: ProfileImage) -> None:
+        if self.artifacts is not None:
+            self.artifacts.store(kind, key, dumps_profile(image), "profile")
+
+    # -- profiles ------------------------------------------------------------
 
     def training_profile(self, name: str, run_index: int) -> ProfileImage:
         """Profile image of one training run (unbounded stride predictor)."""
-        key = (name, run_index)
-        if key in self._profiles:
-            return self._profiles[key]
-        path = self._cache_path(name, run_index)
-        if path is not None and path.exists():
-            image = read_profile(path)
-        else:
+        memo_key = (name, run_index)
+        if memo_key in self._profiles:
+            return self._profiles[memo_key]
+        cache_key = None
+        image = None
+        if self.artifacts is not None:
+            cache_key = keys.profile_key(name, run_index, self.scale)
+            image = self._cached_profile("profile", cache_key)
+        if image is None:
             workload = get_workload(name)
             image = collect_profile(
                 workload.compile(),
                 workload.input_set(run_index, scale=self.scale),
                 run_label=f"train-{run_index}",
             )
-            if path is not None:
-                save_profile(image, path)
-        self._profiles[key] = image
+            self._store_profile("profile", cache_key, image)
+        self._profiles[memo_key] = image
         return image
 
     def training_profiles(self, name: str) -> List[ProfileImage]:
@@ -112,12 +146,20 @@ class ExperimentContext:
     def merged_profile(self, name: str) -> ProfileImage:
         """All training runs merged into one profile image."""
         if name not in self._merged:
-            self._merged[name] = merge_profiles(
-                self.training_profiles(name), program_name=name
-            )
+            cache_key = None
+            image = None
+            if self.artifacts is not None:
+                cache_key = keys.merged_key(name, self.scale, self.training_runs)
+                image = self._cached_profile("merged", cache_key)
+            if image is None:
+                image = merge_profiles(
+                    self.training_profiles(name), program_name=name
+                )
+                self._store_profile("merged", cache_key, image)
+            self._merged[name] = image
         return self._merged[name]
 
-    # -- annotated binaries -----------------------------------------------------
+    # -- annotated binaries --------------------------------------------------
 
     def policy(self, threshold: float) -> AnnotationPolicy:
         return AnnotationPolicy(
@@ -132,3 +174,21 @@ class ExperimentContext:
                 self.program(name), self.merged_profile(name), self.policy(threshold)
             )
         return self._annotated[key]
+
+    # -- engine priming ------------------------------------------------------
+    #
+    # The parallel engine (repro.runner) computes artifacts in pool
+    # workers and installs them here, both in the parent after a job
+    # completes and in workers before a dependent job starts.
+
+    def has_profile(self, name: str, run_index: int) -> bool:
+        return (name, run_index) in self._profiles
+
+    def prime_profile(self, name: str, run_index: int, image: ProfileImage) -> None:
+        self._profiles.setdefault((name, run_index), image)
+
+    def has_annotated(self, name: str, threshold: float) -> bool:
+        return (name, threshold) in self._annotated
+
+    def prime_annotated(self, name: str, threshold: float, program: Program) -> None:
+        self._annotated.setdefault((name, threshold), program)

@@ -22,6 +22,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "extension-critical-path"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("profile",)
+
 THRESHOLDS = (90.0, 50.0)
 MIN_BLOCK_SIZE = 3
 

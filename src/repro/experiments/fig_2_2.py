@@ -26,6 +26,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "fig-2.2"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("profile",)
+
 
 def _accuracies(image) -> list:
     return [

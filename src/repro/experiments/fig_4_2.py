@@ -21,6 +21,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "fig-4.2"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("profile",)
+
 
 def run(context: ExperimentContext) -> ExperimentTable:
     table = ExperimentTable(

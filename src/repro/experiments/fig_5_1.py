@@ -19,6 +19,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "fig-5.1"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("classify",)
+
 _HEADERS = ["benchmark", "FSM"] + [f"Prof th={t:g}%" for t in THRESHOLDS]
 
 

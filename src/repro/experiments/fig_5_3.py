@@ -20,6 +20,10 @@ from .tables import ExperimentTable, percent_change
 
 EXPERIMENT_ID = "fig-5.3"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("finite",)
+
 
 def run(context: ExperimentContext) -> ExperimentTable:
     table = ExperimentTable(

@@ -17,6 +17,10 @@ from .tables import ExperimentTable, percent_change
 
 EXPERIMENT_ID = "fig-5.4"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("finite",)
+
 
 def run(context: ExperimentContext) -> ExperimentTable:
     table = ExperimentTable(

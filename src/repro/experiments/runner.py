@@ -1,14 +1,22 @@
 """Command-line experiment runner.
 
-Usage::
+Usage (both spellings share this implementation)::
 
-    repro-experiments all                 # every table and figure
-    repro-experiments table-5.2 fig-5.3   # a subset
-    repro-experiments all --scale 0.3     # quicker, smaller runs
-    repro-experiments list                # what exists
+    python -m repro experiments all               # every table and figure
+    python -m repro experiments table-5.2 fig-5.3 --jobs 4
+    python -m repro experiments all --scale 0.3   # quicker, smaller runs
+    python -m repro experiments list              # what exists
+    repro-experiments all                         # back-compat alias
 
 Each experiment prints a plain-text table mirroring the paper's table or
 figure, with a note on provenance.
+
+The suite runs on the parallel experiment engine (:mod:`repro.runner`):
+``--jobs N`` fans independent cells — compile, per-run profiling,
+annotation, per-benchmark simulation grids, whole experiments — across a
+process pool, and every expensive artifact is persisted in a
+content-addressed cache (``--cache-dir``, default ``~/.cache/repro``) so
+a repeated run is nearly free.  ``--no-cache`` opts out.
 """
 
 from __future__ import annotations
@@ -17,7 +25,7 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from . import (
     ablation_fsm_bits,
@@ -41,6 +49,8 @@ from . import (
     table_5_1,
     table_5_2,
 )
+from ..runner import build_experiment_graph, default_cache_dir
+from ..runner.executor import execute_graph
 from .context import ExperimentContext
 from .tables import ExperimentTable
 
@@ -67,6 +77,9 @@ _MODULES = (
     characterization,
 )
 
+#: Experiment id -> module (the engine reads ``CELLS`` declarations here).
+MODULES = {module.EXPERIMENT_ID: module for module in _MODULES}
+
 EXPERIMENTS: Dict[str, Callable[[ExperimentContext], ExperimentTable]] = {
     module.EXPERIMENT_ID: module.run for module in _MODULES
 }
@@ -78,26 +91,30 @@ def run_experiments(
     stream=None,
     output_dir=None,
     chart: bool = False,
+    jobs: int = 1,
+    progress=None,
 ) -> List[ExperimentTable]:
     """Run the named experiments, printing each table as it completes.
 
-    With ``output_dir``, each table is also written there as
-    ``<id>.txt`` (formatted) and ``<id>.tsv`` (machine-readable, see
-    :meth:`ExperimentTable.to_tsv`).  With ``chart=True``, an ASCII chart
-    of the table follows it on the stream.
+    With ``jobs > 1`` the underlying cells run on a process pool; the
+    tables are still emitted in the requested order and are byte-for-byte
+    identical to a serial run.  With ``output_dir``, each table is also
+    written there as ``<id>.txt`` (formatted) and ``<id>.tsv``
+    (machine-readable, see :meth:`ExperimentTable.to_tsv`).  With
+    ``chart=True``, an ASCII chart of the table follows it on the stream.
+    ``progress`` may be a stream for per-job progress/timing lines.
     """
     stream = stream or sys.stdout
     if output_dir is not None:
         output_dir = Path(output_dir)
         output_dir.mkdir(parents=True, exist_ok=True)
+    started = time.time()
+    graph = build_experiment_graph(names, context)
+    outcome = execute_graph(graph, context, jobs=jobs, progress=progress)
     results = []
     for name in names:
-        if name not in EXPERIMENTS:
-            known = ", ".join(EXPERIMENTS)
-            raise SystemExit(f"unknown experiment {name!r}; known: {known}")
-        started = time.time()
-        table = EXPERIMENTS[name](context)
-        elapsed = time.time() - started
+        table = outcome.tables[name]
+        record = outcome.record_for(f"experiment:{name}")
         print(table.format(), file=stream)
         if chart:
             from ..viz import chart_table
@@ -106,7 +123,9 @@ def run_experiments(
                 print(chart_table(table), file=stream)
             except ValueError:
                 pass
-        print(f"[{name} finished in {elapsed:.1f}s]\n", file=stream)
+        suffix = " (cached)" if record is not None and record.cached else ""
+        seconds = record.seconds if record is not None else 0.0
+        print(f"[{name} finished in {seconds:.1f}s{suffix}]\n", file=stream)
         if output_dir is not None:
             stem = name.replace(".", "_")
             (output_dir / f"{stem}.txt").write_text(
@@ -116,15 +135,22 @@ def run_experiments(
                 table.to_tsv(), encoding="utf-8"
             )
         results.append(table)
+    if progress is not None:
+        print(
+            f"[suite: {len(graph)} jobs, {outcome.cached_jobs} cached, "
+            f"{outcome.computed_seconds:.1f}s job time, "
+            f"{time.time() - started:.1f}s wall]",
+            file=progress,
+        )
     return results
 
 
-def main(argv: List[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description="Reproduce the tables and figures of Gabbay & Mendelson, "
-        "MICRO-30 1997.",
-    )
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the experiment-runner options on ``parser``.
+
+    Shared by the ``repro-experiments`` alias and the ``python -m repro
+    experiments`` subcommand so both spellings stay in lockstep.
+    """
     parser.add_argument(
         "experiments",
         nargs="*",
@@ -139,9 +165,23 @@ def main(argv: List[str] | None = None) -> int:
         help="workload input scale (default 1.0; smaller = faster)",
     )
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for independent cells (default 1 = serial; "
+        "0 = all cores)",
+    )
+    parser.add_argument(
         "--cache-dir",
-        default=None,
-        help="directory for persisted profile images (default: no disk cache)",
+        default=str(default_cache_dir()),
+        help="content-addressed artifact cache directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk artifact cache for this run",
     )
     parser.add_argument(
         "--training-runs",
@@ -159,8 +199,15 @@ def main(argv: List[str] | None = None) -> int:
         action="store_true",
         help="follow each table with an ASCII chart",
     )
-    arguments = parser.parse_args(argv)
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-job progress and timing lines",
+    )
 
+
+def run_from_arguments(arguments: argparse.Namespace) -> int:
+    """Dispatch a parsed namespace (see :func:`add_arguments`)."""
     names = list(arguments.experiments)
     if names == ["list"]:
         for identifier in EXPERIMENTS:
@@ -179,12 +226,31 @@ def main(argv: List[str] | None = None) -> int:
     context = ExperimentContext(
         scale=arguments.scale,
         training_runs=arguments.training_runs,
-        cache_dir=arguments.cache_dir,
+        cache_dir=None if arguments.no_cache else arguments.cache_dir,
     )
     run_experiments(
-        names, context, output_dir=arguments.output_dir, chart=arguments.chart
+        names,
+        context,
+        output_dir=arguments.output_dir,
+        chart=arguments.chart,
+        jobs=arguments.jobs,
+        progress=None if arguments.quiet else sys.stderr,
     )
     return 0
+
+
+def build_parser(prog: str = "repro-experiments") -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=prog,
+        description="Reproduce the tables and figures of Gabbay & Mendelson, "
+        "MICRO-30 1997.",
+    )
+    add_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    return run_from_arguments(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,13 +1,21 @@
 """Computations shared between experiment modules.
 
 Figures 5.1/5.2 are two views of one simulation, as are Figures 5.3/5.4
-and the columns of Table 5.2 — so the heavy work lives here, memoized on
-the :class:`~repro.experiments.context.ExperimentContext`.
+and the columns of Table 5.2 — so the heavy work lives here, memoized in
+the typed ``memo`` mapping on
+:class:`~repro.experiments.context.ExperimentContext` and, when the
+context has a ``cache_dir``, persisted in the content-addressed artifact
+cache so reruns and sibling experiments skip the simulation entirely.
+
+The memo keys (:func:`classification_memo_key` and friends) are part of
+the contract with the parallel engine: pool workers compute these grids
+remotely and :mod:`repro.runner.worker` primes them into the parent
+context under the same keys.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Hashable, Optional, Tuple
 
 from ..core import (
     HardwareClassification,
@@ -19,6 +27,7 @@ from ..core import (
 )
 from ..ilp import IlpConfig, IlpResult, measure_ilp_many
 from ..predictors import StridePredictor
+from ..runner import keys, serialize
 from .context import TABLE_ENTRIES, TABLE_WAYS, THRESHOLDS, ExperimentContext
 
 #: Engine label for the saturating-counter baseline.
@@ -29,15 +38,67 @@ def threshold_label(threshold: float) -> str:
     return f"prof{threshold:g}"
 
 
-_MEMO_ATTR = "_shared_memo"
+# -- memo keys ---------------------------------------------------------------
 
 
-def _memo(context: ExperimentContext) -> Dict:
-    memo = getattr(context, _MEMO_ATTR, None)
-    if memo is None:
-        memo = {}
-        setattr(context, _MEMO_ATTR, memo)
-    return memo
+def classification_memo_key(name: str) -> Tuple:
+    return ("classification", name)
+
+
+def finite_memo_key(name: str, entries: int, ways: int) -> Tuple:
+    return ("finite", name, entries, ways)
+
+
+def ilp_memo_key(
+    name: str, config: Optional[IlpConfig], entries: int, ways: int
+) -> Tuple:
+    """Memo key for an ILP grid.
+
+    ``config`` is normalized so that ``None`` and an explicitly
+    constructed default :class:`IlpConfig` — or any two equal custom
+    configs — share one entry.
+    """
+    return ("ilp", name, config or IlpConfig(), entries, ways)
+
+
+# -- cache plumbing ----------------------------------------------------------
+
+
+def _cached_grid(
+    context: ExperimentContext, kind: str, cache_key: Optional[str]
+):
+    if context.artifacts is None or cache_key is None:
+        return None
+    payload = context.artifacts.load(kind, cache_key)
+    if payload is None:
+        return None
+    try:
+        return serialize.decode(kind, payload)
+    except serialize.PayloadError:
+        context.artifacts.discard(kind, cache_key)
+        return None
+
+
+def _store_grid(
+    context: ExperimentContext, kind: str, cache_key: Optional[str], grid
+) -> None:
+    if context.artifacts is not None and cache_key is not None:
+        context.artifacts.store(kind, cache_key, serialize.encode(kind, grid))
+
+
+def _finish(
+    context: ExperimentContext,
+    memo_key: Hashable,
+    kind: str,
+    cache_key: Optional[str],
+    grid,
+):
+    _store_grid(context, kind, cache_key, grid)
+    context.memo[memo_key] = grid
+    return grid
+
+
+# -- the three shared grids --------------------------------------------------
 
 
 def classification_accuracy_stats(
@@ -48,10 +109,22 @@ def classification_accuracy_stats(
     Every scheme sees the identical, fully allocated unbounded stride
     predictor (via :class:`ProbeScheme`); only the take decision differs.
     """
-    memo = _memo(context)
-    key = ("classification", name)
-    if key in memo:
-        return memo[key]
+    memo_key = classification_memo_key(name)
+    if memo_key in context.memo:
+        return context.memo[memo_key]
+    cache_key = None
+    if context.artifacts is not None:
+        cache_key = keys.classify_key(
+            name,
+            context.scale,
+            context.training_runs,
+            THRESHOLDS,
+            context.stride_threshold,
+        )
+    cached = _cached_grid(context, "classify", cache_key)
+    if cached is not None:
+        context.memo[memo_key] = cached
+        return cached
     program = context.program(name)
     engines: Dict[str, PredictionEngine] = {
         FSM_LABEL: PredictionEngine(
@@ -68,8 +141,7 @@ def classification_accuracy_stats(
             scheme=ProbeScheme(ProfileClassification(annotated)),
         )
     stats = simulate_prediction_many(program, context.test_inputs(name), engines)
-    memo[key] = stats
-    return stats
+    return _finish(context, memo_key, "classify", cache_key, stats)
 
 
 def finite_table_stats(
@@ -84,10 +156,24 @@ def finite_table_stats(
     allocate only directive-tagged instructions.  Same 512-entry 2-way
     stride table geometry for everyone.
     """
-    memo = _memo(context)
-    key = ("finite", name, entries, ways)
-    if key in memo:
-        return memo[key]
+    memo_key = finite_memo_key(name, entries, ways)
+    if memo_key in context.memo:
+        return context.memo[memo_key]
+    cache_key = None
+    if context.artifacts is not None:
+        cache_key = keys.finite_key(
+            name,
+            context.scale,
+            context.training_runs,
+            THRESHOLDS,
+            context.stride_threshold,
+            entries,
+            ways,
+        )
+    cached = _cached_grid(context, "finite", cache_key)
+    if cached is not None:
+        context.memo[memo_key] = cached
+        return cached
     program = context.program(name)
     engines: Dict[str, PredictionEngine] = {
         FSM_LABEL: PredictionEngine(
@@ -104,8 +190,7 @@ def finite_table_stats(
             scheme=ProfileClassification(annotated),
         )
     stats = simulate_prediction_many(program, context.test_inputs(name), engines)
-    memo[key] = stats
-    return stats
+    return _finish(context, memo_key, "finite", cache_key, stats)
 
 
 def ilp_results(
@@ -120,10 +205,25 @@ def ilp_results(
     Labels: ``novp`` (baseline), ``fsm`` (VP+SC) and ``profX`` per
     threshold — all scheduled against a single execution.
     """
-    memo = _memo(context)
-    key = ("ilp", name, config, entries, ways)
-    if key in memo:
-        return memo[key]
+    memo_key = ilp_memo_key(name, config, entries, ways)
+    if memo_key in context.memo:
+        return context.memo[memo_key]
+    cache_key = None
+    if context.artifacts is not None:
+        cache_key = keys.ilp_key(
+            name,
+            context.scale,
+            context.training_runs,
+            THRESHOLDS,
+            context.stride_threshold,
+            entries,
+            ways,
+            config,
+        )
+    cached = _cached_grid(context, "ilp", cache_key)
+    if cached is not None:
+        context.memo[memo_key] = cached
+        return cached
     program = context.program(name)
     engines: Dict[str, Optional[PredictionEngine]] = {
         "novp": None,
@@ -143,5 +243,4 @@ def ilp_results(
     results = measure_ilp_many(
         program, context.test_inputs(name), engines, config=config
     )
-    memo[key] = results
-    return results
+    return _finish(context, memo_key, "ilp", cache_key, results)

@@ -23,6 +23,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "table-2.1"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ()
+
 
 def run(context: ExperimentContext) -> ExperimentTable:
     table = ExperimentTable(

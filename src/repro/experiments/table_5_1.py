@@ -17,6 +17,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "table-5.1"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("classify",)
+
 
 def run(context: ExperimentContext) -> ExperimentTable:
     table = ExperimentTable(

@@ -22,6 +22,10 @@ from .tables import ExperimentTable
 
 EXPERIMENT_ID = "table-5.2"
 
+#: Shared cells this experiment consumes; the parallel engine
+#: precomputes them across benchmarks (see repro.runner.jobs).
+CELLS = ("ilp",)
+
 _HEADERS = ["benchmark", "VP+SC"] + [f"VP+Prof {t:g}%" for t in THRESHOLDS]
 
 

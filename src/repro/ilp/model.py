@@ -57,6 +57,17 @@ class IlpConfig:
         if self.misprediction_penalty < 0:
             raise ValueError("misprediction_penalty must be non-negative")
 
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IlpConfig":
+        return cls(
+            window_size=int(payload["window_size"]),
+            misprediction_penalty=int(payload["misprediction_penalty"]),
+            track_memory_dependencies=bool(payload["track_memory_dependencies"]),
+        )
+
 
 @dataclasses.dataclass(frozen=True)
 class IlpResult:
@@ -74,6 +85,20 @@ class IlpResult:
         if self.cycles == 0:
             return 0.0
         return self.instructions / self.cycles
+
+    def to_dict(self) -> dict:
+        """Exact, JSON-compatible encoding for caching/pool transport."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IlpResult":
+        return cls(
+            instructions=int(payload["instructions"]),
+            cycles=int(payload["cycles"]),
+            taken_predictions=int(payload["taken_predictions"]),
+            correct_predictions=int(payload["correct_predictions"]),
+            mispredictions=int(payload["mispredictions"]),
+        )
 
 
 _Decoded = Tuple[Tuple[int, ...], Optional[int], bool, bool, bool]

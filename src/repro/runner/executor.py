@@ -1,0 +1,252 @@
+"""Serial and process-pool execution of a :class:`JobGraph`.
+
+The scheduler walks the graph in dependency order.  For every job it
+first probes the :class:`~repro.runner.cache.ArtifactCache` (a hit costs
+a decode and is reported as ``cached``); misses are computed — inline in
+the parent for serial runs and ``inline`` jobs, otherwise fanned out to
+a :class:`concurrent.futures.ProcessPoolExecutor`.  Pool jobs receive
+the encoded payloads of their dependencies, so the disk cache is an
+optimization, never a correctness requirement.
+
+Determinism: jobs are launched in graph (topological/insertion) order,
+results are keyed by job id, and tables are returned by experiment id —
+completion order never influences output.  Every job gets a
+:class:`JobRecord` with wall-clock seconds and cache provenance; the CLI
+turns these into progress and timing lines.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import inspect
+import os
+import time
+from typing import Dict, List, Optional, TextIO
+
+from . import keys, serialize, worker
+from .jobs import Job, JobGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class JobRecord:
+    """Outcome bookkeeping for one executed job."""
+
+    job_id: str
+    kind: str
+    label: str
+    seconds: float
+    cached: bool
+
+
+@dataclasses.dataclass
+class ExecutionOutcome:
+    """Everything :func:`execute_graph` produced."""
+
+    records: List[JobRecord] = dataclasses.field(default_factory=list)
+    tables: Dict[str, object] = dataclasses.field(default_factory=dict)
+    values: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def record_for(self, job_id: str) -> Optional[JobRecord]:
+        for record in self.records:
+            if record.job_id == job_id:
+                return record
+        return None
+
+    @property
+    def cached_jobs(self) -> int:
+        return sum(1 for record in self.records if record.cached)
+
+    @property
+    def computed_seconds(self) -> float:
+        return sum(record.seconds for record in self.records if not record.cached)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """``--jobs`` semantics: ``None``/``1`` serial, ``<= 0`` all cores."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _job_cache_key(job: Job, context) -> Optional[str]:
+    """The content-address of a job's artifact (``None`` = never cached).
+
+    Compile and annotate cells are cheap derivations of cached inputs
+    and are recomputed; everything expensive is keyed.
+    """
+    scale = context.scale
+    runs = context.training_runs
+    stride = context.stride_threshold
+    if job.kind == "profile":
+        return keys.profile_key(job.name, job.params[0], scale)
+    from ..experiments.context import THRESHOLDS
+
+    if job.kind == "classify":
+        return keys.classify_key(job.name, scale, runs, THRESHOLDS, stride)
+    if job.kind == "finite":
+        entries, ways = job.params
+        return keys.finite_key(
+            job.name, scale, runs, THRESHOLDS, stride, entries, ways
+        )
+    if job.kind == "ilp":
+        entries, ways = job.params
+        return keys.ilp_key(
+            job.name, scale, runs, THRESHOLDS, stride, entries, ways, None
+        )
+    if job.kind == "experiment":
+        from ..experiments.runner import MODULES
+        from ..workloads import REGISTRY
+
+        return keys.experiment_key(
+            job.name,
+            inspect.getsource(MODULES[job.name]),
+            scale,
+            runs,
+            stride,
+            REGISTRY.names(),
+        )
+    return None
+
+
+def execute_graph(
+    graph: JobGraph,
+    context,
+    *,
+    jobs: Optional[int] = 1,
+    progress: Optional[TextIO] = None,
+) -> ExecutionOutcome:
+    """Run every job in ``graph`` against ``context``.
+
+    With ``jobs > 1``, independent jobs run in a process pool; the
+    parent context ends up primed with every artifact either way, so
+    callers can keep using it (e.g. for follow-up experiments) exactly
+    as after a serial run.
+    """
+    workers = resolve_jobs(jobs)
+    order = graph.order()
+    position = {job.job_id: rank for rank, job in enumerate(order)}
+    waiting = {job.job_id: len(job.deps) for job in order}
+    dependents: Dict[str, List[str]] = {job.job_id: [] for job in order}
+    for job in order:
+        for dep in job.deps:
+            dependents[dep].append(job.job_id)
+
+    outcome = ExecutionOutcome()
+    encoded: Dict[str, str] = {}
+    artifacts = context.artifacts
+    spec = worker.context_spec(context)
+    total = len(order)
+    done = 0
+    ready = [job.job_id for job in order if not job.deps]
+
+    use_pool = workers > 1 and any(not job.inline for job in order)
+    pool = (
+        concurrent.futures.ProcessPoolExecutor(max_workers=workers)
+        if use_pool
+        else None
+    )
+    futures: Dict[concurrent.futures.Future, tuple] = {}
+
+    def finish(job: Job, value, payload: Optional[str], seconds: float, cached: bool):
+        nonlocal done
+        done += 1
+        outcome.values[job.job_id] = value
+        if payload is not None:
+            encoded[job.job_id] = payload
+        if job.kind == "experiment":
+            outcome.tables[job.name] = value
+        record = JobRecord(job.job_id, job.kind, job.label(), seconds, cached)
+        outcome.records.append(record)
+        if progress is not None:
+            suffix = " (cached)" if cached else ""
+            print(
+                f"[{done:>3}/{total}] {job.label()}: {seconds:.2f}s{suffix}",
+                file=progress,
+                flush=True,
+            )
+        for dependent in dependents[job.job_id]:
+            waiting[dependent] -= 1
+            if waiting[dependent] == 0:
+                ready.append(dependent)
+
+    def from_cache(job: Job, key: Optional[str]) -> bool:
+        if artifacts is None or key is None:
+            return False
+        extension = serialize.EXTENSIONS[job.kind]
+        payload = artifacts.load(job.kind, key, extension)
+        if payload is None:
+            return False
+        started = time.perf_counter()
+        try:
+            value = serialize.decode(job.kind, payload)
+        except serialize.PayloadError:
+            # Corrupt entry: drop it and fall back to recomputing.
+            artifacts.discard(job.kind, key, extension)
+            return False
+        worker.prime(context, job, value)
+        finish(job, value, payload, time.perf_counter() - started, True)
+        return True
+
+    def compute_inline(job: Job, key: Optional[str]) -> None:
+        started = time.perf_counter()
+        value = worker.compute_value(job, context)
+        store_table = (
+            job.kind == "experiment" and artifacts is not None and key is not None
+        )
+        payload = None
+        if pool is not None or store_table:
+            payload = serialize.encode(job.kind, value)
+        if store_table:
+            artifacts.store(job.kind, key, payload, serialize.EXTENSIONS[job.kind])
+        finish(job, value, payload, time.perf_counter() - started, False)
+
+    try:
+        while done < total:
+            ready.sort(key=position.__getitem__)
+            while ready:
+                job = graph[ready.pop(0)]
+                key = _job_cache_key(job, context)
+                if from_cache(job, key):
+                    continue
+                if pool is None or job.inline:
+                    compute_inline(job, key)
+                    continue
+                dep_items = tuple(
+                    (graph[dep], encoded[dep])
+                    for dep in job.deps
+                    if graph[dep].kind != "compile" and dep in encoded
+                )
+                future = pool.submit(worker.run_pool_job, spec, job, dep_items)
+                futures[future] = (job, key)
+            if not futures:
+                if done < total:
+                    stuck = [j.job_id for j in order if j.job_id not in outcome.values]
+                    raise RuntimeError(f"job graph deadlock; unrunnable: {stuck}")
+                break
+            completed, _ = concurrent.futures.wait(
+                futures, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            for future in completed:
+                job, key = futures.pop(future)
+                try:
+                    seconds, payload = future.result()
+                except Exception as error:
+                    raise RuntimeError(
+                        f"job {job.job_id} failed in worker: {error}"
+                    ) from error
+                value = serialize.decode(job.kind, payload)
+                worker.prime(context, job, value)
+                if artifacts is not None and key is not None and job.kind == "experiment":
+                    artifacts.store(
+                        job.kind, key, payload, serialize.EXTENSIONS[job.kind]
+                    )
+                finish(job, value, payload, seconds, False)
+    finally:
+        if pool is not None:
+            for future in futures:
+                future.cancel()
+            pool.shutdown(wait=True, cancel_futures=True)
+    return outcome

@@ -60,7 +60,7 @@ class TestContext:
     def test_disk_cache_roundtrip(self, tmp_path):
         context = ExperimentContext(scale=0.03, training_runs=1, cache_dir=tmp_path)
         image = context.training_profile("129.compress", 0)
-        files = list(tmp_path.glob("*.profile"))
+        files = list(tmp_path.glob("profile/*/*.profile"))
         assert len(files) == 1
         fresh = ExperimentContext(scale=0.03, training_runs=1, cache_dir=tmp_path)
         loaded = fresh.training_profile("129.compress", 0)

@@ -1,0 +1,213 @@
+"""Tests for the parallel experiment engine (:mod:`repro.runner`).
+
+Covers the three load-bearing guarantees:
+
+* ``--jobs N`` is byte-for-byte identical to a serial run,
+* an unchanged configuration hits the content-addressed cache,
+* cache keys change with the program text, the inputs and the scale,
+  and a corrupt cache entry is discarded and recomputed, never trusted.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.experiments import shared
+from repro.experiments.context import ExperimentContext
+from repro.experiments.runner import run_experiments
+from repro.ilp import IlpConfig
+from repro.runner import ArtifactCache, build_experiment_graph, keys
+from repro.runner.executor import execute_graph, resolve_jobs
+
+THRESHOLDS = (90.0, 50.0)
+
+
+def make_context(**overrides) -> ExperimentContext:
+    options = dict(scale=0.02, training_runs=2)
+    options.update(overrides)
+    return ExperimentContext(**options)
+
+
+class TestKeys:
+    def test_deterministic(self):
+        first = keys.profile_key("129.compress", 0, 0.02)
+        second = keys.profile_key("129.compress", 0, 0.02)
+        assert first == second
+
+    def test_scale_changes_key(self):
+        assert keys.profile_key("129.compress", 0, 0.02) != keys.profile_key(
+            "129.compress", 0, 0.03
+        )
+
+    def test_input_set_changes_key(self):
+        assert keys.profile_key("129.compress", 0, 0.02) != keys.profile_key(
+            "129.compress", 1, 0.02
+        )
+
+    def test_program_text_changes_key(self, monkeypatch):
+        before = keys.profile_key("129.compress", 0, 0.02)
+        monkeypatch.setitem(keys._program_texts, "129.compress", "li r1, 0\nhalt")
+        assert keys.profile_key("129.compress", 0, 0.02) != before
+
+    def test_training_run_count_changes_merged_key(self):
+        assert keys.merged_key("129.compress", 0.02, 2) != keys.merged_key(
+            "129.compress", 0.02, 3
+        )
+
+    def test_ilp_key_default_config_matches_none(self):
+        explicit = keys.ilp_key(
+            "129.compress", 0.02, 2, THRESHOLDS, 50.0, 512, 2, IlpConfig()
+        )
+        implicit = keys.ilp_key(
+            "129.compress", 0.02, 2, THRESHOLDS, 50.0, 512, 2, None
+        )
+        assert explicit == implicit
+
+    def test_ilp_key_custom_config_changes_key(self):
+        default = keys.ilp_key("129.compress", 0.02, 2, THRESHOLDS, 50.0, 512, 2)
+        custom = keys.ilp_key(
+            "129.compress", 0.02, 2, THRESHOLDS, 50.0, 512, 2,
+            IlpConfig(window_size=16),
+        )
+        assert default != custom
+
+    def test_ilp_memo_key_default_config_matches_none(self):
+        assert shared.ilp_memo_key(
+            "129.compress", None, 512, 2
+        ) == shared.ilp_memo_key("129.compress", IlpConfig(), 512, 2)
+
+
+class TestArtifactCache:
+    KEY = "ab" + "0" * 62
+
+    def test_roundtrip_and_layout(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("profile", self.KEY, "payload\n", "profile")
+        assert cache.load("profile", self.KEY, "profile") == "payload\n"
+        assert (tmp_path / "profile" / "ab" / f"{self.KEY}.profile").is_file()
+
+    def test_miss_returns_none(self, tmp_path):
+        assert ArtifactCache(tmp_path).load("profile", self.KEY, "profile") is None
+
+    def test_discard(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("merged", self.KEY, "x", "profile")
+        assert ("merged", self.KEY) in cache
+        cache.discard("merged", self.KEY, "profile")
+        assert ("merged", self.KEY) not in cache
+        assert cache.load("merged", self.KEY, "profile") is None
+
+    def test_store_overwrites_atomically(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("classify", self.KEY, "old")
+        cache.store("classify", self.KEY, "new")
+        assert cache.load("classify", self.KEY) == "new"
+        assert len(list(cache.entries())) == 1
+
+    def test_unreadable_entry_treated_as_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.store("profile", self.KEY, "ok", "profile")
+        path.write_bytes(b"\xff\xfe garbage \xff")
+        assert cache.load("profile", self.KEY, "profile") is None
+        assert ("profile", self.KEY) not in cache
+
+
+class TestGraph:
+    def test_experiment_graph_shape(self):
+        context = make_context()
+        graph = build_experiment_graph(["fig-5.1"], context)
+        kinds = {job.kind for job in graph.order()}
+        assert {"compile", "profile", "annotate", "classify", "experiment"} <= kinds
+        experiment = graph["experiment:fig-5.1"]
+        dep_kinds = {graph[dep].kind for dep in experiment.deps}
+        # fig-5.1 declares CELLS = ("classify",); the closure pulls in the
+        # profile and annotate cells those simulations are built from.
+        assert dep_kinds == {"profile", "annotate", "classify"}
+
+    def test_order_respects_dependencies(self):
+        context = make_context()
+        graph = build_experiment_graph(["fig-2.3", "fig-5.1"], context)
+        seen = set()
+        for job in graph.order():
+            assert all(dep in seen for dep in job.deps), job.job_id
+            seen.add(job.job_id)
+
+    def test_resolve_jobs(self):
+        import os
+
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+EXPERIMENT = "fig-4.2"
+
+
+def run_engine(jobs=1, cache_dir=None):
+    context = make_context(cache_dir=cache_dir)
+    graph = build_experiment_graph([EXPERIMENT], context)
+    outcome = execute_graph(graph, context, jobs=jobs)
+    return outcome, outcome.tables[EXPERIMENT].to_tsv()
+
+
+@pytest.fixture(scope="module")
+def warm_cache(tmp_path_factory):
+    """One serial run with a fresh cache; the expensive shared baseline."""
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    outcome, tsv = run_engine(cache_dir=cache_dir)
+    return cache_dir, outcome, tsv
+
+
+class TestEngine:
+    """End-to-end engine runs; tiny scale keeps each under ~10s."""
+
+    def test_parallel_byte_identical_to_serial(self, warm_cache):
+        _, _, serial = warm_cache
+        _, pooled = run_engine(jobs=4)  # no cache: genuinely recomputed
+        assert pooled == serial
+
+    def test_cache_hit_on_unchanged_inputs(self, warm_cache):
+        cache_dir, first_outcome, first = warm_cache
+        assert first_outcome.cached_jobs == 0
+        second_outcome, second = run_engine(cache_dir=cache_dir)
+        assert second == first
+        assert second_outcome.cached_jobs > 0
+        # Every profile cell and the finished table come from the cache.
+        cached_kinds = {r.kind for r in second_outcome.records if r.cached}
+        assert "profile" in cached_kinds and "experiment" in cached_kinds
+
+    def test_run_experiments_parallel_output_matches_serial(
+        self, warm_cache, tmp_path
+    ):
+        cache_dir, _, _ = warm_cache
+        run_experiments(
+            [EXPERIMENT], make_context(cache_dir=cache_dir),
+            stream=io.StringIO(), output_dir=tmp_path / "serial",
+        )
+        run_experiments(
+            [EXPERIMENT], make_context(cache_dir=cache_dir),
+            stream=io.StringIO(), output_dir=tmp_path / "pooled", jobs=2,
+        )
+        stem = EXPERIMENT.replace(".", "_")
+        serial_tsv = (tmp_path / "serial" / f"{stem}.tsv").read_text()
+        pooled_tsv = (tmp_path / "pooled" / f"{stem}.tsv").read_text()
+        assert serial_tsv == pooled_tsv
+
+    def test_corrupt_cache_entry_recovered(self, warm_cache):
+        # Runs after the cache-hit test (definition order); clobbering the
+        # shared cache here is safe because recovery recomputes everything.
+        cache_dir, _, first = warm_cache
+        cache = ArtifactCache(cache_dir)
+        corrupted = 0
+        for path in cache.entries():
+            path.write_text("not a valid payload {", encoding="utf-8")
+            corrupted += 1
+        assert corrupted > 0
+        outcome, again = run_engine(cache_dir=cache_dir)
+        assert again == first
+        # The corrupt table entry was discarded, not served.
+        record = outcome.record_for(f"experiment:{EXPERIMENT}")
+        assert record is not None and not record.cached
