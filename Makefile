@@ -4,7 +4,7 @@ PYTHON ?= python3
 SCALE ?= 1.0
 JOBS ?= 0
 
-.PHONY: install test test-fast bench experiments examples clean
+.PHONY: install test test-fast bench perf experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -18,6 +18,9 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+perf:
+	$(PYTHON) -m repro bench
 
 experiments:
 	$(PYTHON) -m repro experiments all --scale $(SCALE) --jobs $(JOBS) \

@@ -14,8 +14,9 @@ Run with: ``python examples/quickstart.py``
 
 from repro import (
     AnnotationPolicy,
-    evaluate_hardware_scheme,
-    evaluate_profile_scheme,
+    HardwareScheme,
+    ProfileScheme,
+    evaluate_scheme,
     run_methodology,
 )
 
@@ -71,8 +72,10 @@ def main() -> None:
     print(f"  tagged 'last-value'    : {report.last_value_tagged}")
     print(f"  left untagged          : {report.candidates - report.tagged}")
 
-    profile_stats = evaluate_profile_scheme(result, test_inputs, entries=64)
-    hardware_stats = evaluate_hardware_scheme(result.program, test_inputs, entries=64)
+    profile_stats = evaluate_scheme(ProfileScheme(result), test_inputs, entries=64)
+    hardware_stats = evaluate_scheme(
+        HardwareScheme(result.program), test_inputs, entries=64
+    )
 
     print("\nevaluation on an unseen input (64-entry stride table)")
     print(f"  {'':24s}{'profile-guided':>16s}{'saturating ctrs':>16s}")

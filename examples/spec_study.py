@@ -19,11 +19,12 @@ import sys
 from repro import (
     AnnotationPolicy,
     HardwareClassification,
+    HardwareScheme,
     PredictionEngine,
     ProfileClassification,
+    ProfileScheme,
     StridePredictor,
-    evaluate_hardware_scheme,
-    evaluate_profile_scheme,
+    evaluate_scheme,
     run_methodology,
 )
 from repro.ilp import ilp_increase, measure_ilp_many
@@ -44,7 +45,7 @@ def main() -> None:
     )
 
     print("\n-- finite 512-entry 2-way stride table --")
-    hardware = evaluate_hardware_scheme(program, test_inputs)
+    hardware = evaluate_scheme(HardwareScheme(program), test_inputs)
     print(
         f"  saturating counters : {hardware.taken_correct:7d} correct, "
         f"{hardware.taken_incorrect:6d} wrong"
@@ -57,7 +58,7 @@ def main() -> None:
             policy=AnnotationPolicy(accuracy_threshold=threshold),
         )
         results[threshold] = result
-        stats = evaluate_profile_scheme(result, test_inputs)
+        stats = evaluate_scheme(ProfileScheme(result), test_inputs)
         delta_ok = 100.0 * (stats.taken_correct - hardware.taken_correct) / max(
             1, hardware.taken_correct
         )

@@ -21,6 +21,8 @@ Subpackages
 * :mod:`repro.experiments` — one harness per paper table/figure.
 * :mod:`repro.runner` — the parallel experiment engine and its
   content-addressed artifact cache.
+* :mod:`repro.telemetry` — counters/timers/spans threaded through every
+  layer above, plus the ``python -m repro bench`` suite.
 
 This module is the stable facade: everything in ``__all__`` is supported
 API, re-exported from the subpackages above.  Prefer ``from repro import
@@ -28,13 +30,13 @@ compile_source`` over reaching into submodules.
 
 Quickstart::
 
-    from repro import run_methodology, evaluate_profile_scheme
+    from repro import ProfileScheme, evaluate_scheme, run_methodology
     from repro.workloads import get_workload
 
     workload = get_workload("129.compress")
     program = workload.compile()
     result = run_methodology(program, workload.training_inputs())
-    stats = evaluate_profile_scheme(result, workload.test_inputs())
+    stats = evaluate_scheme(ProfileScheme(result), workload.test_inputs())
     print(stats.taken_accuracy)
 
 Or drive the full experiment suite programmatically::
@@ -47,12 +49,16 @@ Or drive the full experiment suite programmatically::
 
 from .annotate import AnnotationPolicy, annotate_program
 from .core import (
+    EvaluationScheme,
     HardwareClassification,
+    HardwareScheme,
     PredictionEngine,
     PredictionStats,
     ProfileClassification,
+    ProfileScheme,
     evaluate_hardware_scheme,
     evaluate_profile_scheme,
+    evaluate_scheme,
     run_methodology,
     simulate_prediction,
 )
@@ -84,6 +90,10 @@ _LAZY = {
     "run_experiments": ("repro.experiments.runner", "run_experiments"),
     "ArtifactCache": ("repro.runner.cache", "ArtifactCache"),
     "default_cache_dir": ("repro.runner.cache", "default_cache_dir"),
+    "Telemetry": ("repro.telemetry", "Telemetry"),
+    "Span": ("repro.telemetry", "Span"),
+    "get_registry": ("repro.telemetry", "get_registry"),
+    "bench_main": ("repro.telemetry.bench", "bench_main"),
 }
 
 
@@ -106,9 +116,11 @@ __all__ = [
     "AnnotationPolicy",
     "ArtifactCache",
     "Directive",
+    "EvaluationScheme",
     "ExperimentContext",
     "FsmClassifier",
     "HardwareClassification",
+    "HardwareScheme",
     "HybridPredictor",
     "IlpConfig",
     "IlpResult",
@@ -117,16 +129,22 @@ __all__ = [
     "PredictionStats",
     "ProfileClassification",
     "ProfileImage",
+    "ProfileScheme",
     "Program",
+    "Span",
     "StridePredictor",
+    "Telemetry",
     "annotate_program",
     "assemble",
+    "bench_main",
     "collect_profile",
     "compile_source",
     "default_cache_dir",
     "disassemble",
     "evaluate_hardware_scheme",
     "evaluate_profile_scheme",
+    "evaluate_scheme",
+    "get_registry",
     "measure_ilp",
     "merge_profiles",
     "read_profile",

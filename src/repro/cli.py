@@ -14,7 +14,11 @@ and exposes the whole experiment suite through the same entry point::
     python -m repro experiments fig-2.2 table-5.2 --scale 0.3
 
 (the ``repro-experiments`` script is a back-compat alias for the
-``experiments`` subcommand; both share :mod:`repro.experiments.runner`).
+``experiments`` subcommand; both share :mod:`repro.experiments.runner`),
+plus the pinned performance suite::
+
+    python -m repro bench --output BENCH.json
+    python -m repro bench --smoke
 
 Programs on disk are stored in the textual assembly format
 (:mod:`repro.isa.assembler`); ``compile`` turns mini-C into it, and every
@@ -204,10 +208,17 @@ def _command_experiments(arguments: argparse.Namespace) -> int:
     return run_from_arguments(arguments)
 
 
+def _command_bench(arguments: argparse.Namespace) -> int:
+    from .telemetry.bench import run_from_arguments
+
+    return run_from_arguments(arguments)
+
+
 def build_parser() -> argparse.ArgumentParser:
     # Imported here so `import repro.cli` stays light and the
     # cli -> experiments dependency exists only at parser-build time.
     from .experiments.runner import add_arguments as add_experiment_arguments
+    from .telemetry.bench import add_arguments as add_bench_arguments
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -223,6 +234,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_experiment_arguments(experiments_parser)
     experiments_parser.set_defaults(handler=_command_experiments)
+
+    bench_parser = commands.add_parser(
+        "bench",
+        help="run the pinned performance suite and write a BENCH_<rev>.json "
+        "report (schema repro-bench/1)",
+    )
+    add_bench_arguments(bench_parser)
+    bench_parser.set_defaults(handler=_command_bench)
 
     compile_parser = commands.add_parser(
         "compile", help="compile mini-C to textual assembly (phase 1)"

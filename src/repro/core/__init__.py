@@ -4,9 +4,13 @@ hardware (saturating-counter) baseline.
 """
 
 from .pipeline import (
+    EvaluationScheme,
+    HardwareScheme,
     MethodologyResult,
+    ProfileScheme,
     evaluate_hardware_scheme,
     evaluate_profile_scheme,
+    evaluate_scheme,
     run_methodology,
 )
 from .results import AddressStats, PredictionStats
@@ -27,14 +31,18 @@ __all__ = [
     "AddressStats",
     "AlwaysClassification",
     "ClassificationScheme",
+    "EvaluationScheme",
     "HardwareClassification",
+    "HardwareScheme",
     "MethodologyResult",
     "PredictionEngine",
     "PredictionStats",
     "ProbeScheme",
     "ProfileClassification",
+    "ProfileScheme",
     "evaluate_hardware_scheme",
     "evaluate_profile_scheme",
+    "evaluate_scheme",
     "run_methodology",
     "simulate_prediction",
     "simulate_prediction_many",

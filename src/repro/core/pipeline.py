@@ -14,15 +14,18 @@ training inputs — the cross-input transfer is the paper's whole point.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
-from typing import Iterable, List, Optional, Sequence
+import warnings
+from typing import Iterable, List, Optional, Protocol, Sequence, runtime_checkable
 
 from ..annotate import AnnotationPolicy, AnnotationReport, annotate_program, annotation_report
 from ..isa import Number, Program
 from ..lang import compile_source
 from ..profiling import ProfileImage, collect_profile, merge_profiles
 from ..predictors import StridePredictor
-from .schemes import HardwareClassification, ProfileClassification
+from ..telemetry import Telemetry, use_registry
+from .schemes import ClassificationScheme, HardwareClassification, ProfileClassification
 from .simulate import simulate_prediction
 from .results import PredictionStats
 
@@ -89,6 +92,102 @@ def run_methodology(
     )
 
 
+@runtime_checkable
+class EvaluationScheme(Protocol):
+    """What :func:`evaluate_scheme` needs: a binary plus its classifier.
+
+    Anything exposing a ``program`` (the binary to run on the test
+    inputs) and a ``classification()`` factory (a fresh
+    :class:`~repro.core.schemes.ClassificationScheme` per evaluation)
+    can be evaluated — the bundled :class:`ProfileScheme` and
+    :class:`HardwareScheme` cover the paper's two mechanisms, and
+    custom classification studies plug in the same way.
+    """
+
+    @property
+    def program(self) -> Program: ...
+
+    def classification(self) -> ClassificationScheme: ...
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileScheme:
+    """The paper's contribution as an evaluation scheme (``VP + Prof``).
+
+    Wraps a :class:`MethodologyResult`: the annotated binary runs on the
+    test inputs and its directive map is the entire classifier.
+    """
+
+    result: MethodologyResult
+
+    @property
+    def program(self) -> Program:
+        return self.result.annotated
+
+    def classification(self) -> ClassificationScheme:
+        return ProfileClassification(self.result.annotated)
+
+
+@dataclasses.dataclass(frozen=True)
+class HardwareScheme:
+    """The saturating-counter baseline as an evaluation scheme (``VP + SC``)."""
+
+    program: Program
+    bits: int = 2
+    initial: int = 1
+    take_threshold: int = 2
+
+    def classification(self) -> ClassificationScheme:
+        return HardwareClassification(
+            bits=self.bits, initial=self.initial, take_threshold=self.take_threshold
+        )
+
+
+def evaluate_scheme(
+    scheme: EvaluationScheme,
+    workload_inputs: InputSet,
+    *,
+    entries: Optional[int] = 512,
+    ways: int = 2,
+    max_instructions: Optional[int] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> PredictionStats:
+    """Measure one classification scheme on a workload's inputs.
+
+    The single entry point behind the deprecated
+    ``evaluate_profile_scheme`` / ``evaluate_hardware_scheme`` pair:
+    both mechanisms run the identical protocol — a finite stride
+    predictor driven over one execution, with the scheme deciding
+    allocation and take — so the scheme object is the only axis.
+
+    Args:
+        scheme: an :class:`EvaluationScheme` (e.g. ``ProfileScheme(result)``
+            or ``HardwareScheme(program)``).
+        workload_inputs: the run's (test) input stream.
+        entries / ways: prediction-table geometry (paper: 512 × 2-way).
+        max_instructions: optional dynamic-instruction cap.
+        telemetry: optional registry installed for the duration of the
+            simulation; defaults to the process-global one.
+    """
+    scope = use_registry(telemetry) if telemetry is not None else contextlib.nullcontext()
+    with scope:
+        return simulate_prediction(
+            scheme.program,
+            workload_inputs,
+            predictor=StridePredictor(entries, ways),
+            scheme=scheme.classification(),
+            max_instructions=max_instructions,
+        )
+
+
+def _warn_deprecated_alias(old: str, replacement: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use evaluate_scheme({replacement}, ...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def evaluate_profile_scheme(
     result: MethodologyResult,
     test_inputs: InputSet,
@@ -96,12 +195,13 @@ def evaluate_profile_scheme(
     ways: int = 2,
     max_instructions: Optional[int] = None,
 ) -> PredictionStats:
-    """Measure the profile-classified predictor on unseen inputs."""
-    return simulate_prediction(
-        result.annotated,
+    """Deprecated alias for ``evaluate_scheme(ProfileScheme(result), ...)``."""
+    _warn_deprecated_alias("evaluate_profile_scheme", "ProfileScheme(result)")
+    return evaluate_scheme(
+        ProfileScheme(result),
         test_inputs,
-        predictor=StridePredictor(entries, ways),
-        scheme=ProfileClassification(result.annotated),
+        entries=entries,
+        ways=ways,
         max_instructions=max_instructions,
     )
 
@@ -113,11 +213,12 @@ def evaluate_hardware_scheme(
     ways: int = 2,
     max_instructions: Optional[int] = None,
 ) -> PredictionStats:
-    """Measure the saturating-counter baseline on the same inputs."""
-    return simulate_prediction(
-        program,
+    """Deprecated alias for ``evaluate_scheme(HardwareScheme(program), ...)``."""
+    _warn_deprecated_alias("evaluate_hardware_scheme", "HardwareScheme(program)")
+    return evaluate_scheme(
+        HardwareScheme(program),
         test_inputs,
-        predictor=StridePredictor(entries, ways),
-        scheme=HardwareClassification(),
+        entries=entries,
+        ways=ways,
         max_instructions=max_instructions,
     )

@@ -18,11 +18,13 @@ Table 5.1) and, through :class:`PredictionEngine`, the ILP model.
 
 from __future__ import annotations
 
+import time
 from typing import Iterable, Optional, Tuple, Union
 
 from ..isa import Directive, Number, Program
 from ..machine import trace_program
 from ..predictors import HybridPredictor, StridePredictor, ValuePredictor
+from ..telemetry import get_registry
 from .results import PredictionStats
 from .schemes import AlwaysClassification, ClassificationScheme
 
@@ -146,6 +148,7 @@ def simulate_prediction_many(
     engine_list = list(engines.values())
     is_candidate = engine_list[0].is_candidate
     steps = [engine.step for engine in engine_list]
+    started = time.perf_counter()
     if len(steps) == 1:
         step = steps[0]
         for record in trace_program(program, inputs, **kwargs):
@@ -158,4 +161,33 @@ def simulate_prediction_many(
                 value = record.value
                 for step in steps:
                     step(address, value)
+    telemetry = get_registry()
+    if telemetry.enabled:
+        telemetry.timer("core.simulate").add(time.perf_counter() - started)
+        _publish_engine_metrics(telemetry, engine_list)
     return {label: engine.stats for label, engine in engines.items()}
+
+
+def _publish_engine_metrics(telemetry, engine_list) -> None:
+    """Bulk-publish prediction and table statistics after a simulation.
+
+    Per-record work stays telemetry-free; everything here is already
+    accumulated in :class:`PredictionStats` and the prediction tables.
+    """
+    lookups = hits = evictions = 0
+    for engine in engine_list:
+        stats = engine.stats
+        telemetry.counter("core.candidates").add(stats.executions)
+        telemetry.counter("core.attempts").add(stats.attempts)
+        telemetry.counter("core.taken").add(stats.taken)
+        telemetry.counter("core.taken_correct").add(stats.taken_correct)
+        telemetry.counter("core.would_correct").add(stats.would_correct)
+        telemetry.counter("core.allocations").add(stats.allocations)
+        for table in engine.predictor.tables():
+            lookups += table.lookups
+            hits += table.hits
+            evictions += table.evictions
+    telemetry.counter("predictor.lookups").add(lookups)
+    telemetry.counter("predictor.hits").add(hits)
+    telemetry.counter("predictor.evictions").add(evictions)
+    telemetry.counter("core.simulations").add(len(engine_list))

@@ -24,8 +24,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import warnings
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
+
+from ..telemetry import get_registry
 
 from . import (
     ablation_fsm_bits,
@@ -109,32 +112,40 @@ def run_experiments(
         output_dir = Path(output_dir)
         output_dir.mkdir(parents=True, exist_ok=True)
     started = time.time()
-    graph = build_experiment_graph(names, context)
-    outcome = execute_graph(graph, context, jobs=jobs, progress=progress)
-    results = []
-    for name in names:
-        table = outcome.tables[name]
-        record = outcome.record_for(f"experiment:{name}")
-        print(table.format(), file=stream)
-        if chart:
-            from ..viz import chart_table
+    telemetry = get_registry()
+    with telemetry.span("suite"):
+        with telemetry.span("build"):
+            graph = build_experiment_graph(names, context)
+        with telemetry.span("execute"):
+            outcome = execute_graph(graph, context, jobs=jobs, progress=progress)
+        results = []
+        with telemetry.span("emit"):
+            for name in names:
+                table = outcome.tables[name]
+                record = outcome.record_for(f"experiment:{name}")
+                print(table.format(), file=stream)
+                if chart:
+                    from ..viz import chart_table
 
-            try:
-                print(chart_table(table), file=stream)
-            except ValueError:
-                pass
-        suffix = " (cached)" if record is not None and record.cached else ""
-        seconds = record.seconds if record is not None else 0.0
-        print(f"[{name} finished in {seconds:.1f}s{suffix}]\n", file=stream)
-        if output_dir is not None:
-            stem = name.replace(".", "_")
-            (output_dir / f"{stem}.txt").write_text(
-                table.format() + "\n", encoding="utf-8"
-            )
-            (output_dir / f"{stem}.tsv").write_text(
-                table.to_tsv(), encoding="utf-8"
-            )
-        results.append(table)
+                    try:
+                        print(chart_table(table), file=stream)
+                    except ValueError:
+                        pass
+                suffix = " (cached)" if record is not None and record.cached else ""
+                seconds = record.seconds if record is not None else 0.0
+                print(f"[{name} finished in {seconds:.1f}s{suffix}]\n", file=stream)
+                if output_dir is not None:
+                    stem = name.replace(".", "_")
+                    (output_dir / f"{stem}.txt").write_text(
+                        table.format() + "\n", encoding="utf-8"
+                    )
+                    (output_dir / f"{stem}.tsv").write_text(
+                        table.to_tsv(), encoding="utf-8"
+                    )
+                results.append(table)
+    if telemetry.enabled:
+        telemetry.counter("experiments.tables").add(len(results))
+        telemetry.gauge("experiments.wall_seconds").set(time.time() - started)
     if progress is not None:
         print(
             f"[suite: {len(graph)} jobs, {outcome.cached_jobs} cached, "
@@ -249,7 +260,26 @@ def build_parser(prog: str = "repro-experiments") -> argparse.ArgumentParser:
     return parser
 
 
+_DEPRECATION_WARNED = False
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of the deprecated ``repro-experiments`` console script.
+
+    Warns exactly once per process; ``python -m repro experiments`` is the
+    supported spelling and dispatches straight to
+    :func:`run_from_arguments` without passing through here.
+    """
+    global _DEPRECATION_WARNED
+    if not _DEPRECATION_WARNED:
+        _DEPRECATION_WARNED = True
+        warnings.warn(
+            "the `repro-experiments` console script is deprecated and will be "
+            "removed two PRs after the telemetry release; use "
+            "`python -m repro experiments` instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     return run_from_arguments(build_parser().parse_args(argv))
 
 

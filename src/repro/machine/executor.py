@@ -11,9 +11,11 @@ experiment sweeps.
 from __future__ import annotations
 
 import collections
+import time
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from ..isa import Instruction, Number, Opcode, Program, RA
+from ..telemetry import get_registry
 from .errors import (
     DivisionByZero,
     ExecutionError,
@@ -62,7 +64,7 @@ class Executor:
         program: the binary to execute.
         inputs: the run's input stream, consumed by ``in``/``fin``.
         max_instructions: dynamic-instruction budget; exceeding it raises
-            :class:`InstructionBudgetExceeded`.
+            :class:`InstructionBudgetExceeded`.  ``None`` means unbounded.
     """
 
     def __init__(
@@ -73,9 +75,7 @@ class Executor:
     ) -> None:
         self.program = program
         self.state = MachineState(program, inputs=inputs)
-        self.max_instructions = (
-            max_instructions if max_instructions is not None else DEFAULT_BUDGET
-        )
+        self.max_instructions = max_instructions
         self.instruction_count = 0
         self._decoded: List[_Decoded] = [_decode(i) for i in program.instructions]
 
@@ -93,170 +93,184 @@ class Executor:
         regs = state.registers
         memory = state.memory
         code_size = len(decoded)
-        budget = self.max_instructions
+        budget = (
+            self.max_instructions
+            if self.max_instructions is not None
+            else float("inf")
+        )
         count = self.instruction_count
         pc = state.pc
         phase = state.phase
         op_names = Opcode  # noqa: F841 - keeps the enum import obviously used
 
+        telemetry = get_registry()
+        initial_count = count
+        started = time.perf_counter()
         O = Opcode
-        while True:
-            if pc >= code_size or pc < 0:
-                raise ExecutionError(f"control flow left the code segment (pc={pc})")
-            op, dest, src1, src2, imm, target = decoded[pc]
-            count += 1
-            if count > budget:
-                raise InstructionBudgetExceeded(
-                    f"exceeded budget of {budget} dynamic instructions"
-                )
-            address = pc
-            pc += 1
-            value: Optional[Number] = None
-            mem_address: Optional[int] = None
+        try:
+            while True:
+                if pc >= code_size or pc < 0:
+                    raise ExecutionError(f"control flow left the code segment (pc={pc})")
+                op, dest, src1, src2, imm, target = decoded[pc]
+                count += 1
+                if count > budget:
+                    raise InstructionBudgetExceeded(
+                        f"exceeded budget of {budget} dynamic instructions"
+                    )
+                address = pc
+                pc += 1
+                value: Optional[Number] = None
+                mem_address: Optional[int] = None
 
-            if op is O.ADDI:
-                value = regs[src1] + imm
-            elif op is O.ADD:
-                value = regs[src1] + regs[src2]
-            elif op is O.LD or op is O.FLD:
-                mem_address = regs[src1] + imm
-                if mem_address < 0:
-                    raise InvalidMemoryAccess(f"@{address}: load from {mem_address}")
-                value = memory.get(mem_address, 0)
-            elif op is O.ST or op is O.FST:
-                mem_address = regs[src2] + imm
-                if mem_address < 0:
-                    raise InvalidMemoryAccess(f"@{address}: store to {mem_address}")
-                memory[mem_address] = regs[src1]
-            elif op is O.LI or op is O.FLI:
-                value = imm
-            elif op is O.MOV or op is O.FMOV:
-                value = regs[src1]
-            elif op is O.SUB:
-                value = regs[src1] - regs[src2]
-            elif op is O.SUBI:
-                value = regs[src1] - imm
-            elif op is O.MUL:
-                value = regs[src1] * regs[src2]
-            elif op is O.MULI:
-                value = regs[src1] * imm
-            elif op is O.SLT:
-                value = 1 if regs[src1] < regs[src2] else 0
-            elif op is O.SLTI:
-                value = 1 if regs[src1] < imm else 0
-            elif op is O.SLE:
-                value = 1 if regs[src1] <= regs[src2] else 0
-            elif op is O.SLEI:
-                value = 1 if regs[src1] <= imm else 0
-            elif op is O.SEQ:
-                value = 1 if regs[src1] == regs[src2] else 0
-            elif op is O.SEQI:
-                value = 1 if regs[src1] == imm else 0
-            elif op is O.SNE:
-                value = 1 if regs[src1] != regs[src2] else 0
-            elif op is O.SNEI:
-                value = 1 if regs[src1] != imm else 0
-            elif op is O.BEQZ:
-                if regs[src1] == 0:
+                if op is O.ADDI:
+                    value = regs[src1] + imm
+                elif op is O.ADD:
+                    value = regs[src1] + regs[src2]
+                elif op is O.LD or op is O.FLD:
+                    mem_address = regs[src1] + imm
+                    if mem_address < 0:
+                        raise InvalidMemoryAccess(f"@{address}: load from {mem_address}")
+                    value = memory.get(mem_address, 0)
+                elif op is O.ST or op is O.FST:
+                    mem_address = regs[src2] + imm
+                    if mem_address < 0:
+                        raise InvalidMemoryAccess(f"@{address}: store to {mem_address}")
+                    memory[mem_address] = regs[src1]
+                elif op is O.LI or op is O.FLI:
+                    value = imm
+                elif op is O.MOV or op is O.FMOV:
+                    value = regs[src1]
+                elif op is O.SUB:
+                    value = regs[src1] - regs[src2]
+                elif op is O.SUBI:
+                    value = regs[src1] - imm
+                elif op is O.MUL:
+                    value = regs[src1] * regs[src2]
+                elif op is O.MULI:
+                    value = regs[src1] * imm
+                elif op is O.SLT:
+                    value = 1 if regs[src1] < regs[src2] else 0
+                elif op is O.SLTI:
+                    value = 1 if regs[src1] < imm else 0
+                elif op is O.SLE:
+                    value = 1 if regs[src1] <= regs[src2] else 0
+                elif op is O.SLEI:
+                    value = 1 if regs[src1] <= imm else 0
+                elif op is O.SEQ:
+                    value = 1 if regs[src1] == regs[src2] else 0
+                elif op is O.SEQI:
+                    value = 1 if regs[src1] == imm else 0
+                elif op is O.SNE:
+                    value = 1 if regs[src1] != regs[src2] else 0
+                elif op is O.SNEI:
+                    value = 1 if regs[src1] != imm else 0
+                elif op is O.BEQZ:
+                    if regs[src1] == 0:
+                        pc = target
+                elif op is O.BNEZ:
+                    if regs[src1] != 0:
+                        pc = target
+                elif op is O.JMP:
                     pc = target
-            elif op is O.BNEZ:
-                if regs[src1] != 0:
+                elif op is O.CALL:
+                    value = pc  # return address (pc already advanced)
+                    regs[RA] = value
                     pc = target
-            elif op is O.JMP:
-                pc = target
-            elif op is O.CALL:
-                value = pc  # return address (pc already advanced)
-                regs[RA] = value
-                pc = target
-            elif op is O.JR:
-                pc = regs[src1]
-            elif op is O.DIV:
-                value = _int_div(regs[src1], regs[src2])
-            elif op is O.DIVI:
-                value = _int_div(regs[src1], imm)
-            elif op is O.MOD:
-                value = _int_mod(regs[src1], regs[src2])
-            elif op is O.MODI:
-                value = _int_mod(regs[src1], imm)
-            elif op is O.AND:
-                value = regs[src1] & regs[src2]
-            elif op is O.ANDI:
-                value = regs[src1] & imm
-            elif op is O.OR:
-                value = regs[src1] | regs[src2]
-            elif op is O.ORI:
-                value = regs[src1] | imm
-            elif op is O.XOR:
-                value = regs[src1] ^ regs[src2]
-            elif op is O.XORI:
-                value = regs[src1] ^ imm
-            elif op is O.SHL:
-                value = regs[src1] << (regs[src2] & 63)
-            elif op is O.SHLI:
-                value = regs[src1] << (imm & 63)
-            elif op is O.SHR:
-                value = regs[src1] >> (regs[src2] & 63)
-            elif op is O.SHRI:
-                value = regs[src1] >> (imm & 63)
-            elif op is O.NEG:
-                value = -regs[src1]
-            elif op is O.NOT:
-                value = 1 if regs[src1] == 0 else 0
-            elif op is O.FADD:
-                value = regs[src1] + regs[src2]
-            elif op is O.FSUB:
-                value = regs[src1] - regs[src2]
-            elif op is O.FMUL:
-                value = regs[src1] * regs[src2]
-            elif op is O.FDIV:
-                divisor = regs[src2]
-                if divisor == 0:
-                    raise DivisionByZero(f"@{address}: FP division by zero")
-                value = regs[src1] / divisor
-            elif op is O.FNEG:
-                value = -regs[src1]
-            elif op is O.FSLT:
-                value = 1 if regs[src1] < regs[src2] else 0
-            elif op is O.FSLE:
-                value = 1 if regs[src1] <= regs[src2] else 0
-            elif op is O.FSEQ:
-                value = 1 if regs[src1] == regs[src2] else 0
-            elif op is O.FSNE:
-                value = 1 if regs[src1] != regs[src2] else 0
-            elif op is O.CVTIF:
-                value = float(regs[src1])
-            elif op is O.CVTFI:
-                value = int(regs[src1])
-            elif op is O.IN:
-                raw = state.next_input()
-                if raw is None:
-                    raise InputExhausted(f"@{address}: input stream exhausted")
-                value = int(raw)
-            elif op is O.FIN:
-                raw = state.next_input()
-                if raw is None:
-                    raise InputExhausted(f"@{address}: input stream exhausted")
-                value = float(raw)
-            elif op is O.OUT:
-                state.outputs.append(regs[src1])
-            elif op is O.PHASE:
-                phase = int(imm)
-            elif op is O.NOP:
-                pass
-            elif op is O.HALT:
-                state.halted = True
-                state.pc = pc
-                state.phase = phase
-                self.instruction_count = count
-                yield TraceRecord(address, None, phase, None)
-                return
-            else:  # pragma: no cover - the opcode set is closed
-                raise ExecutionError(f"unimplemented opcode {op!r}")
+                elif op is O.JR:
+                    pc = regs[src1]
+                elif op is O.DIV:
+                    value = _int_div(regs[src1], regs[src2])
+                elif op is O.DIVI:
+                    value = _int_div(regs[src1], imm)
+                elif op is O.MOD:
+                    value = _int_mod(regs[src1], regs[src2])
+                elif op is O.MODI:
+                    value = _int_mod(regs[src1], imm)
+                elif op is O.AND:
+                    value = regs[src1] & regs[src2]
+                elif op is O.ANDI:
+                    value = regs[src1] & imm
+                elif op is O.OR:
+                    value = regs[src1] | regs[src2]
+                elif op is O.ORI:
+                    value = regs[src1] | imm
+                elif op is O.XOR:
+                    value = regs[src1] ^ regs[src2]
+                elif op is O.XORI:
+                    value = regs[src1] ^ imm
+                elif op is O.SHL:
+                    value = regs[src1] << (regs[src2] & 63)
+                elif op is O.SHLI:
+                    value = regs[src1] << (imm & 63)
+                elif op is O.SHR:
+                    value = regs[src1] >> (regs[src2] & 63)
+                elif op is O.SHRI:
+                    value = regs[src1] >> (imm & 63)
+                elif op is O.NEG:
+                    value = -regs[src1]
+                elif op is O.NOT:
+                    value = 1 if regs[src1] == 0 else 0
+                elif op is O.FADD:
+                    value = regs[src1] + regs[src2]
+                elif op is O.FSUB:
+                    value = regs[src1] - regs[src2]
+                elif op is O.FMUL:
+                    value = regs[src1] * regs[src2]
+                elif op is O.FDIV:
+                    divisor = regs[src2]
+                    if divisor == 0:
+                        raise DivisionByZero(f"@{address}: FP division by zero")
+                    value = regs[src1] / divisor
+                elif op is O.FNEG:
+                    value = -regs[src1]
+                elif op is O.FSLT:
+                    value = 1 if regs[src1] < regs[src2] else 0
+                elif op is O.FSLE:
+                    value = 1 if regs[src1] <= regs[src2] else 0
+                elif op is O.FSEQ:
+                    value = 1 if regs[src1] == regs[src2] else 0
+                elif op is O.FSNE:
+                    value = 1 if regs[src1] != regs[src2] else 0
+                elif op is O.CVTIF:
+                    value = float(regs[src1])
+                elif op is O.CVTFI:
+                    value = int(regs[src1])
+                elif op is O.IN:
+                    raw = state.next_input()
+                    if raw is None:
+                        raise InputExhausted(f"@{address}: input stream exhausted")
+                    value = int(raw)
+                elif op is O.FIN:
+                    raw = state.next_input()
+                    if raw is None:
+                        raise InputExhausted(f"@{address}: input stream exhausted")
+                    value = float(raw)
+                elif op is O.OUT:
+                    state.outputs.append(regs[src1])
+                elif op is O.PHASE:
+                    phase = int(imm)
+                elif op is O.NOP:
+                    pass
+                elif op is O.HALT:
+                    state.halted = True
+                    state.pc = pc
+                    state.phase = phase
+                    self.instruction_count = count
+                    yield TraceRecord(address, None, phase, None)
+                    return
+                else:  # pragma: no cover - the opcode set is closed
+                    raise ExecutionError(f"unimplemented opcode {op!r}")
 
-            if value is not None and dest != 0:
-                regs[dest] = value
+                if value is not None and dest != 0:
+                    regs[dest] = value
 
-            yield TraceRecord(address, value, phase, mem_address)
+                yield TraceRecord(address, value, phase, mem_address)
+        finally:
+            # Bulk-publish however far the run got — a clean halt, a budget
+            # overrun, or an abandoned trace generator alike.  One counter
+            # add and one timer add per run keeps the loop itself clean.
+            telemetry.counter("machine.instructions").add(count - initial_count)
+            telemetry.timer("machine.run").add(time.perf_counter() - started)
 
     def run_to_completion(self) -> RunResult:
         """Execute without retaining the trace; return the run summary."""

@@ -60,3 +60,13 @@ class ValuePredictor(abc.ABC):
     @abc.abstractmethod
     def clear(self) -> None:
         """Reset all table state."""
+
+    def tables(self):
+        """The prediction tables backing this predictor.
+
+        Used for bulk telemetry publishing (lookups/hits/evictions) after
+        a simulation; every bundled predictor keeps its state in a single
+        ``table`` attribute, so that is the default.  Multi-table
+        organizations override this.
+        """
+        return (self.table,)

@@ -61,3 +61,7 @@ class HybridPredictor:
     def clear(self) -> None:
         self.stride.clear()
         self.last_value.clear()
+
+    def tables(self):
+        """Both component tables (see :meth:`ValuePredictor.tables`)."""
+        return (self.stride.table, self.last_value.table)

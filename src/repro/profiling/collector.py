@@ -12,11 +12,13 @@ and per (category, phase) the aggregate accuracies behind Table 2.1.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..isa import Category, Number, Program
 from ..machine import trace_program
 from ..predictors import StridePredictor, ValuePredictor
+from ..telemetry import get_registry
 
 
 @dataclasses.dataclass(slots=True)
@@ -185,6 +187,7 @@ def collect_profiles(
         if max_instructions is not None:
             kwargs["max_instructions"] = max_instructions
         records = trace_program(program, inputs, **kwargs)
+    started = time.perf_counter()
     for record in records:
         address = record.address
         if not is_candidate[address]:
@@ -207,4 +210,14 @@ def collect_profiles(
                     group.correct += 1
                     if result.nonzero_stride:
                         profile.nonzero_stride_correct += 1
+    telemetry = get_registry()
+    if telemetry.enabled:
+        # Candidate records observed = per-image executions (identical
+        # across images, so read the first); records/sec derives from the
+        # profiling.collect timer downstream.
+        first = next(iter(images.values()))
+        observed = sum(profile.executions for profile in first.instructions.values())
+        telemetry.counter("profiling.records").add(observed)
+        telemetry.counter("profiling.runs").add(1)
+        telemetry.timer("profiling.collect").add(time.perf_counter() - started)
     return images

@@ -31,6 +31,8 @@ import tempfile
 from pathlib import Path
 from typing import Iterator, Optional, Tuple, Union
 
+from ..telemetry import get_registry
+
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
@@ -67,15 +69,20 @@ class ArtifactCache:
         """The stored payload, or ``None`` on a miss or unreadable entry."""
         path = self._path(kind, key, extension)
         try:
-            return path.read_text(encoding="utf-8")
+            payload = path.read_text(encoding="utf-8")
         except FileNotFoundError:
+            get_registry().counter(f"cache.miss.{kind}").add(1)
             return None
         except (OSError, UnicodeDecodeError):
             self.discard(kind, key, extension)
+            get_registry().counter(f"cache.miss.{kind}").add(1)
             return None
+        get_registry().counter(f"cache.hit.{kind}").add(1)
+        return payload
 
     def store(self, kind: str, key: str, payload: str, extension: str = "json") -> Path:
         """Atomically write ``payload`` under ``(kind, key)``."""
+        get_registry().counter(f"cache.store.{kind}").add(1)
         path = self._path(kind, key, extension)
         path.parent.mkdir(parents=True, exist_ok=True)
         descriptor, temp_name = tempfile.mkstemp(
@@ -95,6 +102,7 @@ class ArtifactCache:
 
     def discard(self, kind: str, key: str, extension: str = "json") -> None:
         """Drop the entry (used when a payload fails to decode)."""
+        get_registry().counter(f"cache.corrupt.{kind}").add(1)
         try:
             self._path(kind, key, extension).unlink()
         except OSError:

@@ -24,6 +24,7 @@ import os
 import time
 from typing import Dict, List, Optional, TextIO
 
+from ..telemetry import get_registry
 from . import keys, serialize, worker
 from .jobs import Job, JobGraph
 
@@ -134,6 +135,7 @@ def execute_graph(
         for dep in job.deps:
             dependents[dep].append(job.job_id)
 
+    telemetry = get_registry()
     outcome = ExecutionOutcome()
     encoded: Dict[str, str] = {}
     artifacts = context.artifacts
@@ -141,6 +143,8 @@ def execute_graph(
     total = len(order)
     done = 0
     ready = [job.job_id for job in order if not job.deps]
+    #: job id -> moment it became runnable (for queue-latency telemetry).
+    ready_at: Dict[str, float] = {job_id: time.perf_counter() for job_id in ready}
 
     use_pool = workers > 1 and any(not job.inline for job in order)
     pool = (
@@ -160,6 +164,17 @@ def execute_graph(
             outcome.tables[job.name] = value
         record = JobRecord(job.job_id, job.kind, job.label(), seconds, cached)
         outcome.records.append(record)
+        if telemetry.enabled:
+            telemetry.counter("runner.jobs").add(1)
+            if cached:
+                telemetry.counter("runner.jobs_cached").add(1)
+            else:
+                telemetry.timer(f"runner.job.{job.kind}").add(seconds)
+            became_ready = ready_at.pop(job.job_id, None)
+            if became_ready is not None:
+                telemetry.timer("runner.queue_wait").add(
+                    time.perf_counter() - became_ready - seconds
+                )
         if progress is not None:
             suffix = " (cached)" if cached else ""
             print(
@@ -171,6 +186,7 @@ def execute_graph(
             waiting[dependent] -= 1
             if waiting[dependent] == 0:
                 ready.append(dependent)
+                ready_at[dependent] = time.perf_counter()
 
     def from_cache(job: Job, key: Optional[str]) -> bool:
         if artifacts is None or key is None:
@@ -232,11 +248,17 @@ def execute_graph(
             for future in completed:
                 job, key = futures.pop(future)
                 try:
-                    seconds, payload = future.result()
+                    seconds, payload, worker_metrics = future.result()
                 except Exception as error:
                     raise RuntimeError(
                         f"job {job.job_id} failed in worker: {error}"
                     ) from error
+                if worker_metrics is not None:
+                    # Re-root the worker's spans under the coordinator's
+                    # active span so nesting survives the process pool.
+                    telemetry.merge(
+                        worker_metrics, prefix=telemetry.current_path or None
+                    )
                 value = serialize.decode(job.kind, payload)
                 worker.prime(context, job, value)
                 if artifacts is not None and key is not None and job.kind == "experiment":

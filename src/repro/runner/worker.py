@@ -16,8 +16,9 @@ binaries across every job it is handed.
 from __future__ import annotations
 
 import time
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
+from ..telemetry import Telemetry, get_registry, use_registry
 from . import serialize
 from .jobs import Job
 
@@ -32,6 +33,7 @@ def context_spec(context) -> dict:
         "training_runs": context.training_runs,
         "stride_threshold": context.stride_threshold,
         "cache_dir": str(context.cache_dir) if context.cache_dir else None,
+        "telemetry": get_registry().enabled,
     }
 
 
@@ -129,18 +131,30 @@ def compute_value(job: Job, context):
 
 def run_pool_job(
     spec: dict, job: Job, dep_items: Sequence[Tuple[Job, str]]
-) -> Tuple[float, str]:
+) -> Tuple[float, str, Optional[dict]]:
     """Pool entry point: prime dependencies, compute, return encoded.
 
-    Returns ``(compute_seconds, payload)`` — the timing covers only this
-    job's own work, not queue wait or dependency decoding, so parent-side
-    progress lines report honest per-cell cost.
+    Returns ``(compute_seconds, payload, telemetry_snapshot)`` — the
+    timing covers only this job's own work, not queue wait or dependency
+    decoding, so parent-side progress lines report honest per-cell cost.
+    When the coordinator's registry is live, the job runs under a fresh
+    per-job registry whose snapshot rides back for merging; totals over a
+    parallel run therefore equal a serial run's.
     """
     context = resolve_context(spec)
     for dep_job, payload in dep_items:
         if not already_primed(context, dep_job):
             prime(context, dep_job, serialize.decode(dep_job.kind, payload))
-    started = time.perf_counter()
-    value = compute_value(job, context)
-    seconds = time.perf_counter() - started
-    return seconds, serialize.encode(job.kind, value)
+    if spec.get("telemetry"):
+        registry = Telemetry()
+        with use_registry(registry):
+            started = time.perf_counter()
+            value = compute_value(job, context)
+            seconds = time.perf_counter() - started
+        snapshot = registry.snapshot()
+    else:
+        started = time.perf_counter()
+        value = compute_value(job, context)
+        seconds = time.perf_counter() - started
+        snapshot = None
+    return seconds, serialize.encode(job.kind, value), snapshot

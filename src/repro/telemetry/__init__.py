@@ -1,0 +1,79 @@
+"""Lightweight, zero-dependency telemetry for the reproduction pipeline.
+
+The paper's Phase-2 profiler is itself an observability tool; this
+package gives the *pipeline* the same treatment: monotonic counters,
+wall-clock timers, gauges, nesting spans and an event-hook registry,
+with a process-global default registry that is a no-op until enabled.
+
+Instrumented layers (all publish in bulk, never per record):
+
+* ``machine.*`` — dynamic instructions retired and executor wall time
+  (:mod:`repro.machine.executor`), from which simulated MIPS derives.
+* ``predictor.*`` / ``core.*`` — table lookups/hits/evictions and
+  classification outcomes (:mod:`repro.core.simulate`).
+* ``profiling.*`` — profile records collected and collection time
+  (:mod:`repro.profiling.collector`).
+* ``cache.*`` / ``runner.*`` — per-kind artifact-cache hits, misses,
+  corrupt entries and stores, per-job compute time and queue latency
+  (:mod:`repro.runner`).  Pool workers snapshot their registries and the
+  coordinator merges them, so parallel runs roll up like serial ones.
+* ``experiments`` spans — per-phase (build/execute/emit) rollups
+  (:mod:`repro.experiments.runner`).
+
+Typical use::
+
+    from repro.telemetry import Telemetry, use_registry
+
+    registry = Telemetry()
+    with use_registry(registry):
+        run_experiments(["fig-5.1"], context)
+    print(registry.snapshot()["counters"]["machine.instructions"])
+
+``python -m repro bench`` (:mod:`repro.telemetry.bench`) builds the
+pinned performance suite on top and writes the ``BENCH_<rev>.json``
+trajectory files.
+"""
+
+from .export import cache_summary, format_text, hit_rate, to_json
+from .registry import (
+    Counter,
+    EventHook,
+    Gauge,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    Timer,
+    enable,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+
+__all__ = [
+    "Counter",
+    "EventHook",
+    "Gauge",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "Timer",
+    "bench_main",
+    "cache_summary",
+    "enable",
+    "format_text",
+    "get_registry",
+    "hit_rate",
+    "set_registry",
+    "to_json",
+    "use_registry",
+]
+
+
+def __getattr__(name: str):
+    # The bench suite pulls in the experiments layer; load it lazily so
+    # `import repro.telemetry` stays cheap for the hot instrumented paths.
+    if name == "bench_main":
+        from .bench import bench_main
+
+        return bench_main
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

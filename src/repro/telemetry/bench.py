@@ -1,0 +1,365 @@
+"""``python -m repro bench`` — the pinned performance suite.
+
+Runs a fixed micro/meso benchmark ladder against the current tree and
+writes a ``BENCH_<rev>.json`` file in a stable schema
+(:data:`SCHEMA_VERSION`), plus a human summary table:
+
+* **executor** — a pinned arithmetic loop through the functional
+  simulator; reports dynamic instructions, wall seconds and simulated
+  MIPS.
+* **predictor** — a pinned address/value stream against the finite
+  512-entry 2-way stride table; reports table ops/sec and hit rate.
+* **suite** — one end-to-end experiment (``fig-5.1``) at small scale,
+  cold cache then warm cache, with per-kind artifact-cache hit rates
+  and the whole-pipeline simulated MIPS taken from the telemetry
+  registry.
+
+The JSON file seeds the repository's performance trajectory: future
+perf-oriented PRs regress against the latest committed ``BENCH_*.json``.
+``--smoke`` shrinks every knob for CI schema checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import io
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO
+
+from .export import cache_summary
+from .registry import Telemetry, use_registry
+
+#: Stable schema identifier; bump on any incompatible payload change.
+SCHEMA_VERSION = "repro-bench/1"
+
+#: Required ``metrics`` sections and the keys each must carry.
+REQUIRED_METRICS = {
+    "executor": ("instructions", "seconds", "mips"),
+    "predictor": ("ops", "seconds", "ops_per_sec", "hit_rate", "evictions"),
+    "suite": ("experiment", "cold_seconds", "warm_seconds", "simulated_mips", "cache"),
+}
+
+
+class BenchSchemaError(ValueError):
+    """A bench payload does not conform to :data:`SCHEMA_VERSION`."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchConfig:
+    """The pinned knobs of one bench run."""
+
+    executor_iterations: int
+    predictor_ops: int
+    suite_experiment: str
+    suite_scale: float
+    suite_training_runs: int
+    suite_jobs: int = 1
+
+
+#: The default (committed-trajectory) configuration.
+FULL = BenchConfig(
+    executor_iterations=50_000,
+    predictor_ops=200_000,
+    suite_experiment="fig-5.1",
+    suite_scale=0.05,
+    suite_training_runs=3,
+)
+
+#: The CI configuration: same shape, minutes smaller.
+SMOKE = BenchConfig(
+    executor_iterations=5_000,
+    predictor_ops=20_000,
+    suite_experiment="fig-5.1",
+    suite_scale=0.01,
+    suite_training_runs=1,
+)
+
+#: Pinned executor workload: {iterations} is substituted per config.
+_EXECUTOR_ASM = """
+.name bench-loop
+.text
+    li r1, 0
+    li r2, {iterations}
+loop:
+    addi r1, r1, 1
+    add r3, r1, r1
+    mul r4, r3, r1
+    sub r5, r4, r3
+    and r6, r5, r4
+    slt r7, r1, r2
+    bnez r7, loop
+    out r5
+    halt
+"""
+
+
+def git_revision() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    revision = result.stdout.strip()
+    return revision if result.returncode == 0 and revision else "unknown"
+
+
+# -- sections ----------------------------------------------------------------
+
+
+def bench_executor(iterations: int) -> Dict[str, Any]:
+    """Time the functional simulator on the pinned arithmetic loop."""
+    from ..isa import assemble
+    from ..machine import run_program
+
+    program = assemble(_EXECUTOR_ASM.format(iterations=iterations))
+    started = time.perf_counter()
+    result = run_program(program, max_instructions=None)
+    seconds = time.perf_counter() - started
+    return {
+        "instructions": result.instruction_count,
+        "seconds": seconds,
+        "mips": result.instruction_count / seconds / 1e6 if seconds else 0.0,
+    }
+
+
+def bench_predictor(ops: int) -> Dict[str, Any]:
+    """Time a pinned access stream against the finite stride table.
+
+    The stream cycles 1024 static addresses (twice the 512-entry
+    capacity, so replacement is exercised) with per-address stride
+    patterns, matching how the simulation drivers hit the table.
+    """
+    from ..predictors import StridePredictor
+
+    predictor = StridePredictor(512, 2)
+    stream = [
+        (index % 1024, (index % 1024) * 3 + index // 1024)
+        for index in range(ops)
+    ]
+    access = predictor.access
+    started = time.perf_counter()
+    for address, value in stream:
+        access(address, value)
+    seconds = time.perf_counter() - started
+    table = predictor.table
+    return {
+        "ops": ops,
+        "seconds": seconds,
+        "ops_per_sec": ops / seconds if seconds else 0.0,
+        "hit_rate": 100.0 * table.hits / table.lookups if table.lookups else 0.0,
+        "evictions": table.evictions,
+    }
+
+
+def _run_suite_once(config: BenchConfig, cache_dir: str) -> Dict[str, Any]:
+    """One full experiment pass under a fresh live registry."""
+    from ..experiments.context import ExperimentContext
+    from ..experiments.runner import run_experiments
+
+    registry = Telemetry()
+    with use_registry(registry):
+        context = ExperimentContext(
+            scale=config.suite_scale,
+            training_runs=config.suite_training_runs,
+            cache_dir=cache_dir,
+        )
+        started = time.perf_counter()
+        run_experiments(
+            [config.suite_experiment],
+            context,
+            stream=io.StringIO(),
+            jobs=config.suite_jobs,
+        )
+        seconds = time.perf_counter() - started
+    return {"seconds": seconds, "telemetry": registry.snapshot()}
+
+
+def bench_suite(config: BenchConfig) -> Dict[str, Any]:
+    """End-to-end experiment run, cold cache then warm cache."""
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cold = _run_suite_once(config, cache_dir)
+        warm = _run_suite_once(config, cache_dir)
+    counters = cold["telemetry"].get("counters", {})
+    timers = cold["telemetry"].get("timers", {})
+    instructions = counters.get("machine.instructions", 0)
+    machine_seconds = timers.get("machine.run", {}).get("seconds", 0.0)
+    return {
+        "experiment": config.suite_experiment,
+        "cold_seconds": cold["seconds"],
+        "warm_seconds": warm["seconds"],
+        "simulated_mips": (
+            instructions / machine_seconds / 1e6 if machine_seconds else 0.0
+        ),
+        "simulated_instructions": instructions,
+        "cache": cache_summary(warm["telemetry"]),
+        "telemetry": cold["telemetry"],
+    }
+
+
+# -- payload -----------------------------------------------------------------
+
+
+def build_payload(config: BenchConfig, smoke: bool) -> Dict[str, Any]:
+    """Run every section and assemble the schema-versioned payload."""
+    suite = bench_suite(config)
+    telemetry = suite.pop("telemetry")
+    return {
+        "schema": SCHEMA_VERSION,
+        "revision": git_revision(),
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "smoke": smoke,
+        "config": dataclasses.asdict(config),
+        "metrics": {
+            "executor": bench_executor(config.executor_iterations),
+            "predictor": bench_predictor(config.predictor_ops),
+            "suite": suite,
+        },
+        "telemetry": telemetry,
+    }
+
+
+def validate_payload(payload: Dict[str, Any]) -> None:
+    """Raise :class:`BenchSchemaError` listing every schema violation."""
+    problems: List[str] = []
+    if payload.get("schema") != SCHEMA_VERSION:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {SCHEMA_VERSION!r}"
+        )
+    for key in ("revision", "created", "python", "platform", "config", "telemetry"):
+        if key not in payload:
+            problems.append(f"missing top-level key {key!r}")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("missing or non-mapping 'metrics'")
+        metrics = {}
+    for section, keys in REQUIRED_METRICS.items():
+        data = metrics.get(section)
+        if not isinstance(data, dict):
+            problems.append(f"missing metrics section {section!r}")
+            continue
+        for key in keys:
+            if key not in data:
+                problems.append(f"metrics.{section} missing {key!r}")
+    cache = metrics.get("suite", {}).get("cache")
+    if isinstance(cache, dict):
+        for kind, entry in cache.items():
+            if "hit_rate" not in entry:
+                problems.append(f"metrics.suite.cache.{kind} missing 'hit_rate'")
+    if problems:
+        raise BenchSchemaError("; ".join(problems))
+
+
+def summary_table(payload: Dict[str, Any]) -> str:
+    """The human-readable roll-up printed after a bench run."""
+    metrics = payload["metrics"]
+    executor = metrics["executor"]
+    predictor = metrics["predictor"]
+    suite = metrics["suite"]
+    lines = [
+        f"repro bench — revision {payload['revision']} "
+        f"({'smoke' if payload.get('smoke') else 'full'}, "
+        f"python {payload['python']})",
+        f"  executor   {executor['instructions']:>12,} instr "
+        f"{executor['seconds']:>8.3f}s  {executor['mips']:>8.3f} MIPS",
+        f"  predictor  {predictor['ops']:>12,} ops   "
+        f"{predictor['seconds']:>8.3f}s  {predictor['ops_per_sec']:>10,.0f} ops/s  "
+        f"hit {predictor['hit_rate']:.1f}%",
+        f"  suite      {suite['experiment']:<12} cold {suite['cold_seconds']:>8.2f}s  "
+        f"warm {suite['warm_seconds']:>7.2f}s  "
+        f"simulated {suite['simulated_mips']:.3f} MIPS",
+    ]
+    for kind, entry in suite["cache"].items():
+        lines.append(
+            f"  cache      {kind:<12} {entry['hits']}/{entry['hits'] + entry['misses']} "
+            f"hits ({entry['hit_rate']:.0f}%)"
+            + (f", {entry['corrupt']} corrupt" if entry["corrupt"] else "")
+        )
+    return "\n".join(lines)
+
+
+def run_bench(
+    *,
+    smoke: bool = False,
+    output: Optional[str] = None,
+    config: Optional[BenchConfig] = None,
+    stream: Optional[TextIO] = None,
+) -> Dict[str, Any]:
+    """Run the pinned suite, validate, write JSON, print the summary.
+
+    Returns the payload.  ``config`` overrides the smoke/full presets
+    (used by tests to shrink the suite further).
+    """
+    stream = stream or sys.stdout
+    config = config or (SMOKE if smoke else FULL)
+    payload = build_payload(config, smoke)
+    validate_payload(payload)
+    # Guard the schema contract: the payload must survive a JSON round trip.
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    validate_payload(json.loads(text))
+    path = Path(output) if output else Path(f"BENCH_{payload['revision']}.json")
+    path.write_text(text + "\n", encoding="utf-8")
+    print(summary_table(payload), file=stream)
+    print(f"wrote {path}", file=stream)
+    return payload
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the bench options on ``parser`` (shared with the repro CLI)."""
+    parser.add_argument(
+        "--output",
+        "-o",
+        default=None,
+        help="output JSON path (default: BENCH_<git-rev>.json in the cwd)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="minutes-smaller pinned suite for CI schema checks",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for the suite section (default 1 = serial)",
+    )
+
+
+def run_from_arguments(arguments: argparse.Namespace) -> int:
+    config = SMOKE if arguments.smoke else FULL
+    if arguments.jobs != 1:
+        config = dataclasses.replace(config, suite_jobs=arguments.jobs)
+    run_bench(smoke=arguments.smoke, output=arguments.output, config=config)
+    return 0
+
+
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro bench`` delegates here)."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the pinned performance suite and write BENCH_<rev>.json.",
+    )
+    add_arguments(parser)
+    return run_from_arguments(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(bench_main())

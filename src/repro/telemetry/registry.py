@@ -1,0 +1,347 @@
+"""Metric primitives and the telemetry registry.
+
+The registry is deliberately tiny and stdlib-only: four instrument kinds
+(:class:`Counter`, :class:`Gauge`, :class:`Timer`, spans) plus an event
+hook table, all addressed by dotted string names.  Instruments are
+created on first use and live for the registry's lifetime, so hot code
+fetches an instrument once and mutates plain attributes afterwards.
+
+Two implementations share the interface:
+
+* :class:`Telemetry` — the real thing.  Everything is recorded and can
+  be exported (:mod:`repro.telemetry.export`) or merged from worker
+  processes (:meth:`Telemetry.merge`).
+* :class:`NullTelemetry` — the process-wide default.  Every accessor
+  returns a shared no-op instrument, so the cost of an instrumented
+  code path with telemetry disabled is one attribute lookup and one
+  no-op method call.
+
+The process-global registry (:func:`get_registry` / :func:`set_registry`
+/ :func:`use_registry`) is how the pipeline layers find their sink
+without threading a handle through every call signature.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+Value = Union[int, float]
+
+#: Event hooks receive the event name and its payload mapping.
+EventHook = Callable[[str, Dict[str, Any]], None]
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A last-value-wins numeric metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: Value = 0
+
+    def set(self, value: Value) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Timer:
+    """Accumulated wall-clock seconds plus an observation count."""
+
+    __slots__ = ("name", "seconds", "count")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.count += 1
+
+    @contextmanager
+    def time(self) -> Iterator["Timer"]:
+        """Time a ``with`` block into this timer."""
+        started = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(time.perf_counter() - started)
+
+    @property
+    def mean(self) -> float:
+        return self.seconds / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Timer({self.name!r}, {self.seconds:.6f}s/{self.count})"
+
+
+class Span:
+    """One timed, named region; nests via the registry's span stack.
+
+    Spans are recorded under their slash-joined path ("suite/execute/…"),
+    so per-phase rollups fall out of the export without the instrumented
+    code knowing where in the hierarchy it runs.  Use through
+    :meth:`Telemetry.span`.
+    """
+
+    __slots__ = ("name", "path", "started", "seconds")
+
+    def __init__(self, name: str, path: str) -> None:
+        self.name = name
+        self.path = path
+        self.started: Optional[float] = None
+        self.seconds = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Span({self.path!r})"
+
+
+class Telemetry:
+    """A live metrics registry: counters, gauges, timers, spans, hooks."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+        #: span path -> (count, total seconds)
+        self._spans: Dict[str, List[Value]] = {}
+        self._span_stack: List[Span] = []
+        self._hooks: Dict[str, List[EventHook]] = {}
+
+    # -- instruments ---------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    # -- spans ---------------------------------------------------------------
+
+    @property
+    def current_path(self) -> str:
+        """The active span path ("" outside any span)."""
+        return self._span_stack[-1].path if self._span_stack else ""
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[Span]:
+        """Time a named region, nested under the active span (if any)."""
+        parent = self.current_path
+        span = Span(name, f"{parent}/{name}" if parent else name)
+        span.started = time.perf_counter()
+        self._span_stack.append(span)
+        try:
+            yield span
+        finally:
+            span.seconds = time.perf_counter() - span.started
+            self._span_stack.pop()
+            self._record_span(span.path, span.seconds)
+
+    def _record_span(self, path: str, seconds: float, count: int = 1) -> None:
+        stats = self._spans.get(path)
+        if stats is None:
+            self._spans[path] = [count, seconds]
+        else:
+            stats[0] += count
+            stats[1] += seconds
+
+    # -- event hooks ---------------------------------------------------------
+
+    def on(self, event: str, hook: EventHook) -> None:
+        """Register ``hook`` to run on every :meth:`emit` of ``event``."""
+        self._hooks.setdefault(event, []).append(hook)
+
+    def emit(self, event: str, **payload: Any) -> None:
+        """Fire an event; hooks see ``(event, payload)``."""
+        for hook in self._hooks.get(event, ()):
+            hook(event, payload)
+
+    # -- export / merge ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able copy of everything recorded so far."""
+        return {
+            "counters": {
+                name: counter.value for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "timers": {
+                name: {"seconds": timer.seconds, "count": timer.count}
+                for name, timer in sorted(self._timers.items())
+            },
+            "spans": {
+                path: {"count": stats[0], "seconds": stats[1]}
+                for path, stats in sorted(self._spans.items())
+            },
+        }
+
+    def merge(self, payload: Dict[str, Any], prefix: Optional[str] = None) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and timers add, gauges take the incoming value, and span
+        paths are re-rooted under ``prefix`` (a worker's spans merged while
+        the coordinator sits inside ``suite/execute`` land at
+        ``suite/execute/<worker path>`` — this is how spans nest across
+        the process pool).
+        """
+        for name, value in payload.get("counters", {}).items():
+            self.counter(name).add(value)
+        for name, value in payload.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, stats in payload.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.seconds += stats["seconds"]
+            timer.count += stats["count"]
+        for path, stats in payload.get("spans", {}).items():
+            merged_path = f"{prefix}/{path}" if prefix else path
+            self._record_span(merged_path, stats["seconds"], stats["count"])
+
+    def clear(self) -> None:
+        """Drop all recorded metrics (hooks are kept)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._timers.clear()
+        self._spans.clear()
+
+
+class _NullInstrument:
+    """Shared sink for every disabled counter/gauge/timer."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+    seconds = 0.0
+    count = 0
+    mean = 0.0
+
+    def add(self, amount: Value = 1) -> None:
+        pass
+
+    def set(self, value: Value) -> None:
+        pass
+
+    @contextmanager
+    def time(self) -> Iterator["_NullInstrument"]:
+        yield self
+
+
+class _NullSpan:
+    """Reusable, reentrant no-op span context manager."""
+
+    __slots__ = ()
+    name = ""
+    path = ""
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry(Telemetry):
+    """The disabled registry: records nothing, costs almost nothing.
+
+    Every accessor returns a shared no-op instrument, so instrumented
+    code pays one attribute lookup plus one no-op call per bulk update —
+    never per-record allocation or arithmetic.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def timer(self, name: str) -> Timer:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def span(self, name: str):  # type: ignore[override]
+        return _NULL_SPAN
+
+    def emit(self, event: str, **payload: Any) -> None:
+        pass
+
+    def merge(self, payload: Dict[str, Any], prefix: Optional[str] = None) -> None:
+        pass
+
+
+#: The process-global registry; null until someone installs a live one.
+_REGISTRY: Telemetry = NullTelemetry()
+
+
+def get_registry() -> Telemetry:
+    """The process-global registry (the null registry by default)."""
+    return _REGISTRY
+
+
+def set_registry(registry: Telemetry) -> Telemetry:
+    """Install ``registry`` globally; returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: Telemetry) -> Iterator[Telemetry]:
+    """Install ``registry`` for the duration of a ``with`` block."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def enable() -> Telemetry:
+    """Ensure the global registry is live; returns it.
+
+    Idempotent: an already-enabled registry is kept (with its contents).
+    """
+    if not _REGISTRY.enabled:
+        set_registry(Telemetry())
+    return _REGISTRY

@@ -1,0 +1,148 @@
+"""Tests for the pinned performance suite (``python -m repro bench``)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry.bench import (
+    FULL,
+    REQUIRED_METRICS,
+    SCHEMA_VERSION,
+    SMOKE,
+    BenchConfig,
+    BenchSchemaError,
+    bench_executor,
+    bench_predictor,
+    validate_payload,
+)
+
+#: A sub-smoke configuration so the test suite stays quick.
+TINY = BenchConfig(
+    executor_iterations=500,
+    predictor_ops=2_000,
+    suite_experiment="fig-5.1",
+    suite_scale=0.01,
+    suite_training_runs=1,
+)
+
+
+def minimal_payload() -> dict:
+    """The smallest payload :func:`validate_payload` accepts."""
+    metrics = {
+        section: {key: 1.0 for key in keys}
+        for section, keys in REQUIRED_METRICS.items()
+    }
+    metrics["suite"]["cache"] = {"profile": {"hits": 1, "misses": 0, "hit_rate": 100.0}}
+    return {
+        "schema": SCHEMA_VERSION,
+        "revision": "abc1234",
+        "created": "2026-01-01T00:00:00+00:00",
+        "python": "3.12.0",
+        "platform": "test",
+        "smoke": True,
+        "config": {},
+        "metrics": metrics,
+        "telemetry": {},
+    }
+
+
+class TestSchema:
+    def test_minimal_payload_validates(self):
+        validate_payload(minimal_payload())
+
+    def test_wrong_schema_version_rejected(self):
+        payload = minimal_payload()
+        payload["schema"] = "repro-bench/0"
+        with pytest.raises(BenchSchemaError, match="schema"):
+            validate_payload(payload)
+
+    def test_missing_section_rejected(self):
+        payload = minimal_payload()
+        del payload["metrics"]["predictor"]
+        with pytest.raises(BenchSchemaError, match="predictor"):
+            validate_payload(payload)
+
+    def test_missing_metric_key_rejected(self):
+        payload = minimal_payload()
+        del payload["metrics"]["executor"]["mips"]
+        with pytest.raises(BenchSchemaError, match="mips"):
+            validate_payload(payload)
+
+    def test_cache_entries_need_hit_rate(self):
+        payload = minimal_payload()
+        del payload["metrics"]["suite"]["cache"]["profile"]["hit_rate"]
+        with pytest.raises(BenchSchemaError, match="hit_rate"):
+            validate_payload(payload)
+
+    def test_all_problems_reported_together(self):
+        payload = minimal_payload()
+        payload["schema"] = "nope"
+        del payload["revision"]
+        del payload["metrics"]["suite"]
+        with pytest.raises(BenchSchemaError) as excinfo:
+            validate_payload(payload)
+        message = str(excinfo.value)
+        assert "schema" in message and "revision" in message and "suite" in message
+
+    def test_presets_are_pinned(self):
+        # The trajectory only means something if the knobs stay fixed;
+        # change these values deliberately, alongside a schema bump note.
+        assert FULL.executor_iterations == 50_000
+        assert FULL.predictor_ops == 200_000
+        assert FULL.suite_experiment == "fig-5.1"
+        assert SMOKE.suite_experiment == FULL.suite_experiment
+        assert SMOKE.executor_iterations < FULL.executor_iterations
+
+
+class TestSections:
+    def test_bench_executor_counts_loop(self):
+        metrics = bench_executor(200)
+        # 2 setup + 7 per iteration + out + halt, as pinned in the asm.
+        assert metrics["instructions"] == 2 + 200 * 7 + 2
+        assert metrics["seconds"] > 0.0
+        assert metrics["mips"] > 0.0
+
+    def test_bench_predictor_exercises_replacement(self):
+        metrics = bench_predictor(4_000)
+        assert metrics["ops"] == 4_000
+        assert 0.0 <= metrics["hit_rate"] <= 100.0
+        # The stream cycles 1024 addresses through 512 entries, so the
+        # table must evict.
+        assert metrics["evictions"] > 0
+        assert metrics["ops_per_sec"] > 0.0
+
+
+@pytest.mark.slow
+class TestRunBench:
+    def test_run_bench_writes_valid_round_tripping_json(self, tmp_path):
+        from repro.telemetry.bench import run_bench
+
+        output = tmp_path / "bench.json"
+        stream = io.StringIO()
+        payload = run_bench(
+            smoke=True, output=str(output), config=TINY, stream=stream
+        )
+        validate_payload(payload)
+
+        on_disk = json.loads(output.read_text(encoding="utf-8"))
+        validate_payload(on_disk)
+        assert on_disk["schema"] == SCHEMA_VERSION
+        assert on_disk["metrics"]["executor"]["instructions"] == payload[
+            "metrics"
+        ]["executor"]["instructions"]
+
+        suite = on_disk["metrics"]["suite"]
+        assert suite["experiment"] == "fig-5.1"
+        assert suite["cold_seconds"] > 0.0
+        assert suite["warm_seconds"] > 0.0
+        assert suite["simulated_mips"] > 0.0
+        # The warm pass must actually hit the cache seeded by the cold pass.
+        assert any(entry["hits"] > 0 for entry in suite["cache"].values())
+
+        summary = stream.getvalue()
+        assert "repro bench" in summary
+        assert "fig-5.1" in summary
+        assert str(output) in summary

@@ -7,12 +7,16 @@ import pytest
 from repro.annotate import AnnotationPolicy
 from repro.core import (
     AlwaysClassification,
+    EvaluationScheme,
     HardwareClassification,
+    HardwareScheme,
     PredictionEngine,
     ProbeScheme,
     ProfileClassification,
+    ProfileScheme,
     evaluate_hardware_scheme,
     evaluate_profile_scheme,
+    evaluate_scheme,
     run_methodology,
     simulate_prediction,
     simulate_prediction_many,
@@ -160,8 +164,8 @@ class TestPipeline:
 
     def test_evaluate_both_schemes(self):
         result = run_methodology(MINIC_MIX, train_inputs=[[]])
-        profile_stats = evaluate_profile_scheme(result, [], entries=64)
-        hardware_stats = evaluate_hardware_scheme(result.program, [], entries=64)
+        profile_stats = evaluate_scheme(ProfileScheme(result), [], entries=64)
+        hardware_stats = evaluate_scheme(HardwareScheme(result.program), [], entries=64)
         # The profile scheme never takes an untagged instruction's
         # prediction, so every taken prediction maps to a directive.
         tagged = set(result.annotated.directives())
@@ -172,11 +176,43 @@ class TestPipeline:
 
     def test_profile_scheme_allocations_only_tagged(self):
         result = run_methodology(MINIC_MIX, train_inputs=[[]])
-        stats = evaluate_profile_scheme(result, [], entries=64)
+        stats = evaluate_scheme(ProfileScheme(result), [], entries=64)
         tagged = set(result.annotated.directives())
         for address, per_address in stats.per_address.items():
             if per_address.allocations:
                 assert address in tagged
+
+    def test_schemes_satisfy_protocol(self):
+        result = run_methodology(MINIC_MIX, train_inputs=[[]])
+        assert isinstance(ProfileScheme(result), EvaluationScheme)
+        assert isinstance(HardwareScheme(result.program), EvaluationScheme)
+
+    def test_custom_scheme_via_protocol(self):
+        """Any program+classification pair plugs into evaluate_scheme."""
+
+        class AlwaysScheme:
+            def __init__(self, program):
+                self.program = program
+
+            def classification(self):
+                return AlwaysClassification()
+
+        program = assemble(STRIDE_LOOP)
+        stats = evaluate_scheme(AlwaysScheme(program), [], entries=64)
+        assert stats.attempts > 0
+
+    def test_deprecated_aliases_warn_and_match(self):
+        result = run_methodology(MINIC_MIX, train_inputs=[[]])
+        with pytest.deprecated_call():
+            old_profile = evaluate_profile_scheme(result, [], entries=64)
+        with pytest.deprecated_call():
+            old_hardware = evaluate_hardware_scheme(result.program, [], entries=64)
+        new_profile = evaluate_scheme(ProfileScheme(result), [], entries=64)
+        new_hardware = evaluate_scheme(HardwareScheme(result.program), [], entries=64)
+        assert old_profile.taken_correct == new_profile.taken_correct
+        assert old_profile.attempts == new_profile.attempts
+        assert old_hardware.taken_correct == new_hardware.taken_correct
+        assert old_hardware.attempts == new_hardware.attempts
 
 
 class TestHybridEngineIntegration:

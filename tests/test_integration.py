@@ -7,10 +7,11 @@ import pytest
 from repro.annotate import AnnotationPolicy
 from repro.core import (
     HardwareClassification,
+    HardwareScheme,
     PredictionEngine,
     ProfileClassification,
-    evaluate_hardware_scheme,
-    evaluate_profile_scheme,
+    ProfileScheme,
+    evaluate_scheme,
     run_methodology,
     simulate_prediction,
 )
@@ -99,8 +100,8 @@ class TestSchemeComparison:
     def test_profile_scheme_cuts_mispredictions(self, gcc_methodology):
         workload, result = gcc_methodology
         inputs = workload.test_inputs(scale=SCALE)
-        profile_stats = evaluate_profile_scheme(result, inputs)
-        hardware_stats = evaluate_hardware_scheme(result.program, inputs)
+        profile_stats = evaluate_scheme(ProfileScheme(result), inputs)
+        hardware_stats = evaluate_scheme(HardwareScheme(result.program), inputs)
         assert profile_stats.taken_incorrect < hardware_stats.taken_incorrect
         assert profile_stats.taken_accuracy > hardware_stats.taken_accuracy
 

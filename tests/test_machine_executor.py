@@ -139,6 +139,32 @@ fn:
         with pytest.raises(InstructionBudgetExceeded):
             run_program(program, max_instructions=1000)
 
+    def test_none_budget_means_unbounded(self):
+        """Regression: ``max_instructions=None`` used to silently become
+        the 50M default budget instead of meaning "no budget"."""
+        executor = Executor(assemble(".text\n halt\n"), max_instructions=None)
+        assert executor.max_instructions is None
+
+        # A loop running past an explicit budget still completes under None.
+        program = assemble(
+            """
+.text
+    li r1, 0
+    li r2, 400
+loop:
+    addi r1, r1, 1
+    slt r3, r1, r2
+    bnez r3, loop
+    out r1
+    halt
+"""
+        )
+        with pytest.raises(InstructionBudgetExceeded):
+            run_program(program, max_instructions=100)
+        result = run_program(program, max_instructions=None)
+        assert result.outputs == [400]
+        assert result.instruction_count > 100
+
 
 class TestEnvironment:
     def test_inputs_consumed_in_order(self):
