@@ -12,6 +12,8 @@ and exposes the whole experiment suite through the same entry point::
 
     python -m repro experiments all --jobs 4
     python -m repro experiments fig-2.2 table-5.2 --scale 0.3
+    python -m repro experiments all --jobs 4 --retries 2 --job-timeout 600 \\
+        --report-json run-report.json
 
 (the ``repro-experiments`` script is a back-compat alias for the
 ``experiments`` subcommand; both share :mod:`repro.experiments.runner`),

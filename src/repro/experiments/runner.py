@@ -17,6 +17,14 @@ annotation, per-benchmark simulation grids, whole experiments — across a
 process pool, and every expensive artifact is persisted in a
 content-addressed cache (``--cache-dir``, default ``~/.cache/repro``) so
 a repeated run is nearly free.  ``--no-cache`` opts out.
+
+Long runs are fault tolerant: ``--retries N`` resubmits failed or
+timed-out cells with deterministic backoff, ``--job-timeout S`` bounds
+each pool attempt (stuck workers are killed and the pool rebuilt), and a
+run that still loses cells degrades gracefully — completed tables are
+emitted, the rest appear in a structured run report (``--report-json``)
+and the exit status is non-zero.  ``--fault-plan`` injects deterministic
+faults to exercise exactly these paths (:mod:`repro.runner.faults`).
 """
 
 from __future__ import annotations
@@ -52,8 +60,9 @@ from . import (
     table_5_1,
     table_5_2,
 )
-from ..runner import build_experiment_graph, default_cache_dir
+from ..runner import build_experiment_graph, default_cache_dir, faults
 from ..runner.executor import execute_graph
+from ..runner.retry import RetryPolicy, RunFailure
 from .context import ExperimentContext
 from .tables import ExperimentTable
 
@@ -96,6 +105,9 @@ def run_experiments(
     chart: bool = False,
     jobs: int = 1,
     progress=None,
+    retry: Optional[RetryPolicy] = None,
+    fault_plan=None,
+    report_path=None,
 ) -> List[ExperimentTable]:
     """Run the named experiments, printing each table as it completes.
 
@@ -106,6 +118,15 @@ def run_experiments(
     (machine-readable, see :meth:`ExperimentTable.to_tsv`).  With
     ``chart=True``, an ASCII chart of the table follows it on the stream.
     ``progress`` may be a stream for per-job progress/timing lines.
+
+    ``retry`` is the :class:`~repro.runner.retry.RetryPolicy` for failed
+    or timed-out cells and ``fault_plan`` an optional deterministic
+    fault-injection spec (see :func:`repro.runner.faults.resolve_plan`).
+    The run's :class:`~repro.runner.retry.RunReport` is written to
+    ``report_path`` as JSON when given.  A degraded run — any cell out
+    of retries — still emits every table that completed, writes the
+    report, prints its summary, and then raises
+    :class:`~repro.runner.retry.RunFailure` carrying the report.
     """
     stream = stream or sys.stdout
     if output_dir is not None:
@@ -117,11 +138,22 @@ def run_experiments(
         with telemetry.span("build"):
             graph = build_experiment_graph(names, context)
         with telemetry.span("execute"):
-            outcome = execute_graph(graph, context, jobs=jobs, progress=progress)
+            outcome = execute_graph(
+                graph,
+                context,
+                jobs=jobs,
+                progress=progress,
+                retry=retry,
+                fault_plan=fault_plan,
+            )
+        report = outcome.report
         results = []
         with telemetry.span("emit"):
             for name in names:
-                table = outcome.tables[name]
+                table = outcome.tables.get(name)
+                if table is None:
+                    # Failed or skipped — accounted for in the report.
+                    continue
                 record = outcome.record_for(f"experiment:{name}")
                 print(table.format(), file=stream)
                 if chart:
@@ -146,13 +178,25 @@ def run_experiments(
     if telemetry.enabled:
         telemetry.counter("experiments.tables").add(len(results))
         telemetry.gauge("experiments.wall_seconds").set(time.time() - started)
+    if report_path is not None and report is not None:
+        Path(report_path).write_text(report.to_json(), encoding="utf-8")
     if progress is not None:
+        recovery = (
+            f", {report.retries} retries, {report.timeouts} timeouts, "
+            f"{report.pool_rebuilds} pool rebuilds"
+            if report is not None
+            and (report.retries or report.timeouts or report.pool_rebuilds)
+            else ""
+        )
         print(
             f"[suite: {len(graph)} jobs, {outcome.cached_jobs} cached, "
             f"{outcome.computed_seconds:.1f}s job time, "
-            f"{time.time() - started:.1f}s wall]",
+            f"{time.time() - started:.1f}s wall{recovery}]",
             file=progress,
         )
+    if report is not None and not report.ok:
+        print(report.format(), file=progress if progress is not None else sys.stderr)
+        raise RunFailure(report, tables=results)
     return results
 
 
@@ -201,6 +245,35 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="number of training input sets to profile (default 5)",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts per failed/timed-out cell (default 0; retries "
+        "back off exponentially with deterministic per-job jitter)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per pool attempt; a timed-out attempt is "
+        "retried and the stuck worker pool rebuilt (default: unbounded)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults for testing recovery: a named plan "
+        "(e.g. ci-smoke), inline JSON, or a path/@path to a JSON plan",
+    )
+    parser.add_argument(
+        "--report-json",
+        default=None,
+        metavar="PATH",
+        help="write the structured RunReport (per-job status, attempts, "
+        "causes) here as JSON",
+    )
+    parser.add_argument(
         "--output-dir",
         default=None,
         help="also write each result as <id>.txt and <id>.tsv here",
@@ -234,19 +307,40 @@ def run_from_arguments(arguments: argparse.Namespace) -> int:
     if names == ["all"]:
         names = list(EXPERIMENTS)
 
+    fault_plan = arguments.fault_plan
+    if fault_plan is not None and fault_plan not in faults.NAMED_PLANS:
+        # Named plans are generated against the job graph later; every
+        # other spelling can be validated before any work starts.
+        try:
+            fault_plan = faults.resolve_plan(fault_plan)
+        except (TypeError, ValueError, OSError) as error:
+            print(f"invalid --fault-plan: {error}", file=sys.stderr)
+            return 2
+
     context = ExperimentContext(
         scale=arguments.scale,
         training_runs=arguments.training_runs,
         cache_dir=None if arguments.no_cache else arguments.cache_dir,
     )
-    run_experiments(
-        names,
-        context,
-        output_dir=arguments.output_dir,
-        chart=arguments.chart,
-        jobs=arguments.jobs,
-        progress=None if arguments.quiet else sys.stderr,
-    )
+    try:
+        run_experiments(
+            names,
+            context,
+            output_dir=arguments.output_dir,
+            chart=arguments.chart,
+            jobs=arguments.jobs,
+            progress=None if arguments.quiet else sys.stderr,
+            retry=RetryPolicy.from_cli(
+                retries=arguments.retries, job_timeout=arguments.job_timeout
+            ),
+            fault_plan=fault_plan,
+            report_path=arguments.report_json,
+        )
+    except RunFailure as failure:
+        # The report (already printed by run_experiments) is the primary
+        # output of a degraded run; no traceback.
+        print(f"run failed: {failure}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -20,9 +20,16 @@ Layering (no module imports upward):
   ``PredictionStats`` / ``IlpResult`` grids and experiment tables as JSON
   / TSV.
 * :mod:`~repro.runner.jobs` — the job graph and its builder.
+* :mod:`~repro.runner.retry` — :class:`RetryPolicy` (attempts, per-job
+  timeouts, deterministic backoff jitter) and the structured
+  :class:`RunReport` every run ends with.
+* :mod:`~repro.runner.faults` — seeded, env-propagated
+  :class:`FaultPlan` schedules (crash / hang / corrupt / transient) for
+  deterministic fault injection.
 * :mod:`~repro.runner.worker` — the picklable job entry points executed
   in pool processes.
-* :mod:`~repro.runner.executor` — serial and process-pool scheduling,
+* :mod:`~repro.runner.executor` — serial and process-pool scheduling
+  with retries, timeout-driven pool rebuilds and graceful degradation;
   per-job timing, progress lines, deterministic result ordering.
 
 Typical use (what ``python -m repro experiments`` does)::
@@ -39,18 +46,28 @@ Typical use (what ``python -m repro experiments`` does)::
 """
 
 from .cache import ArtifactCache, default_cache_dir
+from .faults import Fault, FaultPlan, TransientFault, resolve_plan
 from .jobs import CELL_KINDS, Job, JobGraph, build_experiment_graph
+from .retry import JobReport, RetryPolicy, RunFailure, RunReport
 
 __all__ = [
     "ArtifactCache",
     "CELL_KINDS",
     "ExecutionOutcome",
+    "Fault",
+    "FaultPlan",
     "Job",
     "JobGraph",
     "JobRecord",
+    "JobReport",
+    "RetryPolicy",
+    "RunFailure",
+    "RunReport",
+    "TransientFault",
     "build_experiment_graph",
     "default_cache_dir",
     "execute_graph",
+    "resolve_plan",
 ]
 
 

@@ -102,7 +102,9 @@ class ArtifactCache:
 
     def discard(self, kind: str, key: str, extension: str = "json") -> None:
         """Drop the entry (used when a payload fails to decode)."""
-        get_registry().counter(f"cache.corrupt.{kind}").add(1)
+        registry = get_registry()
+        registry.counter(f"cache.corrupt.{kind}").add(1)
+        registry.emit("cache.discard", kind=kind, key=key)
         try:
             self._path(kind, key, extension).unlink()
         except OSError:

@@ -1,0 +1,326 @@
+"""Deterministic fault injection for the experiment engine.
+
+The fault-tolerance paths of :mod:`repro.runner.executor` — retries,
+timeouts, pool rebuilds, graceful degradation — are only trustworthy if
+they are exercised deliberately.  A :class:`FaultPlan` is a seeded,
+pickleable schedule of faults keyed by ``(job_id, attempt)``; the
+executor ships it to pool workers through the :data:`ENV_VAR`
+environment variable (inherited at worker spawn), so the same plan
+produces the same faults in every process of every run.
+
+Fault kinds (:data:`FAULT_KINDS`):
+
+``transient``
+    Raise :class:`TransientFault` before computing — models a flaky
+    dependency or resource blip.  Fires in workers *and* inline in the
+    coordinator.
+``crash``
+    ``os._exit`` the worker process mid-job — models an OOM kill or
+    segfault.  Breaks the whole pool; the executor rebuilds it.  Fires
+    in pool workers only.
+``hang``
+    Sleep for :attr:`Fault.seconds` before computing — models a wedged
+    job.  Only observable under a :class:`~repro.runner.retry.RetryPolicy`
+    job timeout, which kills and rebuilds the pool.  Pool workers only.
+``corrupt``
+    Compute normally but return a mangled result payload — models a
+    torn write.  The coordinator's decode fails and the attempt is
+    retried.  Pool workers only.
+
+Because faults are keyed by attempt number, a fault at attempt 1 leaves
+attempt 2 clean: any plan whose per-job fault runs are shorter than the
+policy's ``max_attempts`` is fully recoverable, and a recovered run is
+byte-identical to a fault-free one (the chaos suite in
+``tests/test_faults.py`` asserts exactly this).
+
+This module is reproduction *infrastructure* — nothing here corresponds
+to a claim in the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+#: Environment variable carrying the JSON-encoded plan to pool workers.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+#: Exit code used by injected worker crashes (distinctive in core dumps).
+CRASH_EXIT_CODE = 97
+
+FAULT_KINDS = ("transient", "crash", "hang", "corrupt")
+
+#: Prefix prepended to payloads by ``corrupt`` faults; breaks every
+#: payload codec (assembler, profile reader, JSON, TSV table header).
+CORRUPTION_PREFIX = "\x00corrupted-by-fault-injection\n"
+
+
+class TransientFault(RuntimeError):
+    """The exception raised by an injected ``transient`` fault."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: ``kind`` fires on ``attempt`` of ``job_id``."""
+
+    kind: str
+    job_id: str
+    attempt: int = 1
+    #: Sleep length for ``hang`` faults (ignored by other kinds).
+    seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if self.attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {self.attempt}")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "job_id": self.job_id,
+            "attempt": self.attempt,
+            "seconds": self.seconds,
+        }
+
+
+class FaultPlan:
+    """A deterministic schedule of faults, keyed by ``(job_id, attempt)``.
+
+    Plans are immutable value objects: pickleable (they ride in job
+    submissions and test fixtures) and JSON round-trippable (they ride
+    to pool workers in :data:`ENV_VAR`).  At most one fault may target a
+    given ``(job_id, attempt)`` pair.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = (), seed: Optional[int] = None):
+        self.seed = seed
+        self._faults: Dict[Tuple[str, int], Fault] = {}
+        for fault in faults:
+            key = (fault.job_id, fault.attempt)
+            if key in self._faults:
+                raise ValueError(
+                    f"duplicate fault for job {fault.job_id!r} attempt {fault.attempt}"
+                )
+            self._faults[key] = fault
+
+    # -- querying ------------------------------------------------------------
+
+    def fault_for(self, job_id: str, attempt: int) -> Optional[Fault]:
+        return self._faults.get((job_id, attempt))
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def __iter__(self) -> Iterator[Fault]:
+        return iter(sorted(self._faults.values(), key=lambda f: (f.job_id, f.attempt)))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self._faults == other._faults
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FaultPlan({len(self._faults)} faults, seed={self.seed})"
+
+    def job_ids(self) -> Sequence[str]:
+        return sorted({job_id for job_id, _ in self._faults})
+
+    def consecutive_failures(self, job_id: str) -> int:
+        """Length of the fault run starting at attempt 1 for ``job_id``.
+
+        A job fails exactly its leading consecutive faulted attempts: a
+        fault scheduled *after* the first clean attempt never fires.
+        """
+        attempt = 1
+        while (job_id, attempt) in self._faults:
+            attempt += 1
+        return attempt - 1
+
+    def is_recoverable(self, max_attempts: int) -> bool:
+        """Whether every faulted job reaches a clean attempt within budget."""
+        return all(
+            self.consecutive_failures(job_id) < max_attempts
+            for job_id in self.job_ids()
+        )
+
+    def expected_retries(self, max_attempts: int) -> int:
+        """Exactly how many retry resubmissions this plan will cause.
+
+        Per job: one retry per leading faulted attempt, bounded by the
+        retry budget (an exhausted job made ``max_attempts`` attempts,
+        i.e. ``max_attempts - 1`` retries).
+        """
+        return sum(
+            min(self.consecutive_failures(job_id), max_attempts - 1)
+            for job_id in self.job_ids()
+        )
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "version": 1,
+                "seed": self.seed,
+                "faults": [fault.to_dict() for fault in self],
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        if payload.get("version") != 1:
+            raise ValueError(f"unknown fault plan version {payload.get('version')!r}")
+        return cls(
+            (Fault(**entry) for entry in payload.get("faults", ())),
+            seed=payload.get("seed"),
+        )
+
+    def __reduce__(self):
+        return (FaultPlan.from_json, (self.to_json(),))
+
+    # -- generation ----------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        job_ids: Sequence[str],
+        *,
+        seed: int,
+        rate: float = 0.2,
+        kinds: Sequence[str] = ("transient",),
+        max_attempt: int = 1,
+        hang_seconds: float = 60.0,
+    ) -> "FaultPlan":
+        """A seeded random plan over ``job_ids``.
+
+        Each job is independently faulted with probability ``rate``; a
+        faulted job gets one fault of a random ``kinds`` member at a
+        random attempt in ``[1, max_attempt]``.  Same seed and job list
+        ⇒ same plan, on every platform and Python version.
+        """
+        rng = random.Random(seed)
+        faults = []
+        for job_id in job_ids:
+            if rng.random() < rate:
+                kind = kinds[rng.randrange(len(kinds))]
+                attempt = rng.randint(1, max_attempt)
+                faults.append(
+                    Fault(kind=kind, job_id=job_id, attempt=attempt, seconds=hang_seconds)
+                )
+        return cls(faults, seed=seed)
+
+    # -- firing --------------------------------------------------------------
+
+    def fire(self, job_id: str, attempt: int, *, in_worker: bool) -> Optional[Fault]:
+        """Enact the fault for ``(job_id, attempt)``, if any.
+
+        ``transient`` raises; ``crash`` and ``hang`` only act when
+        ``in_worker`` (crashing or stalling the coordinator would take
+        the whole run down, which no fault kind models).  Returns the
+        fault for kinds the *caller* must enact (``corrupt``: mangle the
+        encoded payload with :func:`corrupt_payload`).
+        """
+        fault = self.fault_for(job_id, attempt)
+        if fault is None:
+            return None
+        if fault.kind == "transient":
+            raise TransientFault(
+                f"injected transient fault ({job_id}, attempt {attempt})"
+            )
+        if not in_worker:
+            return None
+        if fault.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if fault.kind == "hang":
+            time.sleep(fault.seconds)
+            return None
+        return fault
+
+
+def corrupt_payload(payload: str) -> str:
+    """Mangle an encoded job payload so every codec rejects it."""
+    return CORRUPTION_PREFIX + payload
+
+
+# -- named plans and spec resolution ----------------------------------------
+
+
+def _ci_smoke_plan(graph) -> FaultPlan:
+    """The pinned CI plan: transient/corrupt faults on first attempts.
+
+    Every fault fires on attempt 1 only, so any policy with at least one
+    retry converges and the run stays byte-identical to a fault-free one.
+    """
+    pool_ids = [job.job_id for job in graph.order() if not job.inline]
+    return FaultPlan.generate(
+        pool_ids, seed=1997, rate=0.25, kinds=("transient", "corrupt"), max_attempt=1
+    )
+
+
+NAMED_PLANS = {"ci-smoke": _ci_smoke_plan}
+
+
+def resolve_plan(spec, graph=None) -> Optional[FaultPlan]:
+    """Turn a ``--fault-plan`` spec into a :class:`FaultPlan`.
+
+    Accepts ``None`` (no faults), a ready :class:`FaultPlan`, inline
+    JSON (``{...}``), ``@path`` or a bare path to a JSON plan file, or a
+    named plan (:data:`NAMED_PLANS` — named plans are generated against
+    ``graph``, so they need one).
+    """
+    if spec is None or isinstance(spec, FaultPlan):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"fault plan spec must be a string or FaultPlan, got {spec!r}")
+    text = spec.strip()
+    if text.startswith("{"):
+        return FaultPlan.from_json(text)
+    if text.startswith("@"):
+        return FaultPlan.from_json(Path(text[1:]).read_text(encoding="utf-8"))
+    if text in NAMED_PLANS:
+        if graph is None:
+            raise ValueError(f"named fault plan {text!r} needs a job graph")
+        return NAMED_PLANS[text](graph)
+    path = Path(text)
+    if path.is_file():
+        return FaultPlan.from_json(path.read_text(encoding="utf-8"))
+    known = ", ".join(sorted(NAMED_PLANS))
+    raise ValueError(f"unknown fault plan {spec!r}; known named plans: {known}")
+
+
+#: Cache of the worker-side plan, keyed by the raw env value so a
+#: changed plan (tests flip it between runs) is re-parsed.
+_ACTIVE: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan in :data:`ENV_VAR`, parsed once per distinct value."""
+    global _ACTIVE
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    if _ACTIVE[0] != raw:
+        _ACTIVE = (raw, FaultPlan.from_json(raw))
+    return _ACTIVE[1]
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ENV_VAR",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultPlan",
+    "NAMED_PLANS",
+    "TransientFault",
+    "active_plan",
+    "corrupt_payload",
+    "resolve_plan",
+]

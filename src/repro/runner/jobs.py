@@ -92,6 +92,35 @@ class JobGraph:
         """Jobs in insertion order (a valid topological order)."""
         return list(self.jobs.values())
 
+    def dependents(self) -> Dict[str, List[str]]:
+        """job id -> the ids that list it as a direct dependency."""
+        table: Dict[str, List[str]] = {job_id: [] for job_id in self.jobs}
+        for job in self.jobs.values():
+            for dep in job.deps:
+                table[dep].append(job.job_id)
+        return table
+
+    def transitive_dependents(
+        self, job_id: str, table: Optional[Dict[str, List[str]]] = None
+    ) -> List[str]:
+        """Every job downstream of ``job_id``, in insertion order.
+
+        This is the skip set when ``job_id`` fails: nothing in it can
+        ever run.  Pass a precomputed :meth:`dependents` ``table`` to
+        amortize the reverse-edge scan across calls.
+        """
+        if table is None:
+            table = self.dependents()
+        reached = set()
+        frontier = list(table[job_id])
+        while frontier:
+            current = frontier.pop()
+            if current in reached:
+                continue
+            reached.add(current)
+            frontier.extend(table[current])
+        return [job.job_id for job in self.jobs.values() if job.job_id in reached]
+
     def __len__(self) -> int:
         return len(self.jobs)
 

@@ -1,0 +1,236 @@
+"""Retry policy and structured run reporting for the experiment engine.
+
+The executor (:mod:`repro.runner.executor`) treats every job attempt as
+fallible: a worker exception, a corrupt result payload, a timed-out or
+crashed worker process all count as a *failed attempt*, and the
+:class:`RetryPolicy` decides whether the job is resubmitted (with
+exponential backoff and deterministic per-job jitter) or declared
+failed.  A failed job degrades the run gracefully — its transitive
+dependents are marked skipped, independent jobs still complete — and the
+whole run is summarized by a :class:`RunReport` instead of a stack
+trace.
+
+Backoff jitter is derived from a SHA-256 of the job id and attempt
+number, never from a random source, so two runs of the same suite retry
+on exactly the same schedule.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, List, Optional, Tuple
+
+#: Terminal job statuses (:attr:`JobReport.status`).
+OK = "ok"
+CACHED = "cached"
+FAILED = "failed"
+SKIPPED = "skipped"
+
+STATUSES = (OK, CACHED, FAILED, SKIPPED)
+
+
+def deterministic_jitter(job_id: str, attempt: int) -> float:
+    """A stable pseudo-random value in ``[0, 1)`` for backoff jitter.
+
+    Hashing ``job_id:attempt`` decorrelates retry schedules across jobs
+    (no thundering herd after a pool rebuild) while keeping every run of
+    the same suite byte-identical in its retry timing decisions.
+    """
+    digest = hashlib.sha256(f"{job_id}:{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor responds to failed job attempts.
+
+    Args:
+        max_attempts: total attempts per job (1 = no retries).
+        job_timeout: wall-clock seconds allowed per pool attempt
+            (``None`` = unbounded).  A timed-out attempt counts as
+            failed; the worker pool is rebuilt to reclaim the stuck
+            process.
+        backoff_base: delay before the first retry, in seconds.
+        backoff_factor: multiplier applied per subsequent retry.
+        backoff_cap: upper bound on the pre-jitter delay.
+    """
+
+    max_attempts: int = 1
+    job_timeout: Optional[float] = None
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ValueError(f"job_timeout must be positive, got {self.job_timeout}")
+
+    @classmethod
+    def from_cli(
+        cls, retries: int = 0, job_timeout: Optional[float] = None
+    ) -> "RetryPolicy":
+        """``--retries N`` semantics: N *extra* attempts after the first."""
+        return cls(max_attempts=max(0, retries) + 1, job_timeout=job_timeout)
+
+    @property
+    def retries(self) -> int:
+        return self.max_attempts - 1
+
+    def backoff_seconds(self, job_id: str, attempt: int) -> float:
+        """Delay before resubmitting ``job_id`` after failed ``attempt``.
+
+        Exponential in the attempt number, capped, and scaled by a
+        deterministic jitter in ``[0.5, 1.5)`` derived from the job id —
+        reproducible across runs, decorrelated across jobs.
+        """
+        raw = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        return min(self.backoff_cap, raw) * (0.5 + deterministic_jitter(job_id, attempt))
+
+
+@dataclasses.dataclass(frozen=True)
+class JobReport:
+    """Terminal outcome of one job across all its attempts."""
+
+    job_id: str
+    kind: str
+    label: str
+    status: str
+    attempts: int
+    seconds: float
+    causes: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "label": self.label,
+            "status": self.status,
+            "attempts": self.attempts,
+            "seconds": self.seconds,
+            "causes": list(self.causes),
+        }
+
+
+@dataclasses.dataclass
+class RunReport:
+    """Structured summary of an engine run (schema ``repro-run/1``).
+
+    ``jobs`` is in graph order, one entry per job, regardless of
+    completion order — the report of a run is deterministic even when
+    the pool is not.
+    """
+
+    jobs: List[JobReport] = dataclasses.field(default_factory=list)
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+
+    SCHEMA = "repro-run/1"
+
+    def job(self, job_id: str) -> Optional[JobReport]:
+        for entry in self.jobs:
+            if entry.job_id == job_id:
+                return entry
+        return None
+
+    @property
+    def failed(self) -> List[JobReport]:
+        return [entry for entry in self.jobs if entry.status == FAILED]
+
+    @property
+    def skipped(self) -> List[JobReport]:
+        return [entry for entry in self.jobs if entry.status == SKIPPED]
+
+    @property
+    def completed(self) -> List[JobReport]:
+        return [entry for entry in self.jobs if entry.status in (OK, CACHED)]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed and not self.skipped
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def counts(self) -> Dict[str, int]:
+        counts = {status: 0 for status in STATUSES}
+        for entry in self.jobs:
+            counts[entry.status] += 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.SCHEMA,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "counts": self.counts(),
+            "jobs": [entry.to_dict() for entry in self.jobs],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def format(self) -> str:
+        """Human-readable summary: one headline, then failures in detail."""
+        counts = self.counts()
+        headline = (
+            f"run report: {len(self.jobs)} jobs — "
+            f"{counts[OK]} ok, {counts[CACHED]} cached, "
+            f"{counts[FAILED]} failed, {counts[SKIPPED]} skipped; "
+            f"{self.retries} retries, {self.timeouts} timeouts, "
+            f"{self.pool_rebuilds} pool rebuilds"
+        )
+        lines = [headline]
+        if self.failed:
+            lines.append("failed:")
+            for entry in self.failed:
+                lines.append(
+                    f"  {entry.job_id} — {entry.attempts} attempt(s), "
+                    f"{entry.seconds:.2f}s"
+                )
+                for cause in entry.causes:
+                    lines.append(f"      {cause}")
+        if self.skipped:
+            lines.append("skipped (unmet dependencies):")
+            for entry in self.skipped:
+                cause = entry.causes[-1] if entry.causes else "dependency failed"
+                lines.append(f"  {entry.job_id} — {cause}")
+        return "\n".join(lines)
+
+
+class RunFailure(RuntimeError):
+    """Raised by the experiment runner when a run ends with failed jobs.
+
+    Carries the :class:`RunReport` (``.report``) and whatever tables did
+    complete (``.tables``), so callers degrade gracefully instead of
+    digging a cause out of a traceback.
+    """
+
+    def __init__(self, report: RunReport, tables: Optional[list] = None) -> None:
+        self.report = report
+        self.tables = list(tables or [])
+        failed = ", ".join(entry.job_id for entry in report.failed)
+        super().__init__(
+            f"{len(report.failed)} job(s) failed ({failed}); "
+            f"{len(report.skipped)} skipped"
+        )
+
+
+__all__ = [
+    "CACHED",
+    "FAILED",
+    "JobReport",
+    "OK",
+    "RetryPolicy",
+    "RunFailure",
+    "RunReport",
+    "SKIPPED",
+    "STATUSES",
+    "deterministic_jitter",
+]

@@ -19,7 +19,7 @@ import time
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..telemetry import Telemetry, get_registry, use_registry
-from . import serialize
+from . import faults, serialize
 from .jobs import Job
 
 #: Per-process contexts, keyed by :func:`spec_key` of the parent config.
@@ -130,7 +130,7 @@ def compute_value(job: Job, context):
 
 
 def run_pool_job(
-    spec: dict, job: Job, dep_items: Sequence[Tuple[Job, str]]
+    spec: dict, job: Job, dep_items: Sequence[Tuple[Job, str]], attempt: int = 1
 ) -> Tuple[float, str, Optional[dict]]:
     """Pool entry point: prime dependencies, compute, return encoded.
 
@@ -140,21 +140,35 @@ def run_pool_job(
     When the coordinator's registry is live, the job runs under a fresh
     per-job registry whose snapshot rides back for merging; totals over a
     parallel run therefore equal a serial run's.
+
+    ``attempt`` is the coordinator's 1-based attempt number for this
+    job.  It keys the deterministic fault schedule (the env-passed
+    :class:`~repro.runner.faults.FaultPlan`, if any, is consulted before
+    computing and may raise, crash, stall, or mangle the payload) and
+    names the per-attempt telemetry span.
     """
     context = resolve_context(spec)
+    plan = faults.active_plan()
+    fault = (
+        plan.fire(job.job_id, attempt, in_worker=True) if plan is not None else None
+    )
     for dep_job, payload in dep_items:
         if not already_primed(context, dep_job):
             prime(context, dep_job, serialize.decode(dep_job.kind, payload))
     if spec.get("telemetry"):
         registry = Telemetry()
         with use_registry(registry):
-            started = time.perf_counter()
-            value = compute_value(job, context)
-            seconds = time.perf_counter() - started
+            with registry.span(f"attempt:{job.kind}"):
+                started = time.perf_counter()
+                value = compute_value(job, context)
+                seconds = time.perf_counter() - started
         snapshot = registry.snapshot()
     else:
         started = time.perf_counter()
         value = compute_value(job, context)
         seconds = time.perf_counter() - started
         snapshot = None
-    return seconds, serialize.encode(job.kind, value), snapshot
+    payload = serialize.encode(job.kind, value)
+    if fault is not None and fault.kind == "corrupt":
+        payload = faults.corrupt_payload(payload)
+    return seconds, payload, snapshot

@@ -1,0 +1,523 @@
+"""Fault-injection and retry tests for the experiment engine.
+
+Unit coverage for :mod:`repro.runner.faults` and
+:mod:`repro.runner.retry`, plus the chaos suite: property-based runs
+under randomly generated (but seeded and fully deterministic) fault
+plans, asserting the two load-bearing recovery guarantees:
+
+* any plan whose faults are all retryable converges to results
+  byte-identical to a fault-free serial run, with the retry telemetry
+  reporting *exactly* the injected fault count, and
+* a plan that exhausts a job's retries degrades the run into a
+  structured :class:`~repro.runner.retry.RunReport` naming exactly the
+  failed job and its transitive dependents — independent jobs still
+  complete.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.context import ExperimentContext
+from repro.runner import serialize
+from repro.runner.executor import execute_graph
+from repro.runner.faults import (
+    CORRUPTION_PREFIX,
+    ENV_VAR,
+    Fault,
+    FaultPlan,
+    TransientFault,
+    active_plan,
+    corrupt_payload,
+    resolve_plan,
+)
+from repro.runner.jobs import (
+    Job,
+    JobGraph,
+    annotate_id,
+    classify_id,
+    compile_id,
+    profile_id,
+)
+from repro.runner.retry import (
+    RetryPolicy,
+    RunReport,
+    JobReport,
+    deterministic_jitter,
+)
+from repro.telemetry import Telemetry, use_registry
+
+WORKLOADS = ("129.compress", "107.mgrid")
+RUNS = 2
+
+
+def make_context() -> ExperimentContext:
+    return ExperimentContext(scale=0.02, training_runs=RUNS, cache_dir=None)
+
+
+def profile_graph(chain: bool = False) -> JobGraph:
+    """Compile + profile cells; ``chain`` adds annotate -> classify.
+
+    Small by design: the chaos suite re-executes this graph many times,
+    so it must stay a few seconds per run at scale 0.02.
+    """
+    graph = JobGraph()
+    for workload in WORKLOADS:
+        graph.add(Job(compile_id(workload), "compile", workload, inline=True))
+    for workload in WORKLOADS:
+        profiles = []
+        for run_index in range(RUNS):
+            job = graph.add(
+                Job(
+                    profile_id(workload, run_index),
+                    "profile",
+                    workload,
+                    params=(run_index,),
+                    deps=(compile_id(workload),),
+                )
+            )
+            profiles.append(job.job_id)
+        if chain:
+            annotate = graph.add(
+                Job(
+                    annotate_id(workload, 90.0),
+                    "annotate",
+                    workload,
+                    params=(90.0,),
+                    deps=tuple(profiles),
+                )
+            )
+            graph.add(
+                Job(
+                    classify_id(workload),
+                    "classify",
+                    workload,
+                    deps=(annotate.job_id,),
+                )
+            )
+    return graph
+
+
+POOL_JOB_IDS = tuple(
+    job.job_id for job in profile_graph().order() if not job.inline
+)
+
+
+def profile_payloads(outcome) -> dict:
+    return {
+        job_id: serialize.encode("profile", value)
+        for job_id, value in outcome.values.items()
+        if job_id.startswith("profile:")
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_baseline():
+    """Fault-free serial run of the chaos graph; the ground truth."""
+    outcome = execute_graph(profile_graph(), make_context())
+    assert outcome.report is not None and outcome.report.ok
+    return profile_payloads(outcome)
+
+
+class TestFault:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("meltdown", "profile:x:0")
+
+    def test_attempt_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            Fault("transient", "profile:x:0", attempt=0)
+
+    def test_defaults(self):
+        fault = Fault("transient", "profile:x:0")
+        assert fault.attempt == 1
+        assert fault.seconds == 60.0
+
+
+class TestFaultPlan:
+    def plan(self) -> FaultPlan:
+        return FaultPlan(
+            [
+                Fault("transient", "profile:a:0", 1),
+                Fault("transient", "profile:a:0", 2),
+                Fault("crash", "profile:b:1", 1),
+                Fault("corrupt", "profile:c:0", 3),
+            ],
+            seed=7,
+        )
+
+    def test_duplicate_fault_rejected(self):
+        with pytest.raises(ValueError, match="duplicate fault"):
+            FaultPlan(
+                [
+                    Fault("transient", "profile:a:0", 1),
+                    Fault("crash", "profile:a:0", 1),
+                ]
+            )
+
+    def test_fault_for(self):
+        plan = self.plan()
+        assert plan.fault_for("profile:a:0", 1).kind == "transient"
+        assert plan.fault_for("profile:a:0", 3) is None
+        assert plan.fault_for("unknown", 1) is None
+
+    def test_iteration_is_sorted(self):
+        ordered = [(f.job_id, f.attempt) for f in self.plan()]
+        assert ordered == sorted(ordered)
+
+    def test_json_roundtrip(self):
+        plan = self.plan()
+        again = FaultPlan.from_json(plan.to_json())
+        assert again == plan
+        assert again.seed == plan.seed
+
+    def test_unknown_json_version_rejected(self):
+        with pytest.raises(ValueError, match="version"):
+            FaultPlan.from_json('{"version": 99, "faults": []}')
+
+    def test_pickle_roundtrip(self):
+        plan = self.plan()
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+    def test_generate_is_seed_deterministic(self):
+        jobs = [f"profile:w:{i}" for i in range(40)]
+        first = FaultPlan.generate(jobs, seed=1997, rate=0.5)
+        second = FaultPlan.generate(jobs, seed=1997, rate=0.5)
+        assert first == second and len(first) > 0
+        assert FaultPlan.generate(jobs, seed=1998, rate=0.5) != first
+
+    def test_generate_targets_only_given_jobs(self):
+        jobs = [f"profile:w:{i}" for i in range(20)]
+        plan = FaultPlan.generate(jobs, seed=3, rate=1.0)
+        assert len(plan) == len(jobs)
+        assert set(plan.job_ids()) == set(jobs)
+
+    def test_consecutive_failures_counts_leading_run(self):
+        plan = self.plan()
+        assert plan.consecutive_failures("profile:a:0") == 2
+        assert plan.consecutive_failures("profile:b:1") == 1
+        # The attempt-3 fault never fires: attempts 1 and 2 are clean.
+        assert plan.consecutive_failures("profile:c:0") == 0
+        assert plan.consecutive_failures("unknown") == 0
+
+    def test_is_recoverable(self):
+        plan = self.plan()
+        assert not plan.is_recoverable(2)  # profile:a:0 needs 3 attempts
+        assert plan.is_recoverable(3)
+
+    def test_expected_retries(self):
+        plan = self.plan()
+        # a: 2 leading faults, b: 1, c: 0 (unreachable attempt-3 fault).
+        assert plan.expected_retries(4) == 3
+        # With max_attempts=2, job a is capped at 1 retry before failing.
+        assert plan.expected_retries(2) == 2
+
+    def test_fire_transient_raises_everywhere(self):
+        plan = FaultPlan([Fault("transient", "j", 1)])
+        with pytest.raises(TransientFault):
+            plan.fire("j", 1, in_worker=True)
+        with pytest.raises(TransientFault):
+            plan.fire("j", 1, in_worker=False)
+        assert plan.fire("j", 2, in_worker=True) is None
+
+    def test_fire_worker_only_kinds_noop_in_coordinator(self):
+        plan = FaultPlan(
+            [Fault("crash", "c", 1), Fault("hang", "h", 1, seconds=30.0)]
+        )
+        # Neither crashes nor stalls this (the coordinating) process.
+        assert plan.fire("c", 1, in_worker=False) is None
+        assert plan.fire("h", 1, in_worker=False) is None
+
+    def test_fire_returns_corrupt_for_caller(self):
+        plan = FaultPlan([Fault("corrupt", "j", 1)])
+        fault = plan.fire("j", 1, in_worker=True)
+        assert fault is not None and fault.kind == "corrupt"
+        assert plan.fire("j", 1, in_worker=False) is None
+
+    def test_corrupt_payload_breaks_decoding(self):
+        mangled = corrupt_payload('{"valid": "json"}')
+        assert mangled.startswith(CORRUPTION_PREFIX)
+        with pytest.raises(serialize.PayloadError):
+            serialize.decode("classify", mangled)
+
+
+class TestResolvePlan:
+    def test_none_and_plan_pass_through(self):
+        plan = FaultPlan([Fault("transient", "j", 1)])
+        assert resolve_plan(None) is None
+        assert resolve_plan(plan) is plan
+
+    def test_inline_json(self):
+        plan = FaultPlan([Fault("transient", "j", 1)])
+        assert resolve_plan(plan.to_json()) == plan
+
+    def test_at_path_and_bare_path(self, tmp_path):
+        plan = FaultPlan([Fault("crash", "j", 2)])
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        assert resolve_plan(f"@{path}") == plan
+        assert resolve_plan(str(path)) == plan
+
+    def test_named_plan_needs_graph(self):
+        with pytest.raises(ValueError, match="needs a job graph"):
+            resolve_plan("ci-smoke")
+
+    def test_ci_smoke_is_recoverable_with_one_retry(self):
+        graph = profile_graph(chain=True)
+        plan = resolve_plan("ci-smoke", graph)
+        assert len(plan) > 0
+        assert plan.is_recoverable(2)
+        # Pinned seed: the same graph always yields the same plan.
+        assert plan == resolve_plan("ci-smoke", graph)
+        assert set(plan.job_ids()) <= {
+            job.job_id for job in graph.order() if not job.inline
+        }
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            resolve_plan("no-such-plan")
+        with pytest.raises(TypeError):
+            resolve_plan(42)
+
+    def test_active_plan_tracks_env(self, monkeypatch):
+        plan = FaultPlan([Fault("transient", "j", 1)])
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert active_plan() is None
+        monkeypatch.setenv(ENV_VAR, plan.to_json())
+        assert active_plan() == plan
+        changed = FaultPlan([Fault("corrupt", "k", 1)])
+        monkeypatch.setenv(ENV_VAR, changed.to_json())
+        assert active_plan() == changed
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(job_timeout=0.0)
+
+    def test_from_cli(self):
+        policy = RetryPolicy.from_cli(retries=2, job_timeout=30.0)
+        assert policy.max_attempts == 3
+        assert policy.retries == 2
+        assert policy.job_timeout == 30.0
+        assert RetryPolicy.from_cli(retries=-1).max_attempts == 1
+
+    def test_jitter_deterministic_and_bounded(self):
+        values = [deterministic_jitter(f"job-{i}", 1) for i in range(50)]
+        assert values == [deterministic_jitter(f"job-{i}", 1) for i in range(50)]
+        assert all(0.0 <= value < 1.0 for value in values)
+        assert len(set(values)) > 40  # decorrelated across jobs
+
+    def test_backoff_deterministic_and_bounded(self):
+        policy = RetryPolicy(max_attempts=5)
+        for attempt in range(1, 5):
+            first = policy.backoff_seconds("profile:x:0", attempt)
+            assert first == policy.backoff_seconds("profile:x:0", attempt)
+            raw = min(
+                policy.backoff_cap,
+                policy.backoff_base * policy.backoff_factor ** (attempt - 1),
+            )
+            assert 0.5 * raw <= first < 1.5 * raw
+
+    def test_backoff_grows_until_capped(self):
+        policy = RetryPolicy(max_attempts=16, backoff_cap=1.0)
+        # Strip the jitter scale to see the raw exponential schedule.
+        raw = [
+            policy.backoff_seconds("j", attempt)
+            / (0.5 + deterministic_jitter("j", attempt))
+            for attempt in range(1, 10)
+        ]
+        assert raw == sorted(raw)
+        assert raw[-1] == policy.backoff_cap
+
+
+class TestRunReport:
+    def report(self) -> RunReport:
+        return RunReport(
+            jobs=[
+                JobReport("compile:w", "compile", "compile(w)", "ok", 1, 0.1),
+                JobReport(
+                    "profile:w:0",
+                    "profile",
+                    "profile(w, run 0)",
+                    "failed",
+                    2,
+                    3.5,
+                    causes=(
+                        "attempt 1: TransientFault: injected",
+                        "attempt 2: timed out after 4s",
+                    ),
+                ),
+                JobReport(
+                    "classify:w",
+                    "classify",
+                    "classify(w)",
+                    "skipped",
+                    0,
+                    0.0,
+                    causes=("dependency profile:w:0 failed",),
+                ),
+            ],
+            retries=1,
+            timeouts=1,
+            pool_rebuilds=1,
+        )
+
+    def test_counts_and_status(self):
+        report = self.report()
+        assert report.counts() == {"ok": 1, "cached": 0, "failed": 1, "skipped": 1}
+        assert not report.ok
+        assert report.exit_code == 1
+        assert [entry.job_id for entry in report.failed] == ["profile:w:0"]
+        assert [entry.job_id for entry in report.skipped] == ["classify:w"]
+        assert report.job("compile:w").status == "ok"
+        assert report.job("missing") is None
+
+    def test_format_names_failures_and_causes(self):
+        text = self.report().format()
+        assert "3 jobs" in text and "1 failed, 1 skipped" in text
+        assert "profile:w:0" in text
+        assert "attempt 2: timed out after 4s" in text
+        assert "classify:w — dependency profile:w:0 failed" in text
+
+    def test_json_schema(self):
+        import json
+
+        payload = json.loads(self.report().to_json())
+        assert payload["schema"] == "repro-run/1"
+        assert payload["retries"] == 1
+        assert payload["counts"]["failed"] == 1
+        assert payload["jobs"][1]["causes"][0].startswith("attempt 1")
+
+    def test_empty_run_is_ok(self):
+        report = RunReport()
+        assert report.ok and report.exit_code == 0
+
+
+def fault_run_strategy():
+    """Per-job leading fault runs: (job_id, [kind for attempt 1..n])."""
+    kind = st.sampled_from(["transient", "corrupt", "crash"])
+    return st.fixed_dictionaries(
+        {job_id: st.lists(kind, min_size=0, max_size=2) for job_id in POOL_JOB_IDS}
+    )
+
+
+class TestChaos:
+    """The chaos suite: generated fault plans against real engine runs."""
+
+    MAX_ATTEMPTS = 4  # > the longest generated fault run: always recoverable
+
+    @settings(max_examples=5, deadline=None)
+    @given(fault_run_strategy())
+    def test_retryable_plans_converge_byte_identical(
+        self, serial_baseline, fault_runs
+    ):
+        plan = FaultPlan(
+            [
+                Fault(kind, job_id, attempt)
+                for job_id, kinds in fault_runs.items()
+                for attempt, kind in enumerate(kinds, start=1)
+            ]
+        )
+        assert plan.is_recoverable(self.MAX_ATTEMPTS)
+        registry = Telemetry()
+        with use_registry(registry):
+            outcome = execute_graph(
+                profile_graph(),
+                make_context(),
+                jobs=2,
+                retry=RetryPolicy(max_attempts=self.MAX_ATTEMPTS),
+                fault_plan=plan,
+            )
+        report = outcome.report
+        assert report.ok, report.format()
+        assert profile_payloads(outcome) == serial_baseline
+        expected = plan.expected_retries(self.MAX_ATTEMPTS)
+        assert report.retries == expected
+        counted = registry.snapshot()["counters"].get("runner.retries", 0)
+        assert counted == expected
+
+    def test_crash_and_transients_converge(self, serial_baseline):
+        """1 crash + 2 transients on distinct jobs: recovered exactly."""
+        plan = FaultPlan(
+            [
+                Fault("crash", profile_id("129.compress", 0), 1),
+                Fault("transient", profile_id("129.compress", 1), 1),
+                Fault("transient", profile_id("107.mgrid", 0), 1),
+            ]
+        )
+        outcome = execute_graph(
+            profile_graph(),
+            make_context(),
+            jobs=2,
+            retry=RetryPolicy(max_attempts=4),
+            fault_plan=plan,
+        )
+        report = outcome.report
+        assert report.ok, report.format()
+        assert report.retries == plan.expected_retries(4) == 3
+        assert report.pool_rebuilds >= 1
+        assert profile_payloads(outcome) == serial_baseline
+
+    def test_hang_recovered_by_timeout(self, serial_baseline):
+        """A hung attempt is killed at the deadline and retried clean."""
+        plan = FaultPlan(
+            [Fault("hang", profile_id("129.compress", 0), 1, seconds=60.0)]
+        )
+        outcome = execute_graph(
+            profile_graph(),
+            make_context(),
+            jobs=2,
+            retry=RetryPolicy(max_attempts=3, job_timeout=8.0),
+            fault_plan=plan,
+        )
+        report = outcome.report
+        assert report.ok, report.format()
+        assert report.timeouts == 1
+        assert report.pool_rebuilds == 1
+        assert report.retries == 1
+        hung = report.job(profile_id("129.compress", 0))
+        assert hung.attempts == 2
+        assert any("timed out" in cause for cause in hung.causes)
+        assert profile_payloads(outcome) == serial_baseline
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_exhausted_retries_degrade_to_report(self, jobs):
+        """Criterion: failed job named, dependents skipped, rest completes."""
+        victim = profile_id("129.compress", 0)
+        plan = FaultPlan(
+            [Fault("transient", victim, 1), Fault("transient", victim, 2)]
+        )
+        graph = profile_graph(chain=True)
+        outcome = execute_graph(
+            graph,
+            make_context(),
+            jobs=jobs,
+            retry=RetryPolicy(max_attempts=2),
+            fault_plan=plan,
+        )
+        report = outcome.report
+        assert not report.ok and report.exit_code == 1
+        assert [entry.job_id for entry in report.failed] == [victim]
+        failed = report.job(victim)
+        assert failed.attempts == 2
+        assert len(failed.causes) == 2
+        assert all("TransientFault" in cause for cause in failed.causes)
+        # Skipped = exactly the transitive dependents of the failed job.
+        expected_skips = set(graph.transitive_dependents(victim))
+        assert {entry.job_id for entry in report.skipped} == expected_skips
+        assert expected_skips == {
+            annotate_id("129.compress", 90.0),
+            classify_id("129.compress"),
+        }
+        # Every job outside the failure cone completed normally.
+        untouched = set(graph.jobs) - {victim} - expected_skips
+        for job_id in untouched:
+            assert report.job(job_id).status in ("ok", "cached"), job_id
+        assert "dependency" in report.skipped[0].causes[-1]

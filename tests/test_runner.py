@@ -20,6 +20,10 @@ from repro.experiments.runner import run_experiments
 from repro.ilp import IlpConfig
 from repro.runner import ArtifactCache, build_experiment_graph, keys
 from repro.runner.executor import execute_graph, resolve_jobs
+from repro.runner.faults import Fault, FaultPlan
+from repro.runner.jobs import Job, JobGraph
+from repro.runner.retry import RetryPolicy
+from repro.telemetry import Telemetry, use_registry
 
 THRESHOLDS = (90.0, 50.0)
 
@@ -146,10 +150,10 @@ class TestGraph:
 EXPERIMENT = "fig-4.2"
 
 
-def run_engine(jobs=1, cache_dir=None):
+def run_engine(jobs=1, cache_dir=None, **engine_options):
     context = make_context(cache_dir=cache_dir)
     graph = build_experiment_graph([EXPERIMENT], context)
-    outcome = execute_graph(graph, context, jobs=jobs)
+    outcome = execute_graph(graph, context, jobs=jobs, **engine_options)
     return outcome, outcome.tables[EXPERIMENT].to_tsv()
 
 
@@ -196,6 +200,66 @@ class TestEngine:
         pooled_tsv = (tmp_path / "pooled" / f"{stem}.tsv").read_text()
         assert serial_tsv == pooled_tsv
 
+    def test_differential_serial_parallel_faulty(self):
+        """Serial, parallel, and fault-injected parallel runs agree.
+
+        The three runs must produce byte-identical tables and identical
+        job-outcome telemetry totals — the only counters allowed to
+        differ are the recovery ones (``runner.retries`` etc.), which is
+        exactly what "faults are invisible once recovered" means.
+        """
+        plan = FaultPlan(
+            [
+                Fault("transient", "profile:129.compress:0", 1),
+                Fault("transient", "profile:107.mgrid:1", 1),
+            ]
+        )
+        watched = (
+            "machine.instructions",
+            "profiling.records",
+            "profiling.runs",
+            "runner.jobs",
+            "runner.jobs_cached",
+        )
+        totals, tsvs = [], []
+        for jobs, fault_plan in ((1, None), (2, None), (2, plan)):
+            registry = Telemetry()
+            with use_registry(registry):
+                outcome, tsv = run_engine(
+                    jobs=jobs,
+                    retry=RetryPolicy(max_attempts=3),
+                    fault_plan=fault_plan,
+                )
+            assert outcome.report.ok, outcome.report.format()
+            counters = registry.snapshot()["counters"]
+            totals.append({name: counters.get(name, 0) for name in watched})
+            tsvs.append(tsv)
+        assert tsvs[0] == tsvs[1] == tsvs[2]
+        assert totals[0] == totals[1] == totals[2]
+
+    def test_corrupt_single_entry_mid_suite_counted(self, warm_cache):
+        """One corrupt profile entry: counted, discarded, recomputed.
+
+        Unlike the clobber-everything test below, this models the
+        realistic mid-suite case — a single torn write in an otherwise
+        warm cache — and pins the ``runner.cache.corrupt`` telemetry.
+        """
+        cache_dir, _, first = warm_cache
+        cache = ArtifactCache(cache_dir)
+        victim = next(
+            path for path in cache.entries() if path.parent.parent.name == "profile"
+        )
+        victim.write_text("not a profile image", encoding="utf-8")
+        registry = Telemetry()
+        with use_registry(registry):
+            outcome, again = run_engine(cache_dir=cache_dir)
+        assert again == first
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["runner.cache.corrupt"] == 1
+        # The rest of the warm cache was still honored.
+        assert outcome.cached_jobs > 0
+        assert outcome.report.ok
+
     def test_corrupt_cache_entry_recovered(self, warm_cache):
         # Runs after the cache-hit test (definition order); clobbering the
         # shared cache here is safe because recovery recomputes everything.
@@ -211,3 +275,26 @@ class TestEngine:
         # The corrupt table entry was discarded, not served.
         record = outcome.record_for(f"experiment:{EXPERIMENT}")
         assert record is not None and not record.cached
+
+
+class TestDeadlockDiagnostic:
+    """A malformed graph must fail with a diagnosis, not hang or baffle."""
+
+    def test_cycle_names_unmet_deps(self):
+        # A dependency cycle can't be built through JobGraph.add (it
+        # validates deps), so poke the jobs table directly — exactly the
+        # kind of malformed input the diagnostic exists for.
+        graph = JobGraph()
+        graph.jobs["profile:w:0"] = Job(
+            "profile:w:0", "profile", "w", params=(0,), deps=("profile:w:1",)
+        )
+        graph.jobs["profile:w:1"] = Job(
+            "profile:w:1", "profile", "w", params=(1,), deps=("profile:w:0",)
+        )
+        with pytest.raises(RuntimeError) as excinfo:
+            execute_graph(graph, make_context())
+        message = str(excinfo.value)
+        assert "deadlock" in message
+        assert "profile:w:0 (waiting on: profile:w:1)" in message
+        assert "profile:w:1 (waiting on: profile:w:0)" in message
+        assert "dependency cycle" in message

@@ -2,9 +2,14 @@
 
 from __future__ import annotations
 
+import json
+import warnings
+
 import pytest
 
+from repro.experiments import runner as runner_module
 from repro.experiments.runner import EXPERIMENTS, main, run_experiments
+from repro.runner.faults import Fault, FaultPlan
 
 
 class TestRegistry:
@@ -46,6 +51,78 @@ class TestCli:
         assert len(tables) == 1
         out = capsys.readouterr().out
         assert "fig-4.2" in out and "finished in" in out
+
+    def test_deprecated_console_script_warns_exactly_once(self, monkeypatch):
+        """The `repro-experiments` alias warns on first use only."""
+        monkeypatch.setattr(runner_module, "_DEPRECATION_WARNED", False)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert main(["list"]) == 0
+            assert main(["list"]) == 0
+        deprecations = [
+            entry
+            for entry in caught
+            if issubclass(entry.category, DeprecationWarning)
+            and "repro-experiments" in str(entry.message)
+        ]
+        assert len(deprecations) == 1
+        assert "python -m repro experiments" in str(deprecations[0].message)
+
+
+class TestDegradedRun:
+    """A run that exhausts retries exits 1 with a report, not a traceback."""
+
+    PLAN = FaultPlan(
+        [
+            Fault("transient", "experiment:fig-4.2", 1),
+            Fault("transient", "experiment:fig-4.2", 2),
+        ]
+    )
+
+    def test_invalid_fault_plan_rejected_cleanly(self, capsys):
+        code = main(["fig-4.2", "--fault-plan", "no-such-plan", "--quiet"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid --fault-plan" in err and "ci-smoke" in err
+        assert "Traceback" not in err
+
+    def test_cli_exits_nonzero_with_report(self, tmp_path, capsys):
+        from repro.cli import main as repro_main
+
+        report_path = tmp_path / "report.json"
+        code = repro_main(
+            [
+                "experiments",
+                "fig-4.2",
+                "--scale",
+                "0.02",
+                "--training-runs",
+                "2",
+                "--no-cache",
+                "--retries",
+                "1",
+                "--quiet",
+                "--fault-plan",
+                self.PLAN.to_json(),
+                "--report-json",
+                str(report_path),
+            ]
+        )
+        assert code == 1
+        captured = capsys.readouterr()
+        # The structured report is the primary output of a degraded run.
+        assert "run report:" in captured.err
+        assert "experiment:fig-4.2" in captured.err
+        assert "run failed: 1 job(s) failed" in captured.err
+        assert "Traceback" not in captured.err and "Traceback" not in captured.out
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro-run/1"
+        assert payload["counts"]["failed"] == 1
+        failed = [
+            entry for entry in payload["jobs"] if entry["status"] == "failed"
+        ]
+        assert [entry["job_id"] for entry in failed] == ["experiment:fig-4.2"]
+        assert payload["retries"] == 1
 
 
 class TestReport:
