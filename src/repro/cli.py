@@ -15,8 +15,6 @@ and exposes the whole experiment suite through the same entry point::
     python -m repro experiments all --jobs 4 --retries 2 --job-timeout 600 \\
         --report-json run-report.json
 
-(the ``repro-experiments`` script is a back-compat alias for the
-``experiments`` subcommand; both share :mod:`repro.experiments.runner`),
 plus the pinned performance suite::
 
     python -m repro bench --output BENCH.json

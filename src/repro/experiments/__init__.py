@@ -17,7 +17,8 @@ Paper results (see DESIGN.md for the full index):
 Ablations: ``ablation-hybrid``, ``ablation-table-geometry``,
 ``ablation-fsm-bits``, ``ablation-stride-threshold``.
 
-Run everything with ``repro-experiments all`` or programmatically::
+Run everything with ``python -m repro experiments all`` or
+programmatically::
 
     from repro.experiments import ExperimentContext, run_experiments
     context = ExperimentContext(scale=0.5)

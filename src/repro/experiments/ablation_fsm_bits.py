@@ -53,7 +53,9 @@ def run(context: ExperimentContext) -> ExperimentTable:
             )
             for bits, initial, threshold in VARIANTS
         }
-        stats = simulate_prediction_many(program, context.test_inputs(name), engines)
+        stats = simulate_prediction_many(
+            program, context.test_inputs(name), engines, store=context.traces
+        )
         for bits, _, _ in VARIANTS:
             sums[bits][0] += stats[f"fsm{bits}"].misprediction_classification_accuracy
             sums[bits][1] += stats[f"fsm{bits}"].correct_classification_accuracy

@@ -71,7 +71,7 @@ def run(context: ExperimentContext) -> ExperimentTable:
             ),
         }
         stats = simulate_prediction_many(
-            annotated, context.test_inputs(name), engines
+            annotated, context.test_inputs(name), engines, store=context.traces
         )
         table.add_row(
             name,

@@ -53,7 +53,9 @@ def run(context: ExperimentContext) -> ExperimentTable:
             "two-delta": PredictionEngine(program, TwoDeltaStridePredictor()),
             "fcm": PredictionEngine(program, FcmPredictor(order=2)),
         }
-        stats = simulate_prediction_many(program, context.test_inputs(name), engines)
+        stats = simulate_prediction_many(
+            program, context.test_inputs(name), engines, store=context.traces
+        )
         table.add_row(
             name,
             *[

@@ -68,7 +68,7 @@ def run(context: ExperimentContext) -> ExperimentTable:
                 )
             }
             stats = simulate_prediction_many(
-                annotated, context.test_inputs(name), engines
+                annotated, context.test_inputs(name), engines, store=context.traces
             )
             correct += stats["hybrid"].taken_correct
             incorrect += stats["hybrid"].taken_incorrect

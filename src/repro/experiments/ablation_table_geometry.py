@@ -58,7 +58,9 @@ def run(context: ExperimentContext) -> ExperimentTable:
                 predictor=StridePredictor(size, 2),
                 scheme=ProfileClassification(annotated),
             )
-        stats = simulate_prediction_many(program, context.test_inputs(name), engines)
+        stats = simulate_prediction_many(
+            program, context.test_inputs(name), engines, store=context.traces
+        )
         table.add_row(
             name, "SC", *[stats[f"sc-{size}"].taken_correct for size in SIZES]
         )

@@ -22,6 +22,7 @@ from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from ..annotate import AnnotationPolicy, annotate_program
 from ..isa import Number, Program
+from ..machine import TraceStore
 from ..profiling import (
     ProfileFormatError,
     ProfileImage,
@@ -63,6 +64,11 @@ class ExperimentContext:
             with cells computed in pool workers.
         artifacts: the :class:`ArtifactCache` under ``cache_dir``, or
             ``None`` when no disk cache was requested.
+        traces: the session's :class:`~repro.machine.TraceStore` — every
+            profiling/simulation pass captures or replays through it, so
+            each distinct (program, inputs, budget) execution is
+            interpreted once per session (once per machine with a
+            ``cache_dir``) no matter how many analyses consume it.
     """
 
     scale: float = 1.0
@@ -75,6 +81,9 @@ class ExperimentContext:
         if self.cache_dir is not None:
             self.cache_dir = Path(self.cache_dir)
             self.artifacts = ArtifactCache(self.cache_dir)
+        self.traces = TraceStore(
+            (self.cache_dir / "traces") if self.cache_dir is not None else None
+        )
         self.memo: Dict[Hashable, Any] = {}
         self._profiles: Dict[Tuple[str, int], ProfileImage] = {}
         self._merged: Dict[str, ProfileImage] = {}

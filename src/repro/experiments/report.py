@@ -1,11 +1,11 @@
 """Markdown report generation from saved experiment results.
 
-``repro-experiments all --output-dir results/tables`` leaves one
+``python -m repro experiments all --output-dir results/tables`` leaves one
 ``.tsv`` per experiment; :func:`build_markdown_report` folds them back
 into a single document (tables + the provenance notes), which is how
 EXPERIMENTS.md's raw numbers are regenerated after a new run.
 
-CLI: ``repro-experiments report --output-dir results/tables``.
+CLI: ``python -m repro experiments report --output-dir results/tables``.
 """
 
 from __future__ import annotations

@@ -1,12 +1,11 @@
 """Command-line experiment runner.
 
-Usage (both spellings share this implementation)::
+Usage::
 
     python -m repro experiments all               # every table and figure
     python -m repro experiments table-5.2 fig-5.3 --jobs 4
     python -m repro experiments all --scale 0.3   # quicker, smaller runs
     python -m repro experiments list              # what exists
-    repro-experiments all                         # back-compat alias
 
 Each experiment prints a plain-text table mirroring the paper's table or
 figure, with a note on provenance.
@@ -32,7 +31,6 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-import warnings
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
@@ -203,8 +201,8 @@ def run_experiments(
 def add_arguments(parser: argparse.ArgumentParser) -> None:
     """Install the experiment-runner options on ``parser``.
 
-    Shared by the ``repro-experiments`` alias and the ``python -m repro
-    experiments`` subcommand so both spellings stay in lockstep.
+    Shared with the ``python -m repro experiments`` subcommand, which
+    installs the same options on its own subparser.
     """
     parser.add_argument(
         "experiments",
@@ -344,7 +342,7 @@ def run_from_arguments(arguments: argparse.Namespace) -> int:
     return 0
 
 
-def build_parser(prog: str = "repro-experiments") -> argparse.ArgumentParser:
+def build_parser(prog: str = "python -m repro experiments") -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog=prog,
         description="Reproduce the tables and figures of Gabbay & Mendelson, "
@@ -354,26 +352,9 @@ def build_parser(prog: str = "repro-experiments") -> argparse.ArgumentParser:
     return parser
 
 
-_DEPRECATION_WARNED = False
-
-
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point of the deprecated ``repro-experiments`` console script.
-
-    Warns exactly once per process; ``python -m repro experiments`` is the
-    supported spelling and dispatches straight to
-    :func:`run_from_arguments` without passing through here.
-    """
-    global _DEPRECATION_WARNED
-    if not _DEPRECATION_WARNED:
-        _DEPRECATION_WARNED = True
-        warnings.warn(
-            "the `repro-experiments` console script is deprecated and will be "
-            "removed two PRs after the telemetry release; use "
-            "`python -m repro experiments` instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
+    """Programmatic entry point (``python -m repro experiments`` dispatches
+    straight to :func:`run_from_arguments`; this wrapper parses ``argv``)."""
     return run_from_arguments(build_parser().parse_args(argv))
 
 

@@ -140,7 +140,9 @@ def classification_accuracy_stats(
             predictor=StridePredictor(),
             scheme=ProbeScheme(ProfileClassification(annotated)),
         )
-    stats = simulate_prediction_many(program, context.test_inputs(name), engines)
+    stats = simulate_prediction_many(
+        program, context.test_inputs(name), engines, store=context.traces
+    )
     return _finish(context, memo_key, "classify", cache_key, stats)
 
 
@@ -189,7 +191,9 @@ def finite_table_stats(
             predictor=StridePredictor(entries, ways),
             scheme=ProfileClassification(annotated),
         )
-    stats = simulate_prediction_many(program, context.test_inputs(name), engines)
+    stats = simulate_prediction_many(
+        program, context.test_inputs(name), engines, store=context.traces
+    )
     return _finish(context, memo_key, "finite", cache_key, stats)
 
 

@@ -43,6 +43,7 @@ def run(context: ExperimentContext) -> ExperimentTable:
             program,
             workload.test_inputs(scale=context.scale),
             predictors={"S": StridePredictor(), "L": LastValuePredictor()},
+            store=context.traces,
         )
         for predictor_name, image in images.items():
             for (category, phase), group in image.groups.items():

@@ -2,9 +2,12 @@
 
 Executes :class:`~repro.isa.program.Program` binaries and produces dynamic
 instruction traces that the value predictors, the profiler and the ILP
-model consume.
+model consume.  Traces are emitted natively as columnar
+:class:`TraceBatch` chunks (with a per-record adapter on top) and can be
+captured once and replayed many times through :class:`TraceStore`.
 """
 
+from .batch import DEFAULT_CHUNK, TraceBatch
 from .errors import (
     DivisionByZero,
     ExecutionError,
@@ -12,14 +15,30 @@ from .errors import (
     InstructionBudgetExceeded,
     InvalidMemoryAccess,
 )
-from .executor import DEFAULT_BUDGET, Executor, run_program, trace_program
+from .executor import (
+    DEFAULT_BUDGET,
+    Executor,
+    mem_flags,
+    run_program,
+    trace_batches,
+    trace_program,
+    value_flags,
+)
 from .state import MachineState
 from .stats import RunStatistics, collect_statistics
 from .tracefile import TraceFormatError, read_trace, save_trace, write_trace
+from .tracestore import (
+    PackedTrace,
+    TraceStore,
+    inputs_digest,
+    program_digest,
+    trace_key,
+)
 from .trace import RunResult, TraceRecord, candidate_records, trace_to_list
 
 __all__ = [
     "DEFAULT_BUDGET",
+    "DEFAULT_CHUNK",
     "DivisionByZero",
     "ExecutionError",
     "Executor",
@@ -27,16 +46,25 @@ __all__ = [
     "InstructionBudgetExceeded",
     "InvalidMemoryAccess",
     "MachineState",
+    "PackedTrace",
     "RunResult",
     "RunStatistics",
+    "TraceBatch",
     "TraceFormatError",
     "TraceRecord",
+    "TraceStore",
     "candidate_records",
     "collect_statistics",
+    "inputs_digest",
+    "mem_flags",
+    "program_digest",
     "read_trace",
     "run_program",
     "save_trace",
+    "trace_batches",
+    "trace_key",
     "trace_program",
     "trace_to_list",
+    "value_flags",
     "write_trace",
 ]

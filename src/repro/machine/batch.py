@@ -1,0 +1,84 @@
+"""Columnar trace batches.
+
+A :class:`TraceBatch` holds a fixed-size chunk of the dynamic trace as
+parallel columns instead of one :class:`~repro.machine.trace.TraceRecord`
+object per retired instruction:
+
+``addresses``
+    an ``array('q')`` of static instruction addresses, one per record;
+``values``
+    a plain list of produced values (``None`` for non-writers) — kept as
+    Python objects so arbitrary-precision integers and exact float
+    identity survive;
+``phase_runs``
+    run-length encoded phases: ``(start_offset, phase)`` pairs, the
+    first always at offset 0;
+``mems``
+    effective addresses of the loads/stores in the batch, in trace
+    order.  Which records own a memory address is static per program
+    (``mem_flags`` indexed by static address), so the column stores no
+    per-record slot for the ~85% of records without one.
+
+Consumers that care about throughput walk the columns directly;
+:meth:`TraceBatch.records` is the compatibility adapter that rebuilds
+the per-record view.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Sequence, Tuple
+
+from .trace import TraceRecord
+
+#: Default number of records per batch emitted by ``Executor.run_batches``.
+DEFAULT_CHUNK = 16_384
+
+
+class TraceBatch:
+    """One columnar chunk of a dynamic trace."""
+
+    __slots__ = ("addresses", "values", "phase_runs", "mems", "mem_flags")
+
+    def __init__(
+        self,
+        addresses: array,
+        values: List,
+        phase_runs: List[Tuple[int, int]],
+        mems: List[int],
+        mem_flags: Sequence[bool],
+    ) -> None:
+        self.addresses = addresses
+        self.values = values
+        self.phase_runs = phase_runs
+        self.mems = mems
+        self.mem_flags = mem_flags
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def phase_segments(self) -> Iterator[Tuple[int, int, int]]:
+        """``(start, end, phase)`` half-open segments covering the batch."""
+        runs = self.phase_runs
+        n = len(self.values)
+        for index, (start, phase) in enumerate(runs):
+            end = runs[index + 1][0] if index + 1 < len(runs) else n
+            if start < end:
+                yield start, end, phase
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Per-record adapter: rebuild one ``TraceRecord`` per entry."""
+        addresses = self.addresses
+        values = self.values
+        mems = self.mems
+        flags = self.mem_flags
+        cursor = 0
+        for start, end, phase in self.phase_segments():
+            for index in range(start, end):
+                address = addresses[index]
+                if flags[address]:
+                    mem_address = mems[cursor]
+                    cursor += 1
+                else:
+                    mem_address = None
+                yield TraceRecord(address, values[index], phase, mem_address)

@@ -1,35 +1,79 @@
 """The trace-generating functional simulator (the paper's SHADE stand-in).
 
-:class:`Executor` interprets a :class:`~repro.isa.program.Program` and
-yields one :class:`~repro.machine.trace.TraceRecord` per retired
-instruction.  The interpreter pre-decodes the program into operand tuples
-and dispatches on opcode identity inside a single loop; this keeps
-multi-hundred-thousand-instruction traces cheap enough for the full
-experiment sweeps.
+:class:`Executor` interprets a :class:`~repro.isa.program.Program`.  The
+native emission path is :meth:`Executor.run_batches`, which retires
+instructions in fixed-size chunks and fills the parallel columns of a
+:class:`~repro.machine.batch.TraceBatch` — an ``array('q')`` of static
+addresses, a value column, run-length-encoded phases and a dense
+effective-address column.  Dispatch is a tuple index into the per-opcode
+handler table (:data:`~repro.machine.handlers.HANDLERS`); the program is
+pre-decoded into fixed-shape operand tuples keyed by opcode ordinal.
+
+The classic per-record iterator, :meth:`Executor.run`, survives as a
+thin adapter that re-materialises one
+:class:`~repro.machine.trace.TraceRecord` per column entry.  Both views
+observe the identical trace: same records, same exceptions at the same
+points, same machine end-state.
+
+Error timing across a batch boundary: when an instruction faults
+mid-chunk, the partial batch of successfully retired instructions is
+yielded first and the :class:`ExecutionError` is raised when the
+consumer requests the *next* batch — so record-level consumers (via the
+adapter) see exactly the prefix the old per-record generator produced
+before the same exception.
+
+Instruction accounting: ``machine.instructions`` counts instructions the
+interpreter *executed*.  The batched path executes up to one chunk ahead
+of what a record-level consumer has pulled, so a generator abandoned
+mid-batch reports the executed count (a clean halt, a budget overrun or
+a fully drained trace report identical numbers on both paths).
 """
 
 from __future__ import annotations
 
-import collections
 import time
+from array import array
 from typing import Iterable, Iterator, List, Optional, Tuple
 
-from ..isa import Instruction, Number, Opcode, Program, RA
+from ..isa import Instruction, Number, Opcode, Program
 from ..telemetry import get_registry
-from .errors import (
-    DivisionByZero,
-    ExecutionError,
-    InputExhausted,
-    InstructionBudgetExceeded,
-    InvalidMemoryAccess,
-)
+from .batch import DEFAULT_CHUNK, TraceBatch
+from .errors import ExecutionError, InstructionBudgetExceeded
+from .handlers import HANDLERS, ORDINALS, BatchContext, int_div, int_mod
 from .state import MachineState
 from .trace import RunResult, TraceRecord
 
 #: Default cap on dynamic instructions per run.
 DEFAULT_BUDGET = 50_000_000
 
-_Decoded = Tuple[Opcode, int, int, int, Optional[Number], int]
+#: Decoded shape: (handler, dest, src1, src2, imm, target).  The handler
+#: is resolved through :data:`~repro.machine.handlers.HANDLERS` at decode
+#: time, so the hot loop dispatches with one tuple unpack and one call.
+_Decoded = Tuple[object, int, int, int, Optional[Number], int]
+
+# Backwards-compatible aliases for the arithmetic helpers that used to
+# live here; the canonical definitions moved next to the handler table.
+_int_div = int_div
+_int_mod = int_mod
+
+_MEM_OPCODES = frozenset((Opcode.LD, Opcode.ST, Opcode.FLD, Opcode.FST))
+
+#: Opcodes whose trace records carry ``value=None`` — everything else
+#: writes a produced value into its record.
+_SILENT_OPCODES = frozenset(
+    (
+        Opcode.ST,
+        Opcode.FST,
+        Opcode.BEQZ,
+        Opcode.BNEZ,
+        Opcode.JMP,
+        Opcode.JR,
+        Opcode.OUT,
+        Opcode.PHASE,
+        Opcode.NOP,
+        Opcode.HALT,
+    )
+)
 
 
 def _decode(instruction: Instruction) -> _Decoded:
@@ -39,22 +83,35 @@ def _decode(instruction: Instruction) -> _Decoded:
     src2 = srcs[1] if len(srcs) > 1 else 0
     dest = instruction.dest if instruction.dest is not None else 0
     target = instruction.target if instruction.target is not None else 0
-    return (instruction.opcode, dest, src1, src2, instruction.imm, target)
+    handler = HANDLERS[ORDINALS[instruction.opcode]]
+    return (handler, dest, src1, src2, instruction.imm, target)
 
 
-def _int_div(a: int, b: int) -> int:
-    """C-style truncating division."""
-    if b == 0:
-        raise DivisionByZero("integer division by zero")
-    quotient = abs(a) // abs(b)
-    if (a < 0) != (b < 0):
-        quotient = -quotient
-    return quotient
+def mem_flags(program: Program) -> bytes:
+    """Static per-address flag: does the instruction touch memory?
+
+    Loads and stores are the only producers of effective addresses, and
+    which static instructions they are is a property of the program, not
+    the run — so batches carry a dense ``mems`` column and this bitmap
+    instead of a per-record ``mem_address`` slot.
+    """
+    return bytes(
+        1 if instruction.opcode in _MEM_OPCODES else 0
+        for instruction in program.instructions
+    )
 
 
-def _int_mod(a: int, b: int) -> int:
-    """C-style remainder (sign follows the dividend)."""
-    return a - _int_div(a, b) * b
+def value_flags(program: Program) -> bytes:
+    """Static per-address flag: does the instruction produce a value?
+
+    Like :func:`mem_flags`, value-None-ness is an opcode property, so the
+    packed trace format stores only produced values and reconstitutes the
+    ``None`` slots from this bitmap.
+    """
+    return bytes(
+        0 if instruction.opcode in _SILENT_OPCODES else 1
+        for instruction in program.instructions
+    )
 
 
 class Executor:
@@ -78,20 +135,21 @@ class Executor:
         self.max_instructions = max_instructions
         self.instruction_count = 0
         self._decoded: List[_Decoded] = [_decode(i) for i in program.instructions]
+        self.mem_flags = mem_flags(program)
 
-    def run(self) -> Iterator[TraceRecord]:
-        """Execute to completion, yielding a record per retired instruction.
+    def run_batches(self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[TraceBatch]:
+        """Execute to completion, yielding columnar chunks of the trace.
 
         Raises:
             ExecutionError: on division by zero, bad memory access, input
                 exhaustion, budget overrun or control flow falling off the
-                end of the code segment.
+                end of the code segment.  A fault mid-chunk first yields
+                the partial batch of retired instructions, then raises on
+                the next request.
         """
         # Hot-loop local bindings.
         decoded = self._decoded
         state = self.state
-        regs = state.registers
-        memory = state.memory
         code_size = len(decoded)
         budget = (
             self.max_instructions
@@ -99,172 +157,60 @@ class Executor:
             else float("inf")
         )
         count = self.instruction_count
-        pc = state.pc
-        phase = state.phase
-        op_names = Opcode  # noqa: F841 - keeps the enum import obviously used
+        flags = self.mem_flags
+
+        ctx = BatchContext()
+        ctx.pc = state.pc
+        ctx.phase = state.phase
+        ctx.regs = state.registers
+        ctx.memory = state.memory
+        ctx.state = state
 
         telemetry = get_registry()
         initial_count = count
         started = time.perf_counter()
-        O = Opcode
         try:
-            while True:
-                if pc >= code_size or pc < 0:
-                    raise ExecutionError(f"control flow left the code segment (pc={pc})")
-                op, dest, src1, src2, imm, target = decoded[pc]
-                count += 1
-                if count > budget:
-                    raise InstructionBudgetExceeded(
-                        f"exceeded budget of {budget} dynamic instructions"
+            halted = False
+            while not halted:
+                addresses: List[int] = []
+                values: List[Optional[Number]] = []
+                mems: List[int] = []
+                phase_runs: List[Tuple[int, int]] = [(0, ctx.phase)]
+                ctx.addresses = addresses
+                ctx.values = values
+                ctx.mems = mems
+                ctx.phase_runs = phase_runs
+                error: Optional[ExecutionError] = None
+                # ``count`` advances by exactly one per loop iteration, so
+                # the chunk boundary folds into a single compare against a
+                # precomputed stop mark instead of a len() call per record.
+                stop = count + chunk_size
+                try:
+                    while count < stop:
+                        pc = ctx.pc
+                        if pc >= code_size or pc < 0:
+                            raise ExecutionError(
+                                f"control flow left the code segment (pc={pc})"
+                            )
+                        count += 1
+                        if count > budget:
+                            raise InstructionBudgetExceeded(
+                                f"exceeded budget of {budget} dynamic instructions"
+                            )
+                        handler, dest, src1, src2, imm, target = decoded[pc]
+                        ctx.pc = pc + 1
+                        if handler(ctx, pc, dest, src1, src2, imm, target):
+                            halted = True
+                            self.instruction_count = count
+                            break
+                except ExecutionError as exc:
+                    error = exc
+                if values:
+                    yield TraceBatch(
+                        array("q", addresses), values, phase_runs, mems, flags
                     )
-                address = pc
-                pc += 1
-                value: Optional[Number] = None
-                mem_address: Optional[int] = None
-
-                if op is O.ADDI:
-                    value = regs[src1] + imm
-                elif op is O.ADD:
-                    value = regs[src1] + regs[src2]
-                elif op is O.LD or op is O.FLD:
-                    mem_address = regs[src1] + imm
-                    if mem_address < 0:
-                        raise InvalidMemoryAccess(f"@{address}: load from {mem_address}")
-                    value = memory.get(mem_address, 0)
-                elif op is O.ST or op is O.FST:
-                    mem_address = regs[src2] + imm
-                    if mem_address < 0:
-                        raise InvalidMemoryAccess(f"@{address}: store to {mem_address}")
-                    memory[mem_address] = regs[src1]
-                elif op is O.LI or op is O.FLI:
-                    value = imm
-                elif op is O.MOV or op is O.FMOV:
-                    value = regs[src1]
-                elif op is O.SUB:
-                    value = regs[src1] - regs[src2]
-                elif op is O.SUBI:
-                    value = regs[src1] - imm
-                elif op is O.MUL:
-                    value = regs[src1] * regs[src2]
-                elif op is O.MULI:
-                    value = regs[src1] * imm
-                elif op is O.SLT:
-                    value = 1 if regs[src1] < regs[src2] else 0
-                elif op is O.SLTI:
-                    value = 1 if regs[src1] < imm else 0
-                elif op is O.SLE:
-                    value = 1 if regs[src1] <= regs[src2] else 0
-                elif op is O.SLEI:
-                    value = 1 if regs[src1] <= imm else 0
-                elif op is O.SEQ:
-                    value = 1 if regs[src1] == regs[src2] else 0
-                elif op is O.SEQI:
-                    value = 1 if regs[src1] == imm else 0
-                elif op is O.SNE:
-                    value = 1 if regs[src1] != regs[src2] else 0
-                elif op is O.SNEI:
-                    value = 1 if regs[src1] != imm else 0
-                elif op is O.BEQZ:
-                    if regs[src1] == 0:
-                        pc = target
-                elif op is O.BNEZ:
-                    if regs[src1] != 0:
-                        pc = target
-                elif op is O.JMP:
-                    pc = target
-                elif op is O.CALL:
-                    value = pc  # return address (pc already advanced)
-                    regs[RA] = value
-                    pc = target
-                elif op is O.JR:
-                    pc = regs[src1]
-                elif op is O.DIV:
-                    value = _int_div(regs[src1], regs[src2])
-                elif op is O.DIVI:
-                    value = _int_div(regs[src1], imm)
-                elif op is O.MOD:
-                    value = _int_mod(regs[src1], regs[src2])
-                elif op is O.MODI:
-                    value = _int_mod(regs[src1], imm)
-                elif op is O.AND:
-                    value = regs[src1] & regs[src2]
-                elif op is O.ANDI:
-                    value = regs[src1] & imm
-                elif op is O.OR:
-                    value = regs[src1] | regs[src2]
-                elif op is O.ORI:
-                    value = regs[src1] | imm
-                elif op is O.XOR:
-                    value = regs[src1] ^ regs[src2]
-                elif op is O.XORI:
-                    value = regs[src1] ^ imm
-                elif op is O.SHL:
-                    value = regs[src1] << (regs[src2] & 63)
-                elif op is O.SHLI:
-                    value = regs[src1] << (imm & 63)
-                elif op is O.SHR:
-                    value = regs[src1] >> (regs[src2] & 63)
-                elif op is O.SHRI:
-                    value = regs[src1] >> (imm & 63)
-                elif op is O.NEG:
-                    value = -regs[src1]
-                elif op is O.NOT:
-                    value = 1 if regs[src1] == 0 else 0
-                elif op is O.FADD:
-                    value = regs[src1] + regs[src2]
-                elif op is O.FSUB:
-                    value = regs[src1] - regs[src2]
-                elif op is O.FMUL:
-                    value = regs[src1] * regs[src2]
-                elif op is O.FDIV:
-                    divisor = regs[src2]
-                    if divisor == 0:
-                        raise DivisionByZero(f"@{address}: FP division by zero")
-                    value = regs[src1] / divisor
-                elif op is O.FNEG:
-                    value = -regs[src1]
-                elif op is O.FSLT:
-                    value = 1 if regs[src1] < regs[src2] else 0
-                elif op is O.FSLE:
-                    value = 1 if regs[src1] <= regs[src2] else 0
-                elif op is O.FSEQ:
-                    value = 1 if regs[src1] == regs[src2] else 0
-                elif op is O.FSNE:
-                    value = 1 if regs[src1] != regs[src2] else 0
-                elif op is O.CVTIF:
-                    value = float(regs[src1])
-                elif op is O.CVTFI:
-                    value = int(regs[src1])
-                elif op is O.IN:
-                    raw = state.next_input()
-                    if raw is None:
-                        raise InputExhausted(f"@{address}: input stream exhausted")
-                    value = int(raw)
-                elif op is O.FIN:
-                    raw = state.next_input()
-                    if raw is None:
-                        raise InputExhausted(f"@{address}: input stream exhausted")
-                    value = float(raw)
-                elif op is O.OUT:
-                    state.outputs.append(regs[src1])
-                elif op is O.PHASE:
-                    phase = int(imm)
-                elif op is O.NOP:
-                    pass
-                elif op is O.HALT:
-                    state.halted = True
-                    state.pc = pc
-                    state.phase = phase
-                    self.instruction_count = count
-                    yield TraceRecord(address, None, phase, None)
-                    return
-                else:  # pragma: no cover - the opcode set is closed
-                    raise ExecutionError(f"unimplemented opcode {op!r}")
-
-                if value is not None and dest != 0:
-                    regs[dest] = value
-
-                yield TraceRecord(address, value, phase, mem_address)
+                if error is not None:
+                    raise error
         finally:
             # Bulk-publish however far the run got — a clean halt, a budget
             # overrun, or an abandoned trace generator alike.  One counter
@@ -272,9 +218,24 @@ class Executor:
             telemetry.counter("machine.instructions").add(count - initial_count)
             telemetry.timer("machine.run").add(time.perf_counter() - started)
 
+    def run(self) -> Iterator[TraceRecord]:
+        """Execute to completion, yielding a record per retired instruction.
+
+        This is the compatibility adapter over :meth:`run_batches`; see
+        the module docstring for the (identical) error semantics.
+
+        Raises:
+            ExecutionError: on division by zero, bad memory access, input
+                exhaustion, budget overrun or control flow falling off the
+                end of the code segment.
+        """
+        for batch in self.run_batches():
+            yield from batch.records()
+
     def run_to_completion(self) -> RunResult:
         """Execute without retaining the trace; return the run summary."""
-        collections.deque(self.run(), maxlen=0)
+        for _batch in self.run_batches():
+            pass
         return RunResult(
             instruction_count=self.instruction_count,
             outputs=list(self.state.outputs),
@@ -300,3 +261,15 @@ def trace_program(
 ) -> Iterator[TraceRecord]:
     """Execute ``program``, yielding its dynamic trace."""
     return Executor(program, inputs=inputs, max_instructions=max_instructions).run()
+
+
+def trace_batches(
+    program: Program,
+    inputs: Iterable[Number] = (),
+    max_instructions: Optional[int] = DEFAULT_BUDGET,
+    chunk_size: int = DEFAULT_CHUNK,
+) -> Iterator[TraceBatch]:
+    """Execute ``program``, yielding its dynamic trace in columnar batches."""
+    return Executor(
+        program, inputs=inputs, max_instructions=max_instructions
+    ).run_batches(chunk_size=chunk_size)

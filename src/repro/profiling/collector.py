@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..isa import Category, Number, Program
-from ..machine import trace_program
+from ..machine import DEFAULT_BUDGET, Executor, TraceStore
 from ..predictors import StridePredictor, ValuePredictor
+from ..predictors.stride import StrideEntry
 from ..telemetry import get_registry
 
 
@@ -129,6 +130,7 @@ def collect_profile(
     run_label: str = "",
     max_instructions: Optional[int] = None,
     records=None,
+    store: Optional[TraceStore] = None,
 ) -> ProfileImage:
     """Profile one run of ``program`` under ``predictor``.
 
@@ -141,6 +143,9 @@ def collect_profile(
             also available).
         run_label: stored in the image for bookkeeping.
         max_instructions: optional dynamic-instruction cap.
+        store: optional :class:`~repro.machine.TraceStore`; the trace is
+            replayed from the store when present there, captured into it
+            otherwise.
     """
     images = collect_profiles(
         program,
@@ -149,6 +154,7 @@ def collect_profile(
         run_label=run_label,
         max_instructions=max_instructions,
         records=records,
+        store=store,
     )
     return images["default"]
 
@@ -160,11 +166,17 @@ def collect_profiles(
     run_label: str = "",
     max_instructions: Optional[int] = None,
     records=None,
+    store: Optional[TraceStore] = None,
 ) -> Dict[str, ProfileImage]:
     """Profile one run under several predictors simultaneously.
 
     A single execution of the program feeds every predictor, so comparing
     last-value against stride (Table 2.1) costs one simulation, not two.
+
+    The native consumption path walks the executor's columnar trace
+    batches (optionally captured into / replayed from ``store``), with a
+    batch-walking fast path for unbounded stride predictors that is
+    bit-identical to driving ``predictor.access`` record by record.
 
     Pass ``records`` (an iterable of
     :class:`~repro.machine.trace.TraceRecord`, e.g. from
@@ -182,34 +194,73 @@ def collect_profiles(
     categories = [instruction.category for instruction in program.instructions]
     pairs = [(name, predictor) for name, predictor in predictors.items()]
 
-    if records is None:
-        kwargs = {}
-        if max_instructions is not None:
-            kwargs["max_instructions"] = max_instructions
-        records = trace_program(program, inputs, **kwargs)
     started = time.perf_counter()
-    for record in records:
-        address = record.address
-        if not is_candidate[address]:
-            continue
-        value = record.value
-        phase = record.phase
-        category = categories[address]
+    if records is not None:
+        for record in records:
+            address = record.address
+            if not is_candidate[address]:
+                continue
+            value = record.value
+            phase = record.phase
+            category = categories[address]
+            for name, predictor in pairs:
+                result = predictor.access(address, value)
+                image = images[name]
+                profile = image.profile_for(address)
+                profile.executions += 1
+                group = image.group_for(category, phase)
+                group.executions += 1
+                if result.hit:
+                    profile.attempts += 1
+                    group.attempts += 1
+                    if result.correct:
+                        profile.correct += 1
+                        group.correct += 1
+                        if result.nonzero_stride:
+                            profile.nonzero_stride_correct += 1
+    else:
+        budget = max_instructions if max_instructions is not None else DEFAULT_BUDGET
+        if store is not None:
+            batches = store.batches(program, inputs, max_instructions=budget)
+        else:
+            batches = Executor(
+                program, inputs=inputs, max_instructions=budget
+            ).run_batches()
+        consumers = []
+        finishers = []
         for name, predictor in pairs:
-            result = predictor.access(address, value)
-            image = images[name]
-            profile = image.profile_for(address)
-            profile.executions += 1
-            group = image.group_for(category, phase)
-            group.executions += 1
-            if result.hit:
-                profile.attempts += 1
-                group.attempts += 1
-                if result.correct:
-                    profile.correct += 1
-                    group.correct += 1
-                    if result.nonzero_stride:
-                        profile.nonzero_stride_correct += 1
+            fast = _fast_stride_profiler(predictor, images[name], categories)
+            if fast is not None:
+                consume, finish = fast
+                consumers.append(consume)
+                finishers.append(finish)
+            else:
+                consumers.append(
+                    _generic_profiler(predictor, images[name], categories)
+                )
+        try:
+            for batch in batches:
+                addresses = batch.addresses
+                values = batch.values
+                triples: List[Tuple[int, Optional[Number], int]] = []
+                for start, end, phase in batch.phase_segments():
+                    triples.extend(
+                        (address, value, phase)
+                        for address, value in zip(
+                            addresses[start:end], values[start:end]
+                        )
+                        if is_candidate[address]
+                    )
+                if not triples:
+                    continue
+                for consume in consumers:
+                    consume(triples)
+        finally:
+            # Fold the fast paths' accumulators even when the trace raised
+            # mid-run, matching the record path's behaviour of keeping
+            # every observation up to the fault.
+            for finish in finishers:
+                finish()
     telemetry = get_registry()
     if telemetry.enabled:
         # Candidate records observed = per-image executions (identical
@@ -221,3 +272,102 @@ def collect_profiles(
         telemetry.counter("profiling.runs").add(1)
         telemetry.timer("profiling.collect").add(time.perf_counter() - started)
     return images
+
+
+def _generic_profiler(predictor, image: ProfileImage, categories):
+    """Batch consumer for arbitrary predictors: one ``access`` per record."""
+
+    def consume(triples) -> None:
+        access = predictor.access
+        profile_for = image.profile_for
+        group_for = image.group_for
+        for address, value, phase in triples:
+            result = access(address, value)
+            profile = profile_for(address)
+            profile.executions += 1
+            group = group_for(categories[address], phase)
+            group.executions += 1
+            if result.hit:
+                profile.attempts += 1
+                group.attempts += 1
+                if result.correct:
+                    profile.correct += 1
+                    group.correct += 1
+                    if result.nonzero_stride:
+                        profile.nonzero_stride_correct += 1
+
+    return consume
+
+
+def _fast_stride_profiler(predictor, image: ProfileImage, categories):
+    """Inlined batch consumer for an unbounded stride predictor.
+
+    Operates directly on the predictor's (single, unbounded) table set
+    with local counter accumulators, folding them into the profile image
+    and the table's lookup/hit counters when finished.  Results are
+    bit-identical to the generic path; the only divergence is internal —
+    the table set's LRU order is not refreshed on hits, which is
+    unobservable for a table that never evicts.
+    """
+    if type(predictor) is not StridePredictor or not predictor.table.is_infinite:
+        return None
+    table = predictor.table
+    entries = table._set_for(0)
+    counts: Dict[int, List[int]] = {}
+    group_counts: Dict[Tuple[Category, int], List[int]] = {}
+    meters = [0, 0]  # lookups, hits
+
+    def consume(triples) -> None:
+        lookups = hits = 0
+        get_entry = entries.get
+        get_count = counts.get
+        get_group = group_counts.get
+        for address, value, phase in triples:
+            slot = get_count(address)
+            if slot is None:
+                slot = counts[address] = [0, 0, 0, 0]
+            group_key = (categories[address], phase)
+            group = get_group(group_key)
+            if group is None:
+                group = group_counts[group_key] = [0, 0, 0]
+            slot[0] += 1
+            group[0] += 1
+            lookups += 1
+            entry = get_entry(address)
+            if entry is None:
+                entries[address] = StrideEntry(value)
+                continue
+            hits += 1
+            last = entry.last_value
+            stride = entry.stride
+            entry.stride = value - last
+            entry.last_value = value
+            slot[1] += 1
+            group[1] += 1
+            if last + stride == value:
+                slot[2] += 1
+                group[2] += 1
+                if stride != 0:
+                    slot[3] += 1
+        meters[0] += lookups
+        meters[1] += hits
+
+    def finish() -> None:
+        table.lookups += meters[0]
+        table.hits += meters[1]
+        meters[0] = meters[1] = 0
+        for address, slot in counts.items():
+            profile = image.profile_for(address)
+            profile.executions += slot[0]
+            profile.attempts += slot[1]
+            profile.correct += slot[2]
+            profile.nonzero_stride_correct += slot[3]
+        counts.clear()
+        for (category, phase), group in group_counts.items():
+            stats = image.group_for(category, phase)
+            stats.executions += group[0]
+            stats.attempts += group[1]
+            stats.correct += group[2]
+        group_counts.clear()
+
+    return consume, finish

@@ -179,6 +179,13 @@ def execute_graph(
     ready = [job.job_id for job in order if not job.deps]
     #: job id -> moment it became runnable (for queue-latency telemetry).
     ready_at: Dict[str, float] = {job_id: time.perf_counter() for job_id in ready}
+    #: Moment execution capacity last freed up.  ``runner.queue_wait``
+    #: charges each job only the time it sat runnable *beyond* resource
+    #: saturation — launch minus max(became ready, capacity freed) — so
+    #: the summed metric is scheduler-induced dispatch latency and stays
+    #: bounded by wall clock, instead of re-counting every other job's
+    #: compute time the way finish-time accounting would.
+    capacity_freed_at = time.perf_counter()
 
     #: Attempts launched, failure causes, and seconds burned per job.
     attempts: Dict[str, int] = {job.job_id: 0 for job in order}
@@ -219,7 +226,7 @@ def execute_graph(
         pool.shutdown(wait=True, cancel_futures=True)
 
     def finish(job: Job, value, payload: Optional[str], seconds: float, cached: bool):
-        nonlocal done
+        nonlocal done, capacity_freed_at
         done += 1
         status[job.job_id] = CACHED if cached else OK
         outcome.values[job.job_id] = value
@@ -237,17 +244,14 @@ def execute_graph(
             attempts=attempts[job.job_id],
         )
         outcome.records.append(record)
+        capacity_freed_at = time.perf_counter()
+        ready_at.pop(job.job_id, None)
         if telemetry.enabled:
             telemetry.counter("runner.jobs").add(1)
             if cached:
                 telemetry.counter("runner.jobs_cached").add(1)
             else:
                 telemetry.timer(f"runner.job.{job.kind}").add(seconds)
-            became_ready = ready_at.pop(job.job_id, None)
-            if became_ready is not None:
-                telemetry.timer("runner.queue_wait").add(
-                    time.perf_counter() - became_ready - seconds
-                )
         if progress is not None:
             suffix = " (cached)" if cached else ""
             print(
@@ -263,8 +267,9 @@ def execute_graph(
 
     def mark_terminal(job: Job, job_status: str, cause: Optional[str]) -> None:
         """Settle ``job`` as failed/skipped (degraded, not raised)."""
-        nonlocal done
+        nonlocal done, capacity_freed_at
         done += 1
+        capacity_freed_at = time.perf_counter()
         status[job.job_id] = job_status
         if cause:
             causes[job.job_id].append(cause)
@@ -306,7 +311,8 @@ def execute_graph(
     def attempt_failed(
         job: Job, attempt: int, cause: str, *, timed_out: bool = False
     ) -> None:
-        nonlocal retries_count, timeouts_count
+        nonlocal retries_count, timeouts_count, capacity_freed_at
+        capacity_freed_at = time.perf_counter()
         causes[job.job_id].append(f"attempt {attempt}: {cause}")
         if timed_out:
             timeouts_count += 1
@@ -462,6 +468,16 @@ def execute_graph(
     def launch(job: Job, key: Optional[str]) -> None:
         attempts[job.job_id] += 1
         attempt = attempts[job.job_id]
+        if telemetry.enabled and attempt == 1:
+            became_ready = ready_at.get(job.job_id)
+            if became_ready is not None:
+                telemetry.timer("runner.queue_wait").add(
+                    max(
+                        0.0,
+                        time.perf_counter()
+                        - max(became_ready, capacity_freed_at),
+                    )
+                )
         if pool is None or job.inline:
             compute_inline(job, key, attempt)
         else:

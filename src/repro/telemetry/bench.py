@@ -9,14 +9,21 @@ writes a ``BENCH_<rev>.json`` file in a stable schema
   MIPS.
 * **predictor** — a pinned address/value stream against the finite
   512-entry 2-way stride table; reports table ops/sec and hit rate.
+* **trace** — the pinned loop captured once into a
+  :class:`~repro.machine.TraceStore` and replayed from packed batches;
+  reports capture and replay records/sec and their ratio.
 * **suite** — one end-to-end experiment (``fig-5.1``) at small scale,
   cold cache then warm cache, with per-kind artifact-cache hit rates
   and the whole-pipeline simulated MIPS taken from the telemetry
   registry.
 
 The JSON file seeds the repository's performance trajectory: future
-perf-oriented PRs regress against the latest committed ``BENCH_*.json``.
-``--smoke`` shrinks every knob for CI schema checks.
+perf-oriented PRs regress against the latest committed ``BENCH_*.json``,
+and ``--baseline PATH`` turns that comparison into an exit status —
+the run fails when ``suite.simulated_mips`` drops below
+``--min-mips-ratio`` (a deliberately generous default, so only real
+regressions trip CI, not machine-to-machine noise).  ``--smoke``
+shrinks every knob for CI schema checks.
 """
 
 from __future__ import annotations
@@ -38,12 +45,21 @@ from .export import cache_summary
 from .registry import Telemetry, use_registry
 
 #: Stable schema identifier; bump on any incompatible payload change.
-SCHEMA_VERSION = "repro-bench/1"
+#: v2 added the ``trace`` section (trace-store capture/replay throughput).
+SCHEMA_VERSION = "repro-bench/2"
 
 #: Required ``metrics`` sections and the keys each must carry.
 REQUIRED_METRICS = {
     "executor": ("instructions", "seconds", "mips"),
     "predictor": ("ops", "seconds", "ops_per_sec", "hit_rate", "evictions"),
+    "trace": (
+        "records",
+        "capture_seconds",
+        "capture_records_per_sec",
+        "replay_seconds",
+        "replay_records_per_sec",
+        "replay_speedup",
+    ),
     "suite": ("experiment", "cold_seconds", "warm_seconds", "simulated_mips", "cache"),
 }
 
@@ -62,6 +78,8 @@ class BenchConfig:
     suite_scale: float
     suite_training_runs: int
     suite_jobs: int = 1
+    trace_iterations: int = 50_000
+    trace_replays: int = 5
 
 
 #: The default (committed-trajectory) configuration.
@@ -80,6 +98,8 @@ SMOKE = BenchConfig(
     suite_experiment="fig-5.1",
     suite_scale=0.01,
     suite_training_runs=1,
+    trace_iterations=5_000,
+    trace_replays=3,
 )
 
 #: Pinned executor workload: {iterations} is substituted per config.
@@ -138,16 +158,25 @@ def bench_executor(iterations: int) -> Dict[str, Any]:
 def bench_predictor(ops: int) -> Dict[str, Any]:
     """Time a pinned access stream against the finite stride table.
 
-    The stream cycles 1024 static addresses (twice the 512-entry
-    capacity, so replacement is exercised) with per-address stride
-    patterns, matching how the simulation drivers hit the table.
+    Two phases, half the ops each, matching how the simulation drivers
+    hit the table: a *resident* phase cycling 512 addresses (exactly
+    table capacity, so steady-state accesses hit and the predict/update
+    path is timed) followed by a *pressure* phase cycling 1024 addresses
+    (twice capacity, so replacement is exercised and every access
+    misses).  The blended hit rate lands near 50% — a stream that only
+    thrashed would time nothing but allocation.
     """
     from ..predictors import StridePredictor
 
     predictor = StridePredictor(512, 2)
+    resident = ops // 2
     stream = [
+        (index % 512, (index % 512) * 3 + index // 512)
+        for index in range(resident)
+    ]
+    stream += [
         (index % 1024, (index % 1024) * 3 + index // 1024)
-        for index in range(ops)
+        for index in range(resident, ops)
     ]
     access = predictor.access
     started = time.perf_counter()
@@ -161,6 +190,45 @@ def bench_predictor(ops: int) -> Dict[str, Any]:
         "ops_per_sec": ops / seconds if seconds else 0.0,
         "hit_rate": 100.0 * table.hits / table.lookups if table.lookups else 0.0,
         "evictions": table.evictions,
+    }
+
+
+def bench_trace(iterations: int, replays: int) -> Dict[str, Any]:
+    """Time trace capture once and batched replay many times.
+
+    The pinned loop runs once through a memory-only
+    :class:`~repro.machine.TraceStore` (execution plus packing), then the
+    packed trace is replayed ``replays`` times as columnar batches.
+    Replay records/sec is the number the trace/analyze split lives on:
+    every consumer after the first walks packed batches instead of
+    re-executing the program, so ``replay_speedup`` (replay throughput
+    over capture throughput) is the per-consumer win.
+    """
+    from ..isa import assemble
+    from ..machine import TraceStore
+
+    program = assemble(_EXECUTOR_ASM.format(iterations=iterations))
+    store = TraceStore(None)
+    records = 0
+    started = time.perf_counter()
+    for batch in store.batches(program):
+        records += len(batch)
+    capture_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(replays):
+        for batch in store.batches(program):
+            pass
+    replay_seconds = (time.perf_counter() - started) / replays
+    capture_rate = records / capture_seconds if capture_seconds else 0.0
+    replay_rate = records / replay_seconds if replay_seconds else 0.0
+    return {
+        "records": records,
+        "replays": replays,
+        "capture_seconds": capture_seconds,
+        "capture_records_per_sec": capture_rate,
+        "replay_seconds": replay_seconds,
+        "replay_records_per_sec": replay_rate,
+        "replay_speedup": replay_rate / capture_rate if capture_rate else 0.0,
     }
 
 
@@ -227,6 +295,7 @@ def build_payload(config: BenchConfig, smoke: bool) -> Dict[str, Any]:
         "metrics": {
             "executor": bench_executor(config.executor_iterations),
             "predictor": bench_predictor(config.predictor_ops),
+            "trace": bench_trace(config.trace_iterations, config.trace_replays),
             "suite": suite,
         },
         "telemetry": telemetry,
@@ -269,6 +338,7 @@ def summary_table(payload: Dict[str, Any]) -> str:
     metrics = payload["metrics"]
     executor = metrics["executor"]
     predictor = metrics["predictor"]
+    trace = metrics["trace"]
     suite = metrics["suite"]
     lines = [
         f"repro bench — revision {payload['revision']} "
@@ -279,6 +349,10 @@ def summary_table(payload: Dict[str, Any]) -> str:
         f"  predictor  {predictor['ops']:>12,} ops   "
         f"{predictor['seconds']:>8.3f}s  {predictor['ops_per_sec']:>10,.0f} ops/s  "
         f"hit {predictor['hit_rate']:.1f}%",
+        f"  trace      {trace['records']:>12,} recs  "
+        f"capture {trace['capture_records_per_sec'] / 1e6:>6.3f} Mrec/s  "
+        f"replay {trace['replay_records_per_sec'] / 1e6:>7.3f} Mrec/s  "
+        f"({trace['replay_speedup']:.1f}x)",
         f"  suite      {suite['experiment']:<12} cold {suite['cold_seconds']:>8.2f}s  "
         f"warm {suite['warm_seconds']:>7.2f}s  "
         f"simulated {suite['simulated_mips']:.3f} MIPS",
@@ -290,6 +364,35 @@ def summary_table(payload: Dict[str, Any]) -> str:
             + (f", {entry['corrupt']} corrupt" if entry["corrupt"] else "")
         )
     return "\n".join(lines)
+
+
+def check_regression(
+    payload: Dict[str, Any],
+    baseline: Dict[str, Any],
+    min_mips_ratio: float,
+) -> List[str]:
+    """Compare a fresh payload against a committed baseline payload.
+
+    Returns a list of human-readable regression descriptions (empty when
+    the run is acceptable).  Only rate metrics are compared — absolute
+    wall times vary with suite scale and machine, but ``simulated_mips``
+    is a throughput and transfers across configs.  ``min_mips_ratio``
+    should stay generous (well below 1.0): the guard exists to catch
+    order-of-magnitude regressions, not scheduler jitter between CI
+    hosts.
+    """
+    problems: List[str] = []
+    new_mips = payload["metrics"]["suite"]["simulated_mips"]
+    old_mips = baseline.get("metrics", {}).get("suite", {}).get("simulated_mips")
+    if not old_mips:
+        problems.append("baseline has no metrics.suite.simulated_mips to compare")
+    elif new_mips < old_mips * min_mips_ratio:
+        problems.append(
+            f"suite.simulated_mips regressed: {new_mips:.3f} < "
+            f"{min_mips_ratio:.2f} x baseline {old_mips:.3f} "
+            f"(revision {baseline.get('revision', 'unknown')})"
+        )
+    return problems
 
 
 def run_bench(
@@ -341,13 +444,42 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for the suite section (default 1 = serial)",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="committed BENCH_*.json to regress against; the run exits "
+        "non-zero if suite.simulated_mips falls below --min-mips-ratio "
+        "times the baseline's",
+    )
+    parser.add_argument(
+        "--min-mips-ratio",
+        type=float,
+        default=0.3,
+        metavar="RATIO",
+        help="lowest acceptable simulated-MIPS fraction of the baseline "
+        "(default 0.3 — generous, so only real regressions fail CI)",
+    )
 
 
 def run_from_arguments(arguments: argparse.Namespace) -> int:
     config = SMOKE if arguments.smoke else FULL
     if arguments.jobs != 1:
         config = dataclasses.replace(config, suite_jobs=arguments.jobs)
-    run_bench(smoke=arguments.smoke, output=arguments.output, config=config)
+    payload = run_bench(smoke=arguments.smoke, output=arguments.output, config=config)
+    if arguments.baseline is not None:
+        baseline = json.loads(Path(arguments.baseline).read_text(encoding="utf-8"))
+        problems = check_regression(payload, baseline, arguments.min_mips_ratio)
+        if problems:
+            for problem in problems:
+                print(f"bench regression: {problem}", file=sys.stderr)
+            return 1
+        old_mips = baseline["metrics"]["suite"]["simulated_mips"]
+        new_mips = payload["metrics"]["suite"]["simulated_mips"]
+        print(
+            f"bench regression guard passed: {new_mips:.3f} MIPS vs "
+            f"baseline {old_mips:.3f} (floor {arguments.min_mips_ratio:.2f}x)"
+        )
     return 0
 
 

@@ -2,7 +2,8 @@
 
 The paper's figures are bar charts and histograms; this module renders
 their reproduced data as ASCII so results are inspectable in a terminal
-(`repro-experiments ... --chart`) or a log file, with no plotting
+(`python -m repro experiments ... --chart`) or a log file, with no
+plotting
 dependency.
 """
 

@@ -11,6 +11,7 @@ Covers the three load-bearing guarantees:
 from __future__ import annotations
 
 import io
+import time
 
 import pytest
 
@@ -236,6 +237,23 @@ class TestEngine:
             tsvs.append(tsv)
         assert tsvs[0] == tsvs[1] == tsvs[2]
         assert totals[0] == totals[1] == totals[2]
+
+    def test_queue_wait_bounded_by_wall_clock(self):
+        """Regression: summed ``runner.queue_wait`` must stay below wall time.
+
+        Dispatch latency is charged per job from the moment capacity
+        frees up, not from when the job became ready — the old
+        finish-time accounting re-counted every other job's compute time
+        and summed to hundreds of seconds inside a 30-second run.
+        """
+        registry = Telemetry()
+        started = time.perf_counter()
+        with use_registry(registry):
+            run_engine(jobs=2)
+        wall = time.perf_counter() - started
+        timers = registry.snapshot().get("timers", {})
+        waited = timers.get("runner.queue_wait", {}).get("seconds", 0.0)
+        assert waited <= wall
 
     def test_corrupt_single_entry_mid_suite_counted(self, warm_cache):
         """One corrupt profile entry: counted, discarded, recomputed.

@@ -3,11 +3,9 @@
 from __future__ import annotations
 
 import json
-import warnings
 
 import pytest
 
-from repro.experiments import runner as runner_module
 from repro.experiments.runner import EXPERIMENTS, main, run_experiments
 from repro.runner.faults import Fault, FaultPlan
 
@@ -51,23 +49,6 @@ class TestCli:
         assert len(tables) == 1
         out = capsys.readouterr().out
         assert "fig-4.2" in out and "finished in" in out
-
-    def test_deprecated_console_script_warns_exactly_once(self, monkeypatch):
-        """The `repro-experiments` alias warns on first use only."""
-        monkeypatch.setattr(runner_module, "_DEPRECATION_WARNED", False)
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert main(["list"]) == 0
-            assert main(["list"]) == 0
-        deprecations = [
-            entry
-            for entry in caught
-            if issubclass(entry.category, DeprecationWarning)
-            and "repro-experiments" in str(entry.message)
-        ]
-        assert len(deprecations) == 1
-        assert "python -m repro experiments" in str(deprecations[0].message)
-
 
 class TestDegradedRun:
     """A run that exhausts retries exits 1 with a report, not a traceback."""
