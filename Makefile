@@ -4,7 +4,7 @@ PYTHON ?= python3
 SCALE ?= 1.0
 JOBS ?= 0
 
-.PHONY: install test test-fast bench perf experiments examples clean
+.PHONY: install test test-fast check bench perf experiments examples clean
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -15,6 +15,9 @@ test:
 
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow"
+
+check:
+	$(PYTHON) -m repro check
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

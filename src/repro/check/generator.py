@@ -1,0 +1,219 @@
+"""Seeded random-program generation for the differential oracle.
+
+Programs are built directly at the ISA level (no mini-C detour) so the
+oracle can exercise machine behaviours the compiler never emits: mixed
+int/float traffic, phase marks mid-loop, stores that alias loads,
+bigint growth past 64 bits, input exhaustion and division faults.
+
+The construction is *structured*: straight-line blocks, bounded counted
+loops (nesting ≤ 2) and forward if-skips, so every generated program
+terminates on its own — and the oracle additionally runs everything
+under an instruction budget, so even a generator bug cannot hang a
+check.  Faulting programs (division by zero, exhausted inputs) are kept,
+not regenerated: an :class:`~repro.machine.errors.ExecutionError` must
+be raised *identically* by a fast path and its reference, which makes
+error timing part of the equivalence being checked.
+
+Register discipline keeps the interpreter total: integer opcodes only
+ever see the int register pool, FP opcodes the float pool, loop
+counters and the address-index register are reserved, and shift
+amounts are immediates in ``[0, 8]`` — so no generated program can
+raise a *Python*-level ``TypeError`` (as opposed to a machine-level
+:class:`~repro.machine.errors.ExecutionError`, which is fair game).
+
+Determinism: everything derives from one ``random.Random(seed)``; the
+same seed yields the same program and inputs on every platform and
+Python version.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Optional, Tuple
+
+from ..isa import Instruction, Number, Opcode, Program, build_program
+
+#: Register pools (see repro.isa.registers conventions; all caller-saved
+#: temporaries, so nothing collides with compiled-code conventions).
+INT_REGS = (4, 5, 6, 7, 8, 9, 10, 11)
+FLOAT_REGS = (16, 17, 18, 19)
+COUNTER_REGS = (12, 13)   # one per loop-nesting depth
+INDEX_REG = 15            # masked effective-address index
+
+#: Data layout: one integer region and one float region, each a
+#: power-of-two so `andi` masking keeps every effective address inside.
+REGION_WORDS = 8
+INT_BASE, FLOAT_BASE = 0, REGION_WORDS
+REGION_MASK = REGION_WORDS - 1
+
+_INT_BINOPS = (
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR,
+    Opcode.SLT, Opcode.SLE, Opcode.SEQ, Opcode.SNE,
+    # Register divisors may legitimately be zero: DivisionByZero must
+    # surface identically on both sides of every pair, so keep these in.
+    Opcode.DIV, Opcode.MOD,
+)
+_INT_IMMOPS = (
+    Opcode.ADDI, Opcode.SUBI, Opcode.MULI, Opcode.ANDI, Opcode.ORI,
+    Opcode.XORI, Opcode.SLTI, Opcode.SLEI, Opcode.SEQI, Opcode.SNEI,
+    Opcode.SHLI, Opcode.SHRI, Opcode.DIVI, Opcode.MODI,
+)
+_FP_BINOPS = (Opcode.FADD, Opcode.FSUB, Opcode.FMUL)
+_FP_CMPOPS = (Opcode.FSLT, Opcode.FSLE, Opcode.FSEQ, Opcode.FSNE)
+
+
+@dataclasses.dataclass(frozen=True)
+class CheckCase:
+    """One generated oracle input: a program, its input stream, a seed."""
+
+    seed: int
+    program: Program
+    inputs: Tuple[Number, ...]
+
+
+class _Builder:
+    """Accumulates instructions; patches forward targets after the fact."""
+
+    def __init__(self) -> None:
+        self.code: List[Instruction] = []
+
+    def emit(self, opcode: Opcode, dest=None, srcs=(), imm=None, target=None) -> int:
+        self.code.append(
+            Instruction(opcode, dest=dest, srcs=tuple(srcs), imm=imm, target=target)
+        )
+        return len(self.code) - 1
+
+    def patch_target(self, index: int, target: int) -> None:
+        self.code[index] = dataclasses.replace(self.code[index], target=target)
+
+
+def _emit_simple(rng: random.Random, builder: _Builder, allow_input: bool) -> None:
+    """One straight-line instruction (no control flow)."""
+    emit = builder.emit
+    choice = rng.random()
+    if choice < 0.30:
+        op = rng.choice(_INT_BINOPS)
+        emit(op, dest=rng.choice(INT_REGS),
+             srcs=(rng.choice(INT_REGS), rng.choice(INT_REGS)))
+    elif choice < 0.52:
+        op = rng.choice(_INT_IMMOPS)
+        if op in (Opcode.DIVI, Opcode.MODI):
+            imm = rng.choice((-7, -3, -2, 2, 3, 5, 7))
+        elif op in (Opcode.SHLI, Opcode.SHRI):
+            imm = rng.randrange(0, 9)
+        elif op is Opcode.MULI:
+            imm = rng.choice((-9, -3, -2, 2, 3, 5, 9))
+        else:
+            imm = rng.randint(-50, 50)
+        emit(op, dest=rng.choice(INT_REGS), srcs=(rng.choice(INT_REGS),), imm=imm)
+    elif choice < 0.58:
+        emit(Opcode.LI, dest=rng.choice(INT_REGS), imm=rng.randint(-100, 100))
+    elif choice < 0.64:
+        # Masked integer load: andi keeps the index in [0, REGION_WORDS).
+        emit(Opcode.ANDI, dest=INDEX_REG, srcs=(rng.choice(INT_REGS),),
+             imm=REGION_MASK)
+        emit(Opcode.LD, dest=rng.choice(INT_REGS), srcs=(INDEX_REG,), imm=INT_BASE)
+    elif choice < 0.70:
+        emit(Opcode.ANDI, dest=INDEX_REG, srcs=(rng.choice(INT_REGS),),
+             imm=REGION_MASK)
+        emit(Opcode.ST, srcs=(rng.choice(INT_REGS), INDEX_REG), imm=INT_BASE)
+    elif choice < 0.76:
+        op = rng.choice(_FP_BINOPS)
+        emit(op, dest=rng.choice(FLOAT_REGS),
+             srcs=(rng.choice(FLOAT_REGS), rng.choice(FLOAT_REGS)))
+    elif choice < 0.80:
+        emit(rng.choice(_FP_CMPOPS), dest=rng.choice(INT_REGS),
+             srcs=(rng.choice(FLOAT_REGS), rng.choice(FLOAT_REGS)))
+    elif choice < 0.84:
+        emit(Opcode.FLI, dest=rng.choice(FLOAT_REGS),
+             imm=round(rng.uniform(-8.0, 8.0), 3))
+    elif choice < 0.87:
+        emit(Opcode.ANDI, dest=INDEX_REG, srcs=(rng.choice(INT_REGS),),
+             imm=REGION_MASK)
+        emit(Opcode.FLD, dest=rng.choice(FLOAT_REGS), srcs=(INDEX_REG,),
+             imm=FLOAT_BASE)
+    elif choice < 0.90:
+        emit(Opcode.ANDI, dest=INDEX_REG, srcs=(rng.choice(INT_REGS),),
+             imm=REGION_MASK)
+        emit(Opcode.FST, srcs=(rng.choice(FLOAT_REGS), INDEX_REG), imm=FLOAT_BASE)
+    elif choice < 0.93:
+        emit(Opcode.CVTIF, dest=rng.choice(FLOAT_REGS), srcs=(rng.choice(INT_REGS),))
+    elif choice < 0.95:
+        emit(Opcode.CVTFI, dest=rng.choice(INT_REGS), srcs=(rng.choice(FLOAT_REGS),))
+    elif choice < 0.97 and allow_input:
+        if rng.random() < 0.5:
+            emit(Opcode.IN, dest=rng.choice(INT_REGS))
+        else:
+            emit(Opcode.FIN, dest=rng.choice(FLOAT_REGS))
+    else:
+        emit(Opcode.OUT, srcs=(rng.choice(INT_REGS),))
+
+
+def _emit_segment(rng: random.Random, builder: _Builder, depth: int) -> None:
+    """A block, a bounded counted loop, or a forward if-skip."""
+    emit = builder.emit
+    roll = rng.random()
+    if depth < 2 and roll < 0.45:
+        counter = COUNTER_REGS[depth]
+        trips = rng.randint(1, 8)
+        emit(Opcode.LI, dest=counter, imm=trips)
+        top = len(builder.code)
+        for _ in range(rng.randint(1, 3)):
+            if depth < 1 and rng.random() < 0.35:
+                _emit_segment(rng, builder, depth + 1)
+            else:
+                _emit_simple(rng, builder, allow_input=False)
+        if rng.random() < 0.25:
+            emit(Opcode.PHASE, imm=rng.choice((1, 2)))
+        emit(Opcode.SUBI, dest=counter, srcs=(counter,), imm=1)
+        emit(Opcode.BNEZ, srcs=(counter,), target=top)
+    elif roll < 0.60:
+        branch = emit(Opcode.BEQZ, srcs=(rng.choice(INT_REGS),), target=0)
+        for _ in range(rng.randint(1, 3)):
+            _emit_simple(rng, builder, allow_input=(depth == 0))
+        builder.patch_target(branch, len(builder.code))
+    else:
+        for _ in range(rng.randint(1, 4)):
+            _emit_simple(rng, builder, allow_input=(depth == 0))
+
+
+def generate_case(seed: int, segments: Optional[int] = None) -> CheckCase:
+    """Build the deterministic random program and inputs for ``seed``."""
+    rng = random.Random(seed)
+    builder = _Builder()
+    emit = builder.emit
+
+    # Seed the register pools so the first ops see varied values.
+    for register in INT_REGS[: rng.randint(3, len(INT_REGS))]:
+        emit(Opcode.LI, dest=register, imm=rng.randint(-40, 40))
+    for register in FLOAT_REGS[: rng.randint(2, len(FLOAT_REGS))]:
+        emit(Opcode.FLI, dest=register, imm=round(rng.uniform(-5.0, 5.0), 3))
+    emit(Opcode.PHASE, imm=1)
+
+    for index in range(segments if segments is not None else rng.randint(3, 7)):
+        _emit_segment(rng, builder, depth=0)
+        if index == 0:
+            emit(Opcode.PHASE, imm=2)
+
+    # Make end-state observable even for output-free bodies.
+    emit(Opcode.OUT, srcs=(rng.choice(INT_REGS),))
+    emit(Opcode.HALT)
+
+    data = {INT_BASE + offset: rng.randint(-30, 30) for offset in range(REGION_WORDS)}
+    data.update(
+        {
+            FLOAT_BASE + offset: round(rng.uniform(-9.0, 9.0), 3)
+            for offset in range(REGION_WORDS)
+        }
+    )
+    # Occasionally too short on purpose: InputExhausted is a legitimate
+    # observation the oracle compares across paths.
+    inputs = tuple(rng.randint(-99, 99) for _ in range(rng.randint(0, 24)))
+    program = build_program(
+        builder.code, data=data, name=f"check-seed-{seed}"
+    )
+    return CheckCase(seed=seed, program=program, inputs=inputs)
+
+
+__all__ = ["CheckCase", "generate_case"]

@@ -1,0 +1,655 @@
+"""The differential oracle: every fast path against its reference path.
+
+Each :class:`OraclePair` names one equivalence the codebase relies on:
+
+``batch-vs-record``
+    ``Executor.run_batches`` columns, decoded by hand, against the
+    ``Executor.run`` per-record adapter.
+``trace-replay-memory`` / ``trace-replay-disk``
+    a trace replayed from a :class:`~repro.machine.TraceStore` (LRU /
+    directory-backed) against a fresh capture.
+``annotate-digest``
+    an annotated binary must share the base binary's trace key (so it
+    replays base traces) *and* execute identically record for record.
+``profile-io-merge``
+    profile ``save → load → merge`` against merging the in-memory
+    images, for both ``require_common`` modes, plus a round-trip of the
+    merged image itself.
+``runner-parallel`` / ``runner-faulty``
+    the parallel engine at ``jobs=2`` — and a faulted run recovered
+    under a retry policy — against a serial walk of the same graph.
+
+Program-consuming pairs draw seeded random programs from
+:mod:`repro.check.generator`; the runner pairs run a pinned experiment
+workload.  Observations are canonicalized before comparison (floats by
+``repr`` so ``3`` never masquerades as ``3.0`` and NaN compares equal
+to itself) and :func:`first_divergence` reports the first differing
+path.  On a program-pair failure the case is shrunk by NOP substitution
+and input truncation into a minimized reproducer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import tempfile
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..isa import Directive, Instruction, Opcode, disassemble
+from ..machine import Executor, TraceStore
+from ..machine.errors import ExecutionError
+from ..machine.tracestore import trace_key
+from ..profiling import collect_profile, merge_profiles
+from ..profiling.image_io import dumps_profile, loads_profile
+from .generator import CheckCase, generate_case
+
+DEFAULT_BUDGET = 20_000
+
+_Obs = Tuple  # canonical observation; structural, compared by first_divergence
+
+
+# -- canonical observations -------------------------------------------------
+
+
+def _canon_value(value) -> str:
+    if value is None:
+        return "none"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "f:nan"
+        return f"f:{value!r}"
+    return f"i:{value}"
+
+
+def _observe_records(record_iter) -> Dict[str, object]:
+    """Drain a TraceRecord iterator into a canonical observation.
+
+    An :class:`ExecutionError` is part of the observation, not a test
+    failure: both sides of a pair must fault with the same error type
+    and message after the same record prefix.
+    """
+    records: List[Tuple[int, str, int, object]] = []
+    outcome: Tuple[str, ...] = ("halt",)
+    try:
+        for record in record_iter:
+            records.append(
+                (record.address, _canon_value(record.value), record.phase,
+                 record.mem_address)
+            )
+    except ExecutionError as exc:
+        outcome = ("error", type(exc).__name__, str(exc))
+    return {"records": records, "outcome": outcome}
+
+
+def _observe_run(case: CheckCase, budget: int, program=None) -> Dict[str, object]:
+    """Reference observation: a fresh ``Executor.run``."""
+    executor = Executor(
+        program if program is not None else case.program,
+        inputs=list(case.inputs),
+        max_instructions=budget,
+    )
+    return _observe_records(executor.run())
+
+
+def _observe_batches_raw(case: CheckCase, budget: int) -> Dict[str, object]:
+    """Fast-side observation: decode the columnar batches by hand.
+
+    Deliberately re-implements the column walk (phase segments, dense
+    ``mems`` cursor against the static ``mem_flags`` bitmap) instead of
+    calling ``TraceBatch.records`` — the adapter is the thing under test.
+    """
+    executor = Executor(
+        case.program, inputs=list(case.inputs), max_instructions=budget
+    )
+    records: List[Tuple[int, str, int, object]] = []
+    outcome: Tuple[str, ...] = ("halt",)
+    try:
+        for batch in executor.run_batches():
+            flags = batch.mem_flags
+            mems = batch.mems
+            cursor = 0
+            for start, end, phase in batch.phase_segments():
+                for index in range(start, end):
+                    address = batch.addresses[index]
+                    if flags[address]:
+                        mem_address = mems[cursor]
+                        cursor += 1
+                    else:
+                        mem_address = None
+                    records.append(
+                        (address, _canon_value(batch.values[index]), phase,
+                         mem_address)
+                    )
+    except ExecutionError as exc:
+        outcome = ("error", type(exc).__name__, str(exc))
+    return {"records": records, "outcome": outcome}
+
+
+def _observe_image(image) -> Dict[str, object]:
+    """Canonical view of a ProfileImage, exact counts and group detail."""
+    return {
+        "program": image.program_name,
+        "run": image.run_label,
+        "instructions": {
+            address: (
+                profile.executions,
+                profile.attempts,
+                profile.correct,
+                profile.nonzero_stride_correct,
+            )
+            for address, profile in sorted(image.instructions.items())
+        },
+        "groups": {
+            f"{category.value}/{phase}/{address}": tuple(counts)
+            for (category, phase), members in sorted(
+                image.group_detail.items(),
+                key=lambda item: (item[0][0].value, item[0][1]),
+            )
+            for address, counts in sorted(members.items())
+        },
+    }
+
+
+# -- structural diff --------------------------------------------------------
+
+
+def first_divergence(fast, reference, path: str = "$") -> Optional[Tuple[str, str, str]]:
+    """First ``(path, fast, reference)`` where the observations differ."""
+    if isinstance(fast, dict) and isinstance(reference, dict):
+        for key in sorted(set(fast) | set(reference), key=str):
+            if key not in fast:
+                return (f"{path}.{key}", "<missing>", repr(reference[key]))
+            if key not in reference:
+                return (f"{path}.{key}", repr(fast[key]), "<missing>")
+            found = first_divergence(fast[key], reference[key], f"{path}.{key}")
+            if found is not None:
+                return found
+        return None
+    if isinstance(fast, (list, tuple)) and isinstance(reference, (list, tuple)):
+        for index, (left, right) in enumerate(zip(fast, reference)):
+            found = first_divergence(left, right, f"{path}[{index}]")
+            if found is not None:
+                return found
+        if len(fast) != len(reference):
+            return (f"{path}.length", str(len(fast)), str(len(reference)))
+        return None
+    if type(fast) is not type(reference) or fast != reference:
+        return (path, repr(fast), repr(reference))
+    return None
+
+
+@dataclasses.dataclass(frozen=True)
+class Divergence:
+    """One fast/reference disagreement, located to a record field."""
+
+    pair: str
+    seed: Optional[int]
+    path: str
+    fast: str
+    reference: str
+
+    def format(self) -> str:
+        seed = f" seed={self.seed}" if self.seed is not None else ""
+        return (
+            f"{self.pair}{seed}: diverged at {self.path}\n"
+            f"  fast:      {self.fast}\n"
+            f"  reference: {self.reference}"
+        )
+
+
+# -- the pairs --------------------------------------------------------------
+
+
+def _check_batch_vs_record(case: CheckCase, budget: int):
+    return first_divergence(
+        _observe_batches_raw(case, budget), _observe_run(case, budget)
+    )
+
+
+def _check_trace_replay(case: CheckCase, budget: int, directory=None):
+    store = TraceStore(directory=directory)
+    captured = _observe_records(
+        record
+        for batch in store.batches(case.program, case.inputs, budget)
+        for record in batch.records()
+    )
+    replayed = _observe_records(
+        record
+        for batch in store.batches(case.program, case.inputs, budget)
+        for record in batch.records()
+    )
+    fresh = _observe_run(case, budget)
+    found = first_divergence(captured, fresh, "$capture")
+    if found is not None:
+        return found
+    return first_divergence(replayed, fresh, "$replay")
+
+
+def _check_trace_replay_memory(case: CheckCase, budget: int):
+    return _check_trace_replay(case, budget)
+
+
+def _check_trace_replay_disk(case: CheckCase, budget: int):
+    with tempfile.TemporaryDirectory(prefix="repro-check-") as tmp:
+        return _check_trace_replay(case, budget, directory=tmp)
+
+
+def _check_annotate_digest(case: CheckCase, budget: int):
+    directive_map = {
+        address: Directive.STRIDE if address % 2 == 0 else Directive.LAST_VALUE
+        for address in case.program.candidate_addresses
+    }
+    annotated = case.program.with_directives(directive_map)
+    base_key = trace_key(case.program, list(case.inputs), budget)
+    annotated_key = trace_key(annotated, list(case.inputs), budget)
+    if annotated_key != base_key:
+        return ("$trace_key", annotated_key, base_key)
+    store = TraceStore()
+    base_obs = _observe_records(
+        record
+        for batch in store.batches(case.program, case.inputs, budget)
+        for record in batch.records()
+    )
+    replay_obs = _observe_records(
+        record
+        for batch in store.batches(annotated, case.inputs, budget)
+        for record in batch.records()
+    )
+    fresh_obs = _observe_run(case, budget, program=annotated)
+    found = first_divergence(replay_obs, fresh_obs, "$annotated_replay")
+    if found is not None:
+        return found
+    return first_divergence(fresh_obs, base_obs, "$annotated_fresh")
+
+
+def _drain_records(case: CheckCase, inputs: Sequence, budget: int) -> List:
+    """Records retired before a clean halt *or* a legitimate fault."""
+    executor = Executor(case.program, inputs=list(inputs), max_instructions=budget)
+    records: List = []
+    try:
+        for record in executor.run():
+            records.append(record)
+    except ExecutionError:
+        pass
+    return records
+
+
+def _reference_merge_obs(images, require_common: bool) -> Dict[str, object]:
+    """Independent first-principles merge, as a canonical observation.
+
+    Deliberately *not* a call into :func:`merge_profiles` — this is the
+    reference model the production merge is differenced against, so a
+    regression in merge.py itself (e.g. dropping the ``require_common``
+    filter from group accumulation) diverges here.
+    """
+    keep = None
+    if require_common:
+        address_sets = [set(image.instructions) for image in images]
+        keep = set.intersection(*address_sets) if address_sets else set()
+    instructions: Dict[int, List[int]] = {}
+    groups: Dict[str, List[int]] = {}
+    for image in images:
+        for address, profile in image.instructions.items():
+            if keep is not None and address not in keep:
+                continue
+            slot = instructions.setdefault(address, [0, 0, 0, 0])
+            slot[0] += profile.executions
+            slot[1] += profile.attempts
+            slot[2] += profile.correct
+            slot[3] += profile.nonzero_stride_correct
+        for (category, phase), members in image.group_detail.items():
+            for address, counts in members.items():
+                if keep is not None and address not in keep:
+                    continue
+                slot = groups.setdefault(f"{category.value}/{phase}/{address}", [0, 0, 0])
+                slot[0] += counts[0]
+                slot[1] += counts[1]
+                slot[2] += counts[2]
+    return {
+        "instructions": {
+            address: tuple(slot) for address, slot in sorted(instructions.items())
+        },
+        "groups": {name: tuple(slot) for name, slot in sorted(groups.items())},
+    }
+
+
+def _check_profile_io_merge(case: CheckCase, budget: int):
+    # The two training images must profile genuinely different address
+    # sets — otherwise the ``require_common`` intersection filters
+    # nothing and a filtering regression could never diverge.  The
+    # second image drops every record above the first run's median
+    # static address (a valid partial trace), which guarantees at least
+    # the maximum address is exclusive to the first image.
+    records_full = _drain_records(case, list(case.inputs), budget)
+    addresses = sorted({record.address for record in records_full})
+    cutoff = addresses[len(addresses) // 2] if addresses else 0
+    records_partial = [
+        record
+        for record in _drain_records(case, list(reversed(case.inputs)), budget)
+        if record.address <= cutoff
+    ]
+    images = [
+        collect_profile(case.program, records=records, run_label=f"train-{index}")
+        for index, records in enumerate((records_full, records_partial))
+    ]
+    for require_common in (False, True):
+        in_memory = merge_profiles(images, require_common=require_common)
+        in_memory_obs = _observe_image(in_memory)
+        found = first_divergence(
+            {key: in_memory_obs[key] for key in ("instructions", "groups")},
+            _reference_merge_obs(images, require_common),
+            f"$merge[require_common={require_common}].model",
+        )
+        if found is not None:
+            return found
+        reloaded = [loads_profile(dumps_profile(image)) for image in images]
+        via_disk = merge_profiles(reloaded, require_common=require_common)
+        label = f"$merge[require_common={require_common}]"
+        found = first_divergence(
+            _observe_image(via_disk), _observe_image(in_memory), label
+        )
+        if found is not None:
+            return found
+        round_trip = loads_profile(dumps_profile(in_memory))
+        found = first_divergence(
+            _observe_image(round_trip), _observe_image(in_memory),
+            f"{label}.round_trip",
+        )
+        if found is not None:
+            return found
+    return None
+
+
+_RUNNER_EXPERIMENT = "fig-4.2"
+
+
+def _runner_outcome(jobs: int = 1, **engine_options) -> str:
+    from ..experiments.context import ExperimentContext
+    from ..runner import build_experiment_graph
+    from ..runner.executor import execute_graph
+
+    context = ExperimentContext(scale=0.02, training_runs=2)
+    graph = build_experiment_graph([_RUNNER_EXPERIMENT], context)
+    outcome = execute_graph(graph, context, jobs=jobs, **engine_options)
+    return outcome.tables[_RUNNER_EXPERIMENT].to_tsv()
+
+
+_serial_baseline: List[str] = []
+
+
+def _runner_baseline() -> str:
+    if not _serial_baseline:
+        _serial_baseline.append(_runner_outcome(jobs=1))
+    return _serial_baseline[0]
+
+
+def _check_runner_parallel(case: None, budget: int):
+    return first_divergence(
+        {"table": _runner_outcome(jobs=2)},
+        {"table": _runner_baseline()},
+        "$runner[jobs=2]",
+    )
+
+
+def _check_runner_faulty(case: None, budget: int):
+    from ..runner import build_experiment_graph
+    from ..runner.faults import FaultPlan
+    from ..runner.retry import RetryPolicy
+    from ..experiments.context import ExperimentContext
+
+    context = ExperimentContext(scale=0.02, training_runs=2)
+    graph = build_experiment_graph([_RUNNER_EXPERIMENT], context)
+    pool_ids = [job.job_id for job in graph.order() if not job.inline]
+    plan = FaultPlan.generate(
+        pool_ids, seed=1997, rate=0.3, kinds=("transient",), max_attempt=1
+    )
+    from ..runner.executor import execute_graph
+
+    outcome = execute_graph(
+        graph, context, jobs=1, retry=RetryPolicy(max_attempts=3), fault_plan=plan
+    )
+    return first_divergence(
+        {"table": outcome.tables[_RUNNER_EXPERIMENT].to_tsv()},
+        {"table": _runner_baseline()},
+        "$runner[faulty]",
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class OraclePair:
+    """One fast/reference equivalence the oracle exercises."""
+
+    name: str
+    description: str
+    uses_program: bool
+    check: Callable[[Optional[CheckCase], int], Optional[Tuple[str, str, str]]]
+
+
+_PAIRS: Tuple[OraclePair, ...] = (
+    OraclePair(
+        "batch-vs-record",
+        "run_batches columns decoded by hand vs the run() record adapter",
+        True, _check_batch_vs_record,
+    ),
+    OraclePair(
+        "trace-replay-memory",
+        "TraceStore replay (in-memory LRU) vs fresh capture",
+        True, _check_trace_replay_memory,
+    ),
+    OraclePair(
+        "trace-replay-disk",
+        "TraceStore replay (directory-backed) vs fresh capture",
+        True, _check_trace_replay_disk,
+    ),
+    OraclePair(
+        "annotate-digest",
+        "annotated binary: same trace key, same execution as the base",
+        True, _check_annotate_digest,
+    ),
+    OraclePair(
+        "profile-io-merge",
+        "profile save->load->merge vs merging the in-memory images",
+        True, _check_profile_io_merge,
+    ),
+    OraclePair(
+        "runner-parallel",
+        "experiment engine at jobs=2 vs a serial walk",
+        False, _check_runner_parallel,
+    ),
+    OraclePair(
+        "runner-faulty",
+        "faulted run recovered under retries vs a clean serial walk",
+        False, _check_runner_faulty,
+    ),
+)
+
+
+def all_pairs() -> Tuple[OraclePair, ...]:
+    """Every registered fast/reference pair, in run order."""
+    return _PAIRS
+
+
+# -- minimization -----------------------------------------------------------
+
+
+def _case_with(case: CheckCase, code, inputs) -> CheckCase:
+    from ..isa import build_program
+
+    program = case.program
+    return CheckCase(
+        seed=case.seed,
+        program=build_program(
+            code, data=dict(program.data), name=f"{program.name}-min"
+        ),
+        inputs=tuple(inputs),
+    )
+
+
+def minimize_case(
+    case: CheckCase,
+    still_diverges: Callable[[CheckCase], bool],
+) -> CheckCase:
+    """Shrink ``case`` while the pair still diverges.
+
+    NOP substitution keeps addresses (and therefore branch targets)
+    stable, so any subset of instructions can be blanked without
+    re-validating control flow; spans shrink from coarse to single
+    instructions, then the input stream is truncated from the tail.
+    """
+    code = list(case.program.instructions)
+    inputs = list(case.inputs)
+    nop = Instruction(Opcode.NOP)
+
+    span = max(1, len(code) // 4)
+    while span >= 1:
+        index = 0
+        while index < len(code):
+            stop = min(index + span, len(code))
+            if any(code[i].opcode is not Opcode.NOP for i in range(index, stop)):
+                trial = list(code)
+                trial[index:stop] = [nop] * (stop - index)
+                try:
+                    diverges = still_diverges(_case_with(case, trial, inputs))
+                except Exception:
+                    diverges = False
+                if diverges:
+                    code = trial
+            index = stop
+        span //= 2
+
+    while inputs:
+        trial = inputs[:-1]
+        try:
+            diverges = still_diverges(_case_with(case, code, trial))
+        except Exception:
+            diverges = False
+        if not diverges:
+            break
+        inputs = trial
+
+    return _case_with(case, code, inputs)
+
+
+def render_reproducer(case: CheckCase, divergence: Divergence) -> str:
+    """Self-contained text artifact: the divergence plus the program."""
+    lines = [
+        f"# repro check reproducer: pair {divergence.pair}",
+        f"# seed: {case.seed}",
+        f"# diverged at: {divergence.path}",
+        f"# fast:      {divergence.fast}",
+        f"# reference: {divergence.reference}",
+        f"# inputs: {list(case.inputs)!r}",
+        f"# data: {dict(case.program.data)!r}",
+        "",
+        disassemble(case.program),
+    ]
+    return "\n".join(lines)
+
+
+# -- the driver -------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class PairResult:
+    """Outcome of running one pair over the generated cases."""
+
+    pair: OraclePair
+    cases: int = 0
+    divergence: Optional[Divergence] = None
+    reproducer: Optional[str] = None
+
+    @property
+    def passed(self) -> bool:
+        return self.divergence is None
+
+
+@dataclasses.dataclass
+class OracleReport:
+    """Everything one oracle run produced."""
+
+    results: List[PairResult]
+    seeds: Tuple[int, ...]
+    budget: int
+
+    @property
+    def passed(self) -> bool:
+        return all(result.passed for result in self.results)
+
+    @property
+    def failures(self) -> List[PairResult]:
+        return [result for result in self.results if not result.passed]
+
+    def format_text(self) -> str:
+        lines = []
+        for result in self.results:
+            status = "ok" if result.passed else "DIVERGED"
+            suffix = f"{result.cases} cases" if result.pair.uses_program else "1 run"
+            lines.append(f"  {result.pair.name:<22} {status:<8} ({suffix})")
+            if result.divergence is not None:
+                lines.append("    " + result.divergence.format().replace("\n", "\n    "))
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(
+            f"oracle: {verdict} — {len(self.results)} pairs, "
+            f"{len(self.seeds)} seeds, budget {self.budget}"
+        )
+        return "\n".join(lines)
+
+
+def run_oracle(
+    seeds: Iterable[int] = range(1, 13),
+    budget: int = DEFAULT_BUDGET,
+    pairs: Optional[Sequence[str]] = None,
+    minimize: bool = True,
+) -> OracleReport:
+    """Run every (selected) pair; stop each pair at its first divergence."""
+    seeds = tuple(seeds)
+    selected = [
+        pair for pair in _PAIRS if pairs is None or pair.name in pairs
+    ]
+    unknown = set(pairs or ()) - {pair.name for pair in _PAIRS}
+    if unknown:
+        raise ValueError(f"unknown oracle pairs: {sorted(unknown)}")
+    cases = [generate_case(seed) for seed in seeds]
+    results = []
+    for pair in selected:
+        result = PairResult(pair=pair)
+        if not pair.uses_program:
+            result.cases = 1
+            found = pair.check(None, budget)
+            if found is not None:
+                path, fast, reference = found
+                result.divergence = Divergence(pair.name, None, path, fast, reference)
+        else:
+            for case in cases:
+                result.cases += 1
+                found = pair.check(case, budget)
+                if found is None:
+                    continue
+                if minimize:
+                    case = minimize_case(
+                        case,
+                        lambda trial: pair.check(trial, budget) is not None,
+                    )
+                    found = pair.check(case, budget) or found
+                path, fast, reference = found
+                result.divergence = Divergence(
+                    pair.name, case.seed, path, fast, reference
+                )
+                result.reproducer = render_reproducer(case, result.divergence)
+                break
+        results.append(result)
+    return OracleReport(results=results, seeds=seeds, budget=budget)
+
+
+__all__ = [
+    "DEFAULT_BUDGET",
+    "Divergence",
+    "OraclePair",
+    "OracleReport",
+    "PairResult",
+    "all_pairs",
+    "first_divergence",
+    "minimize_case",
+    "render_reproducer",
+    "run_oracle",
+]

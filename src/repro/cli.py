@@ -20,6 +20,11 @@ plus the pinned performance suite::
     python -m repro bench --output BENCH.json
     python -m repro bench --smoke
 
+and the correctness tooling (differential oracle + invariant lint)::
+
+    python -m repro check
+    python -m repro check --smoke
+
 Programs on disk are stored in the textual assembly format
 (:mod:`repro.isa.assembler`); ``compile`` turns mini-C into it, and every
 other command consumes it.  Inputs may be given inline (``--inputs 1,2,3``)
@@ -214,9 +219,16 @@ def _command_bench(arguments: argparse.Namespace) -> int:
     return run_from_arguments(arguments)
 
 
+def _command_check(arguments: argparse.Namespace) -> int:
+    from .check.cli import run_from_arguments
+
+    return run_from_arguments(arguments)
+
+
 def build_parser() -> argparse.ArgumentParser:
     # Imported here so `import repro.cli` stays light and the
     # cli -> experiments dependency exists only at parser-build time.
+    from .check.cli import add_arguments as add_check_arguments
     from .experiments.runner import add_arguments as add_experiment_arguments
     from .telemetry.bench import add_arguments as add_bench_arguments
 
@@ -242,6 +254,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_bench_arguments(bench_parser)
     bench_parser.set_defaults(handler=_command_bench)
+
+    check_parser = commands.add_parser(
+        "check",
+        help="run the differential oracle (fast vs reference paths) and "
+        "the static invariant lint",
+    )
+    add_check_arguments(check_parser)
+    check_parser.set_defaults(handler=_command_check)
 
     compile_parser = commands.add_parser(
         "compile", help="compile mini-C to textual assembly (phase 1)"

@@ -73,13 +73,23 @@ class ProfileImage:
     Maps instruction address -> :class:`InstructionProfile`, with program
     and run labels.  The (category, phase) aggregates ride along for the
     Table 2.1 measurements.
+
+    Group accounting is stored at *per-address* granularity
+    (:attr:`group_detail`: ``(category, phase) -> {address: [executions,
+    attempts, correct]}``) and the coarse :attr:`groups` view is derived
+    by summation.  The detail is what makes two operations exact that an
+    aggregate-only image cannot support: filtering group counts to a
+    subset of instructions (``merge_profiles(require_common=True)``) and
+    the lossless save→load→merge round trip of
+    :mod:`~repro.profiling.image_io`.
     """
 
     def __init__(self, program_name: str, run_label: str = "") -> None:
         self.program_name = program_name
         self.run_label = run_label
         self.instructions: Dict[int, InstructionProfile] = {}
-        self.groups: Dict[Tuple[Category, int], GroupStats] = {}
+        #: (category, phase) -> address -> [executions, attempts, correct]
+        self.group_detail: Dict[Tuple[Category, int], Dict[int, List[int]]] = {}
 
     def profile_for(self, address: int) -> InstructionProfile:
         profile = self.instructions.get(address)
@@ -88,13 +98,30 @@ class ProfileImage:
             self.instructions[address] = profile
         return profile
 
-    def group_for(self, category: Category, phase: int) -> GroupStats:
+    def group_slot(self, category: Category, phase: int, address: int) -> List[int]:
+        """The mutable ``[executions, attempts, correct]`` accumulator for
+        ``address`` within the ``(category, phase)`` group."""
         key = (category, phase)
-        stats = self.groups.get(key)
-        if stats is None:
+        members = self.group_detail.get(key)
+        if members is None:
+            members = self.group_detail[key] = {}
+        slot = members.get(address)
+        if slot is None:
+            slot = members[address] = [0, 0, 0]
+        return slot
+
+    @property
+    def groups(self) -> Dict[Tuple[Category, int], GroupStats]:
+        """The (category, phase) aggregates, summed from the detail."""
+        aggregated: Dict[Tuple[Category, int], GroupStats] = {}
+        for key, members in self.group_detail.items():
             stats = GroupStats()
-            self.groups[key] = stats
-        return stats
+            for executions, attempts, correct in members.values():
+                stats.executions += executions
+                stats.attempts += attempts
+                stats.correct += correct
+            aggregated[key] = stats
+        return aggregated
 
     @property
     def addresses(self) -> list[int]:
@@ -121,6 +148,24 @@ class ProfileImage:
 
     def __len__(self) -> int:
         return len(self.instructions)
+
+    def __eq__(self, other: object) -> bool:
+        """Exact equality: labels, per-instruction counts, group detail."""
+        if not isinstance(other, ProfileImage):
+            return NotImplemented
+        return (
+            self.program_name == other.program_name
+            and self.run_label == other.run_label
+            and self.instructions == other.instructions
+            and self.group_detail == other.group_detail
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ProfileImage({self.program_name!r}, run={self.run_label!r}, "
+            f"{len(self.instructions)} instructions, "
+            f"{len(self.group_detail)} groups)"
+        )
 
 
 def collect_profile(
@@ -208,14 +253,14 @@ def collect_profiles(
                 image = images[name]
                 profile = image.profile_for(address)
                 profile.executions += 1
-                group = image.group_for(category, phase)
-                group.executions += 1
+                group = image.group_slot(category, phase, address)
+                group[0] += 1
                 if result.hit:
                     profile.attempts += 1
-                    group.attempts += 1
+                    group[1] += 1
                     if result.correct:
                         profile.correct += 1
-                        group.correct += 1
+                        group[2] += 1
                         if result.nonzero_stride:
                             profile.nonzero_stride_correct += 1
     else:
@@ -280,19 +325,19 @@ def _generic_profiler(predictor, image: ProfileImage, categories):
     def consume(triples) -> None:
         access = predictor.access
         profile_for = image.profile_for
-        group_for = image.group_for
+        group_slot = image.group_slot
         for address, value, phase in triples:
             result = access(address, value)
             profile = profile_for(address)
             profile.executions += 1
-            group = group_for(categories[address], phase)
-            group.executions += 1
+            group = group_slot(categories[address], phase, address)
+            group[0] += 1
             if result.hit:
                 profile.attempts += 1
-                group.attempts += 1
+                group[1] += 1
                 if result.correct:
                     profile.correct += 1
-                    group.correct += 1
+                    group[2] += 1
                     if result.nonzero_stride:
                         profile.nonzero_stride_correct += 1
 
@@ -314,7 +359,9 @@ def _fast_stride_profiler(predictor, image: ProfileImage, categories):
     table = predictor.table
     entries = table._set_for(0)
     counts: Dict[int, List[int]] = {}
-    group_counts: Dict[Tuple[Category, int], List[int]] = {}
+    #: (address, phase) -> [executions, attempts, correct]; the category
+    #: is static per address and re-attached when folding into the image.
+    group_counts: Dict[Tuple[int, int], List[int]] = {}
     meters = [0, 0]  # lookups, hits
 
     def consume(triples) -> None:
@@ -326,7 +373,7 @@ def _fast_stride_profiler(predictor, image: ProfileImage, categories):
             slot = get_count(address)
             if slot is None:
                 slot = counts[address] = [0, 0, 0, 0]
-            group_key = (categories[address], phase)
+            group_key = (address, phase)
             group = get_group(group_key)
             if group is None:
                 group = group_counts[group_key] = [0, 0, 0]
@@ -363,11 +410,11 @@ def _fast_stride_profiler(predictor, image: ProfileImage, categories):
             profile.correct += slot[2]
             profile.nonzero_stride_correct += slot[3]
         counts.clear()
-        for (category, phase), group in group_counts.items():
-            stats = image.group_for(category, phase)
-            stats.executions += group[0]
-            stats.attempts += group[1]
-            stats.correct += group[2]
+        for (address, phase), group in group_counts.items():
+            stats = image.group_slot(categories[address], phase, address)
+            stats[0] += group[0]
+            stats[1] += group[1]
+            stats[2] += group[2]
         group_counts.clear()
 
     return consume, finish

@@ -15,6 +15,18 @@ Format (text, line-oriented)::
     # columns: address executions attempts correct nonzero_stride_correct
     3 1000 999 995 995
     ...
+    # group: int_alu 2 3 1000 999 995
+
+v1 extension — group rows.  The per-address (category, phase) group
+accounting (:attr:`~repro.profiling.collector.ProfileImage.group_detail`,
+behind Table 2.1) is persisted as ``# group: <category> <phase>
+<address> <executions> <attempts> <correct>`` comment rows, one per
+member address.  Writing them as comments keeps the extension backward
+compatible: v1 readers that predate it skip every ``#`` line and still
+load the instruction table.  The loader validates group rows exactly
+like instruction rows — integer fields, ``0 <= correct <= attempts <=
+executions`` — and rejects duplicate rows, so a save→load→merge
+pipeline is bit-for-bit identical to merging the in-memory images.
 """
 
 from __future__ import annotations
@@ -23,9 +35,12 @@ import io
 from pathlib import Path
 from typing import TextIO, Union
 
+from ..isa import Category
 from .collector import InstructionProfile, ProfileImage
 
 _MAGIC = "# repro-profile-image v1"
+
+_CATEGORY_BY_VALUE = {category.value: category for category in Category}
 
 
 class ProfileFormatError(ValueError):
@@ -45,6 +60,15 @@ def dump_profile(image: ProfileImage, stream: TextIO) -> None:
             f"{address} {profile.executions} {profile.attempts} "
             f"{profile.correct} {profile.nonzero_stride_correct}\n"
         )
+    for (category, phase), members in sorted(
+        image.group_detail.items(), key=lambda item: (item[0][0].value, item[0][1])
+    ):
+        for address in sorted(members):
+            executions, attempts, correct = members[address]
+            stream.write(
+                f"# group: {category.value} {phase} {address} "
+                f"{executions} {attempts} {correct}\n"
+            )
 
 
 def dumps_profile(image: ProfileImage) -> str:
@@ -60,19 +84,47 @@ def save_profile(image: ProfileImage, path: Union[str, Path]) -> None:
         dump_profile(image, stream)
 
 
+def _parse_group_row(line_number: int, body: str) -> tuple:
+    """Parse the payload of one ``# group:`` row."""
+    fields = body.split()
+    if len(fields) != 6:
+        raise ProfileFormatError(
+            f"line {line_number}: group row expects 6 fields, got {len(fields)}"
+        )
+    category = _CATEGORY_BY_VALUE.get(fields[0])
+    if category is None:
+        raise ProfileFormatError(
+            f"line {line_number}: unknown group category {fields[0]!r}"
+        )
+    try:
+        phase, address, executions, attempts, correct = (
+            int(field) for field in fields[1:]
+        )
+    except ValueError:
+        raise ProfileFormatError(
+            f"line {line_number}: non-integer field in group row {body!r}"
+        ) from None
+    if not 0 <= correct <= attempts <= executions:
+        raise ProfileFormatError(
+            f"line {line_number}: inconsistent group counts for address {address}"
+        )
+    return category, phase, address, executions, attempts, correct
+
+
 def load_profile(stream: TextIO) -> ProfileImage:
     """Parse a v1 profile image from ``stream``.
 
     Raises:
-        ProfileFormatError: on a bad magic line or malformed rows.
+        ProfileFormatError: on a bad magic line, malformed rows, or a
+            duplicate instruction/group row.
     """
     first = stream.readline().rstrip("\n")
     if first != _MAGIC:
         raise ProfileFormatError(f"not a profile image (header {first!r})")
     program_name = ""
     run_label = ""
-    image: ProfileImage
     rows = []
+    group_rows = []
     for line_number, raw in enumerate(stream, start=2):
         line = raw.strip()
         if not line:
@@ -83,6 +135,10 @@ def load_profile(stream: TextIO) -> ProfileImage:
                 program_name = body[len("program:"):].strip()
             elif body.startswith("run:"):
                 run_label = body[len("run:"):].strip()
+            elif body.startswith("group:"):
+                group_rows.append(
+                    (line_number, _parse_group_row(line_number, body[len("group:"):]))
+                )
             continue
         fields = line.split()
         if len(fields) != 5:
@@ -90,15 +146,21 @@ def load_profile(stream: TextIO) -> ProfileImage:
                 f"line {line_number}: expected 5 fields, got {len(fields)}"
             )
         try:
-            rows.append(tuple(int(field) for field in fields))
+            rows.append((line_number,) + tuple(int(field) for field in fields))
         except ValueError:
             raise ProfileFormatError(
                 f"line {line_number}: non-integer field in {line!r}"
             ) from None
     image = ProfileImage(program_name, run_label=run_label)
-    for address, executions, attempts, correct, nonzero in rows:
+    for line_number, address, executions, attempts, correct, nonzero in rows:
         if not 0 <= correct <= attempts <= executions or nonzero > correct:
-            raise ProfileFormatError(f"inconsistent counts for address {address}")
+            raise ProfileFormatError(
+                f"line {line_number}: inconsistent counts for address {address}"
+            )
+        if address in image.instructions:
+            raise ProfileFormatError(
+                f"line {line_number}: duplicate row for address {address}"
+            )
         image.instructions[address] = InstructionProfile(
             address=address,
             executions=executions,
@@ -106,6 +168,16 @@ def load_profile(stream: TextIO) -> ProfileImage:
             correct=correct,
             nonzero_stride_correct=nonzero,
         )
+    for line_number, (category, phase, address, executions, attempts, correct) in (
+        group_rows
+    ):
+        members = image.group_detail.setdefault((category, phase), {})
+        if address in members:
+            raise ProfileFormatError(
+                f"line {line_number}: duplicate group row for "
+                f"{category.value} phase {phase} address {address}"
+            )
+        members[address] = [executions, attempts, correct]
     return image
 
 

@@ -45,7 +45,10 @@ def merge_profiles(
         run_label: label for the merged image.
         require_common: keep only instructions present in every run
             (matching the vector analysis of Section 4); otherwise keep
-            the union.
+            the union.  The filter applies to the per-instruction table
+            *and* to the (category, phase) group accounting — an
+            instruction dropped from the merged table contributes
+            nothing to the merged group aggregates either.
     """
     image_list = list(images)
     if not image_list:
@@ -63,11 +66,14 @@ def merge_profiles(
             into.attempts += profile.attempts
             into.correct += profile.correct
             into.nonzero_stride_correct += profile.nonzero_stride_correct
-        for key, group in image.groups.items():
-            into_group = merged.group_for(*key)
-            into_group.executions += group.executions
-            into_group.attempts += group.attempts
-            into_group.correct += group.correct
+        for (category, phase), members in image.group_detail.items():
+            for address, counts in members.items():
+                if keep is not None and address not in keep:
+                    continue
+                slot = merged.group_slot(category, phase, address)
+                slot[0] += counts[0]
+                slot[1] += counts[1]
+                slot[2] += counts[2]
     return merged
 
 

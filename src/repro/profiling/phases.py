@@ -53,14 +53,14 @@ def collect_phase_profiles(
         result = predictor.access(address, record.value)
         profile = image.profile_for(address)
         profile.executions += 1
-        group = image.group_for(categories[address], phase)
-        group.executions += 1
+        group = image.group_slot(categories[address], phase, address)
+        group[0] += 1
         if result.hit:
             profile.attempts += 1
-            group.attempts += 1
+            group[1] += 1
             if result.correct:
                 profile.correct += 1
-                group.correct += 1
+                group[2] += 1
                 if result.nonzero_stride:
                     profile.nonzero_stride_correct += 1
     return images

@@ -40,6 +40,7 @@ trajectory files.
 """
 
 from .export import cache_summary, format_text, hit_rate, to_json
+from .metrics import KNOWN_METRIC_PREFIXES, KNOWN_METRICS, is_known_metric
 from .registry import (
     Counter,
     EventHook,
@@ -58,6 +59,8 @@ __all__ = [
     "Counter",
     "EventHook",
     "Gauge",
+    "KNOWN_METRICS",
+    "KNOWN_METRIC_PREFIXES",
     "NullTelemetry",
     "Span",
     "Telemetry",
@@ -68,6 +71,7 @@ __all__ = [
     "format_text",
     "get_registry",
     "hit_rate",
+    "is_known_metric",
     "set_registry",
     "to_json",
     "use_registry",
