@@ -56,8 +56,6 @@ from .core import (
     PredictionStats,
     ProfileClassification,
     ProfileScheme,
-    evaluate_hardware_scheme,
-    evaluate_profile_scheme,
     evaluate_scheme,
     run_methodology,
     simulate_prediction,
@@ -141,8 +139,6 @@ __all__ = [
     "compile_source",
     "default_cache_dir",
     "disassemble",
-    "evaluate_hardware_scheme",
-    "evaluate_profile_scheme",
     "evaluate_scheme",
     "get_registry",
     "measure_ilp",

@@ -25,6 +25,13 @@ and the correctness tooling (differential oracle + invariant lint)::
     python -m repro check
     python -m repro check --smoke
 
+plus the profiling service (one shared trace store, many tenants)::
+
+    python -m repro serve --port 8750
+    python -m repro client compile demo.mc -o demo.asm
+    python -m repro client profile demo.asm --inputs 1,2,3 -o demo.profile
+    python -m repro client shutdown
+
 Programs on disk are stored in the textual assembly format
 (:mod:`repro.isa.assembler`); ``compile`` turns mini-C into it, and every
 other command consumes it.  Inputs may be given inline (``--inputs 1,2,3``)
@@ -36,7 +43,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 from .annotate import AnnotationPolicy, annotate_program, annotation_report
 from .isa import Program, assemble, disassemble
@@ -66,14 +73,41 @@ def _parse_number(token: str) -> Number:
         return float(token)
 
 
-def _parse_inputs(spec: Optional[str]) -> List[Number]:
-    """``--inputs`` values: ``1,2,3.5`` inline or ``@file`` on disk."""
+def parse_inputs_spec(spec: Optional[str]) -> List[Number]:
+    """One ``--inputs`` value: ``1,2,3.5`` inline or ``@file`` on disk.
+
+    The single parser behind every subcommand's ``--inputs`` flag —
+    ``run``/``trace``/``profile`` here and the ``repro client`` mirror
+    commands (:mod:`repro.service.cli`) all route through it, so the
+    spec syntax cannot drift between commands.
+    """
     if not spec:
         return []
     if spec.startswith("@"):
         text = Path(spec[1:]).read_text(encoding="utf-8")
         return [_parse_number(token) for token in text.split()]
     return [_parse_number(token) for token in spec.split(",") if token]
+
+
+def parse_input_stream(specs: Sequence[Optional[str]]) -> List[Number]:
+    """Repeated ``--inputs`` flags as *one* stream (``run``/``trace``).
+
+    These commands execute the program once, so repeated flags
+    concatenate in order; a single flag behaves exactly as before.
+    """
+    stream: List[Number] = []
+    for spec in specs:
+        stream.extend(parse_inputs_spec(spec))
+    return stream
+
+
+def parse_input_sets(specs: Sequence[Optional[str]]) -> List[List[Number]]:
+    """Repeated ``--inputs`` flags as one stream *each* (``profile``).
+
+    Profiling runs the program once per training stream, so every flag
+    stays its own input set.
+    """
+    return [parse_inputs_spec(spec) for spec in specs]
 
 
 def _command_compile(arguments: argparse.Namespace) -> int:
@@ -94,7 +128,7 @@ def _command_run(arguments: argparse.Namespace) -> int:
     program = _load_program(arguments.program)
     result = run_program(
         program,
-        inputs=_parse_inputs(arguments.inputs),
+        inputs=parse_input_stream(arguments.inputs or []),
         max_instructions=arguments.max_instructions,
     )
     for value in result.outputs:
@@ -117,8 +151,8 @@ def _command_profile(arguments: argparse.Namespace) -> int:
         )
     input_specs = arguments.inputs or ([] if images else [""])
     images.extend(
-        collect_profile(program, _parse_inputs(spec), run_label=f"run-{index}")
-        for index, spec in enumerate(input_specs)
+        collect_profile(program, inputs, run_label=f"run-{index}")
+        for index, inputs in enumerate(parse_input_sets(input_specs))
     )
     image = images[0] if len(images) == 1 else merge_profiles(images)
     if arguments.output:
@@ -159,7 +193,7 @@ def _command_trace(arguments: argparse.Namespace) -> int:
     count = save_trace(
         program,
         arguments.output,
-        inputs=_parse_inputs(arguments.inputs),
+        inputs=parse_input_stream(arguments.inputs or []),
         max_instructions=arguments.max_instructions,
     )
     print(f"wrote {count} records to {arguments.output}", file=sys.stderr)
@@ -225,11 +259,27 @@ def _command_check(arguments: argparse.Namespace) -> int:
     return run_from_arguments(arguments)
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    from .service.cli import run_serve
+
+    return run_serve(arguments)
+
+
+def _command_client(arguments: argparse.Namespace) -> int:
+    from .service.cli import run_client
+
+    return run_client(arguments)
+
+
 def build_parser() -> argparse.ArgumentParser:
     # Imported here so `import repro.cli` stays light and the
     # cli -> experiments dependency exists only at parser-build time.
     from .check.cli import add_arguments as add_check_arguments
     from .experiments.runner import add_arguments as add_experiment_arguments
+    from .service.cli import (
+        add_client_arguments,
+        add_serve_arguments,
+    )
     from .telemetry.bench import add_arguments as add_bench_arguments
 
     parser = argparse.ArgumentParser(
@@ -263,6 +313,22 @@ def build_parser() -> argparse.ArgumentParser:
     add_check_arguments(check_parser)
     check_parser.set_defaults(handler=_command_check)
 
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the profiling-as-a-service daemon (schema repro-serve/1, "
+        "shared trace store, per-tenant quotas)",
+    )
+    add_serve_arguments(serve_parser)
+    serve_parser.set_defaults(handler=_command_serve)
+
+    client_parser = commands.add_parser(
+        "client",
+        help="submit compile/trace/profile/annotate/experiment jobs to a "
+        "running daemon",
+    )
+    add_client_arguments(client_parser)
+    client_parser.set_defaults(handler=_command_client)
+
     compile_parser = commands.add_parser(
         "compile", help="compile mini-C to textual assembly (phase 1)"
     )
@@ -276,7 +342,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = commands.add_parser("run", help="execute a program")
     run_parser.add_argument("program", help="assembly file")
     run_parser.add_argument(
-        "--inputs", help="input stream: '1,2,3' inline or '@file'"
+        "--inputs", action="append",
+        help="input stream: '1,2,3' inline or '@file' (repeatable; "
+        "streams concatenate)",
     )
     run_parser.add_argument(
         "--max-instructions", type=int, default=None, help="dynamic budget"
@@ -329,7 +397,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_parser.add_argument("program", help="assembly file")
     trace_parser.add_argument(
-        "--inputs", help="input stream: '1,2,3' inline or '@file'"
+        "--inputs", action="append",
+        help="input stream: '1,2,3' inline or '@file' (repeatable; "
+        "streams concatenate)",
     )
     trace_parser.add_argument(
         "--max-instructions", type=int, default=None, help="dynamic budget"

@@ -8,8 +8,6 @@ from .pipeline import (
     HardwareScheme,
     MethodologyResult,
     ProfileScheme,
-    evaluate_hardware_scheme,
-    evaluate_profile_scheme,
     evaluate_scheme,
     run_methodology,
 )
@@ -40,8 +38,6 @@ __all__ = [
     "ProbeScheme",
     "ProfileClassification",
     "ProfileScheme",
-    "evaluate_hardware_scheme",
-    "evaluate_profile_scheme",
     "evaluate_scheme",
     "run_methodology",
     "simulate_prediction",

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
-import warnings
 from typing import Iterable, List, Optional, Protocol, Sequence, runtime_checkable
 
 from ..annotate import AnnotationPolicy, AnnotationReport, annotate_program, annotation_report
@@ -154,11 +153,10 @@ def evaluate_scheme(
 ) -> PredictionStats:
     """Measure one classification scheme on a workload's inputs.
 
-    The single entry point behind the deprecated
-    ``evaluate_profile_scheme`` / ``evaluate_hardware_scheme`` pair:
-    both mechanisms run the identical protocol — a finite stride
-    predictor driven over one execution, with the scheme deciding
-    allocation and take — so the scheme object is the only axis.
+    The single evaluation entry point: both of the paper's mechanisms
+    run the identical protocol — a finite stride predictor driven over
+    one execution, with the scheme deciding allocation and take — so
+    the scheme object is the only axis.
 
     Args:
         scheme: an :class:`EvaluationScheme` (e.g. ``ProfileScheme(result)``
@@ -178,47 +176,3 @@ def evaluate_scheme(
             scheme=scheme.classification(),
             max_instructions=max_instructions,
         )
-
-
-def _warn_deprecated_alias(old: str, replacement: str) -> None:
-    warnings.warn(
-        f"{old} is deprecated; use evaluate_scheme({replacement}, ...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-
-
-def evaluate_profile_scheme(
-    result: MethodologyResult,
-    test_inputs: InputSet,
-    entries: Optional[int] = 512,
-    ways: int = 2,
-    max_instructions: Optional[int] = None,
-) -> PredictionStats:
-    """Deprecated alias for ``evaluate_scheme(ProfileScheme(result), ...)``."""
-    _warn_deprecated_alias("evaluate_profile_scheme", "ProfileScheme(result)")
-    return evaluate_scheme(
-        ProfileScheme(result),
-        test_inputs,
-        entries=entries,
-        ways=ways,
-        max_instructions=max_instructions,
-    )
-
-
-def evaluate_hardware_scheme(
-    program: Program,
-    test_inputs: InputSet,
-    entries: Optional[int] = 512,
-    ways: int = 2,
-    max_instructions: Optional[int] = None,
-) -> PredictionStats:
-    """Deprecated alias for ``evaluate_scheme(HardwareScheme(program), ...)``."""
-    _warn_deprecated_alias("evaluate_hardware_scheme", "HardwareScheme(program)")
-    return evaluate_scheme(
-        HardwareScheme(program),
-        test_inputs,
-        entries=entries,
-        ways=ways,
-        max_instructions=max_instructions,
-    )

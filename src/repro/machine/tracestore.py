@@ -48,6 +48,7 @@ import json
 import os
 import sys
 import tempfile
+import threading
 import time
 from array import array
 from collections import OrderedDict
@@ -361,6 +362,16 @@ class PackedTrace:
 class TraceStore:
     """LRU of packed traces, optionally backed by an on-disk directory.
 
+    Safe for concurrent writers: the in-memory LRU is guarded by a lock
+    (the service daemon shares one store across worker threads), and
+    disk publishes are content-keyed write-to-temp + atomic rename —
+    two processes capturing the same (program, inputs, budget) race to
+    an identical file, and a publish that finds its key already
+    committed is an idempotent no-op.  A reader never observes a torn
+    entry: either the rename happened (complete bytes) or it didn't
+    (miss), and an entry corrupted by other means fails decoding and is
+    dropped as a miss.
+
     Args:
         directory: where packed traces persist (shared by parallel
             workers); ``None`` keeps the store memory-only.
@@ -375,6 +386,7 @@ class TraceStore:
         self.directory = Path(directory).expanduser() if directory else None
         self.max_entries = max_entries
         self._cache: "OrderedDict[str, PackedTrace]" = OrderedDict()
+        self._lock = threading.Lock()
 
     # -- lookup ------------------------------------------------------
 
@@ -478,10 +490,11 @@ class TraceStore:
             telemetry.timer("machine.trace.capture").add(time.perf_counter() - started)
 
     def _lookup(self, key: str) -> Optional[PackedTrace]:
-        packed = self._cache.get(key)
-        if packed is not None:
-            self._cache.move_to_end(key)
-            return packed
+        with self._lock:
+            packed = self._cache.get(key)
+            if packed is not None:
+                self._cache.move_to_end(key)
+                return packed
         if self.directory is None:
             return None
         path = self._path(key)
@@ -507,6 +520,10 @@ class TraceStore:
         if self.directory is None:
             return
         path = self._path(key)
+        if path.exists():
+            # Content-addressed: an existing entry for this key holds the
+            # same bytes, so a duplicate publish is an idempotent no-op.
+            return
         path.parent.mkdir(parents=True, exist_ok=True)
         blob = packed.to_bytes()
         handle, tmp_name = tempfile.mkstemp(
@@ -523,10 +540,11 @@ class TraceStore:
                 pass
 
     def _insert(self, key: str, packed: PackedTrace) -> None:
-        self._cache[key] = packed
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.max_entries:
-            self._cache.popitem(last=False)
+        with self._lock:
+            self._cache[key] = packed
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.max_entries:
+                self._cache.popitem(last=False)
 
     def _path(self, key: str) -> Path:
         assert self.directory is not None

@@ -1,0 +1,58 @@
+"""Profiling-as-a-service: the daemon behind ``python -m repro serve``.
+
+The paper's central economy is *profile once, reuse the result*; this
+package is that economy as a long-running service.  One process owns a
+shared :class:`~repro.machine.TraceStore` and artifact cache, accepts
+compile/trace/profile/annotate/experiment jobs from many tenants over
+HTTP, and multiplexes them onto the fault-tolerant runner.
+
+Layering — the wire contract is the single source of truth:
+
+* :mod:`repro.service.api` — versioned request/response dataclasses
+  (schema ``repro-serve/1``), job states and the error taxonomy.  The
+  server, the client library and the CLI all import their types from
+  here, so the three can never drift.
+* :mod:`repro.service.queue` — the priority job queue with per-tenant
+  admission quotas.
+* :mod:`repro.service.engine` — executes one job against the shared
+  stores, byte-identical to the equivalent batch CLI invocation.
+* :mod:`repro.service.server` — the stdlib-asyncio HTTP daemon:
+  streaming (chunked) result delivery and graceful drain into a
+  :class:`~repro.runner.retry.RunReport`.
+* :mod:`repro.service.client` — the synchronous client library used by
+  ``python -m repro client``.
+"""
+
+from .api import (
+    SCHEMA,
+    AnnotateJob,
+    ApiError,
+    CompileJob,
+    ErrorInfo,
+    ExperimentJob,
+    JobResult,
+    JobStatus,
+    ProfileJob,
+    SubmitReply,
+    SubmitRequest,
+    TraceJob,
+)
+from .client import ServiceClient
+from .server import ServiceServer
+
+__all__ = [
+    "SCHEMA",
+    "AnnotateJob",
+    "ApiError",
+    "CompileJob",
+    "ErrorInfo",
+    "ExperimentJob",
+    "JobResult",
+    "JobStatus",
+    "ProfileJob",
+    "ServiceClient",
+    "ServiceServer",
+    "SubmitReply",
+    "SubmitRequest",
+    "TraceJob",
+]

@@ -1,0 +1,148 @@
+"""The daemon's priority job queue with per-tenant admission quotas.
+
+Admission control happens here, synchronously, at submit time: a tenant
+over its in-flight quota or a queue at depth is rejected with a typed
+:class:`~repro.service.api.ApiError` (HTTP 429) rather than being
+accepted and starved.  Dispatch order is highest priority first, FIFO
+within a priority level (a monotonic sequence number breaks ties, so
+equal-priority jobs never reorder).
+
+The queue is single-threaded by construction — every method runs on the
+server's event loop — so the heap needs no lock; workers block in
+:meth:`get` on an :class:`asyncio.Condition`.  A tenant's quota slot is
+held from admission until :meth:`release` at the job's terminal state,
+which makes the quota a bound on *in-flight* work (queued + running),
+not merely on queue residency.
+
+Telemetry: ``serve.queue_depth`` (gauge), ``serve.admissions`` /
+``serve.rejections`` (counters) plus per-tenant
+``serve.tenant.<tenant>.admissions`` / ``.rejections`` families.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..telemetry import get_registry
+from .api import ApiError, QUEUE_FULL, QUOTA_EXCEEDED, SHUTTING_DOWN
+
+#: Heap entry: (negated priority, admission sequence, payload).
+_Entry = Tuple[int, int, object]
+
+
+class JobQueue:
+    """Priority queue + admission control for one server instance.
+
+    Args:
+        max_depth: maximum *queued* (not yet dispatched) jobs.
+        tenant_quota: maximum in-flight (queued + running) jobs per
+            tenant.
+    """
+
+    def __init__(self, max_depth: int = 64, tenant_quota: int = 8) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        if tenant_quota < 1:
+            raise ValueError(f"tenant_quota must be >= 1, got {tenant_quota}")
+        self.max_depth = max_depth
+        self.tenant_quota = tenant_quota
+        self._heap: List[_Entry] = []
+        self._sequence = 0
+        self._in_flight: Dict[str, int] = {}
+        self._closed = False
+        self._condition = asyncio.Condition()
+
+    # -- admission ---------------------------------------------------
+
+    def submit(self, tenant: str, priority: int, payload: object) -> int:
+        """Admit one job; returns its 0-based queue position.
+
+        Raises :class:`ApiError` (``shutting-down`` / ``quota-exceeded``
+        / ``queue-full``) when the job cannot be admitted; the caller
+        maps the code straight to an HTTP response.
+        """
+        telemetry = get_registry()
+        if self._closed:
+            self._reject(tenant)
+            raise ApiError(SHUTTING_DOWN, "server is draining; try again later")
+        if self._in_flight.get(tenant, 0) >= self.tenant_quota:
+            self._reject(tenant)
+            raise ApiError(
+                QUOTA_EXCEEDED,
+                f"tenant {tenant!r} already has {self.tenant_quota} job(s) in flight",
+            )
+        if len(self._heap) >= self.max_depth:
+            self._reject(tenant)
+            raise ApiError(QUEUE_FULL, f"queue is at depth {self.max_depth}")
+        position = len(self._heap)
+        heapq.heappush(self._heap, (-priority, self._sequence, payload))
+        self._sequence += 1
+        self._in_flight[tenant] = self._in_flight.get(tenant, 0) + 1
+        telemetry.counter("serve.admissions").add(1)
+        telemetry.counter(f"serve.tenant.{tenant}.admissions").add(1)
+        telemetry.gauge("serve.queue_depth").set(len(self._heap))
+        self._notify()
+        return position
+
+    def _reject(self, tenant: str) -> None:
+        telemetry = get_registry()
+        telemetry.counter("serve.rejections").add(1)
+        telemetry.counter(f"serve.tenant.{tenant}.rejections").add(1)
+
+    # -- dispatch ----------------------------------------------------
+
+    async def get(self) -> Optional[object]:
+        """The next job by priority, or ``None`` once closed and empty."""
+        async with self._condition:
+            while not self._heap and not self._closed:
+                await self._condition.wait()
+            if not self._heap:
+                return None
+            _, _, payload = heapq.heappop(self._heap)
+            get_registry().gauge("serve.queue_depth").set(len(self._heap))
+            return payload
+
+    def release(self, tenant: str) -> None:
+        """Return a tenant's quota slot at its job's terminal state."""
+        count = self._in_flight.get(tenant, 0)
+        if count <= 1:
+            self._in_flight.pop(tenant, None)
+        else:
+            self._in_flight[tenant] = count - 1
+        self._notify()
+
+    # -- shutdown ----------------------------------------------------
+
+    def close(self) -> None:
+        """Stop admissions; queued jobs still drain through :meth:`get`."""
+        self._closed = True
+        self._notify()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _notify(self) -> None:
+        async def wake() -> None:
+            async with self._condition:
+                self._condition.notify_all()
+
+        # submit/release run on the loop thread; scheduling a task keeps
+        # them synchronous (usable from plain handlers) while still
+        # waking coroutines blocked in get().
+        asyncio.get_running_loop().create_task(wake())
+
+    # -- introspection -----------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self._heap)
+
+    def in_flight(self) -> Dict[str, int]:
+        """Per-tenant in-flight counts (a copy)."""
+        return dict(self._in_flight)
+
+
+__all__ = ["JobQueue"]

@@ -60,6 +60,16 @@ KNOWN_METRICS: FrozenSet[str] = frozenset(
         # experiments: suite-level rollups.
         "experiments.tables",
         "experiments.wall_seconds",
+        # serve: the profiling-as-a-service daemon.
+        "serve.requests",
+        "serve.admissions",
+        "serve.rejections",
+        "serve.queue_depth",
+        "serve.jobs",
+        "serve.jobs_failed",
+        "serve.retries",
+        "serve.job_latency",
+        "serve.drains",
     }
 )
 
@@ -71,6 +81,8 @@ KNOWN_METRIC_PREFIXES: Tuple[str, ...] = (
     "cache.miss.",
     "cache.store.",
     "cache.corrupt.",
+    "serve.job.",       # serve.job.<kind> per-kind latency timers
+    "serve.tenant.",    # serve.tenant.<tenant>.{admissions,rejections}
 )
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import _parse_inputs, main
+from repro.cli import main, parse_input_sets, parse_input_stream, parse_inputs_spec
 
 DEMO_SOURCE = """
 int t[8];
@@ -30,16 +30,25 @@ def demo(tmp_path):
 
 class TestParseInputs:
     def test_inline(self):
-        assert _parse_inputs("1,2,3.5") == [1, 2, 3.5]
+        assert parse_inputs_spec("1,2,3.5") == [1, 2, 3.5]
 
     def test_empty(self):
-        assert _parse_inputs(None) == []
-        assert _parse_inputs("") == []
+        assert parse_inputs_spec(None) == []
+        assert parse_inputs_spec("") == []
 
     def test_file(self, tmp_path):
         path = tmp_path / "in.txt"
         path.write_text("4 5\n6.5\n", encoding="utf-8")
-        assert _parse_inputs(f"@{path}") == [4, 5, 6.5]
+        assert parse_inputs_spec(f"@{path}") == [4, 5, 6.5]
+
+    def test_stream_concatenates(self, tmp_path):
+        path = tmp_path / "in.txt"
+        path.write_text("3 4", encoding="utf-8")
+        assert parse_input_stream(["1,2", f"@{path}", "5"]) == [1, 2, 3, 4, 5]
+        assert parse_input_stream([]) == []
+
+    def test_sets_stay_separate(self):
+        assert parse_input_sets(["1,2", "", "3"]) == [[1, 2], [], [3]]
 
 
 class TestPipeline:

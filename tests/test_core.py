@@ -14,8 +14,6 @@ from repro.core import (
     ProbeScheme,
     ProfileClassification,
     ProfileScheme,
-    evaluate_hardware_scheme,
-    evaluate_profile_scheme,
     evaluate_scheme,
     run_methodology,
     simulate_prediction,
@@ -201,18 +199,16 @@ class TestPipeline:
         stats = evaluate_scheme(AlwaysScheme(program), [], entries=64)
         assert stats.attempts > 0
 
-    def test_deprecated_aliases_warn_and_match(self):
-        result = run_methodology(MINIC_MIX, train_inputs=[[]])
-        with pytest.deprecated_call():
-            old_profile = evaluate_profile_scheme(result, [], entries=64)
-        with pytest.deprecated_call():
-            old_hardware = evaluate_hardware_scheme(result.program, [], entries=64)
-        new_profile = evaluate_scheme(ProfileScheme(result), [], entries=64)
-        new_hardware = evaluate_scheme(HardwareScheme(result.program), [], entries=64)
-        assert old_profile.taken_correct == new_profile.taken_correct
-        assert old_profile.attempts == new_profile.attempts
-        assert old_hardware.taken_correct == new_hardware.taken_correct
-        assert old_hardware.attempts == new_hardware.attempts
+    def test_per_scheme_aliases_removed(self):
+        """The pre-1.1 per-scheme wrappers are gone from the facade."""
+        import repro
+        import repro.core
+
+        for module in (repro, repro.core):
+            for name in ("evaluate_profile", "evaluate_hardware"):
+                assert not any(
+                    attr.startswith(name) for attr in dir(module)
+                ), f"{module.__name__} still exports a {name}* alias"
 
 
 class TestHybridEngineIntegration:

@@ -1,0 +1,134 @@
+"""Tests for the daemon's priority queue and admission control."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import api
+from repro.service.queue import JobQueue
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def drain(queue: JobQueue) -> list:
+    """Pop everything currently dispatchable (queue must be closed)."""
+    items = []
+    while True:
+        payload = await queue.get()
+        if payload is None:
+            return items
+        items.append(payload)
+
+
+class TestDispatchOrder:
+    def test_priority_then_fifo(self):
+        async def scenario():
+            queue = JobQueue()
+            queue.submit("t", 0, "low-a")
+            queue.submit("t", 5, "high-a")
+            queue.submit("t", 0, "low-b")
+            queue.submit("t", 5, "high-b")
+            queue.close()
+            return await drain(queue)
+
+        assert run(scenario()) == ["high-a", "high-b", "low-a", "low-b"]
+
+    def test_position_reflects_depth(self):
+        async def scenario():
+            queue = JobQueue()
+            assert queue.submit("t", 0, "a") == 0
+            assert queue.submit("t", 0, "b") == 1
+            assert queue.depth == 2
+
+        run(scenario())
+
+    def test_get_blocks_until_submit(self):
+        async def scenario():
+            queue = JobQueue()
+            getter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0)
+            assert not getter.done()
+            queue.submit("t", 0, "late")
+            return await asyncio.wait_for(getter, timeout=5)
+
+        assert run(scenario()) == "late"
+
+
+class TestAdmissionControl:
+    def test_tenant_quota(self):
+        async def scenario():
+            queue = JobQueue(tenant_quota=2)
+            queue.submit("alice", 0, "a1")
+            queue.submit("alice", 0, "a2")
+            with pytest.raises(api.ApiError) as info:
+                queue.submit("alice", 0, "a3")
+            assert info.value.code == api.QUOTA_EXCEEDED
+            assert info.value.http_status == 429
+            # Another tenant is unaffected.
+            queue.submit("bob", 0, "b1")
+            # Quota bounds in-flight work: popping does NOT free the slot...
+            assert await queue.get() is not None
+            with pytest.raises(api.ApiError):
+                queue.submit("alice", 0, "a3")
+            # ...release at the terminal state does.
+            queue.release("alice")
+            queue.submit("alice", 0, "a3")
+
+        run(scenario())
+
+    def test_queue_full(self):
+        async def scenario():
+            queue = JobQueue(max_depth=2, tenant_quota=100)
+            queue.submit("t", 0, "a")
+            queue.submit("t", 0, "b")
+            with pytest.raises(api.ApiError) as info:
+                queue.submit("t", 0, "c")
+            assert info.value.code == api.QUEUE_FULL
+
+        run(scenario())
+
+    def test_rejected_submit_takes_no_slot(self):
+        async def scenario():
+            queue = JobQueue(tenant_quota=1)
+            queue.submit("t", 0, "a")
+            for _ in range(3):
+                with pytest.raises(api.ApiError):
+                    queue.submit("t", 0, "again")
+            assert queue.in_flight() == {"t": 1}
+
+        run(scenario())
+
+    def test_bad_limits_rejected(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=0)
+        with pytest.raises(ValueError):
+            JobQueue(tenant_quota=0)
+
+
+class TestShutdown:
+    def test_close_rejects_new_but_drains_queued(self):
+        async def scenario():
+            queue = JobQueue()
+            queue.submit("t", 0, "queued-before-close")
+            queue.close()
+            with pytest.raises(api.ApiError) as info:
+                queue.submit("t", 0, "late")
+            assert info.value.code == api.SHUTTING_DOWN
+            assert info.value.http_status == 503
+            return await drain(queue)
+
+        assert run(scenario()) == ["queued-before-close"]
+
+    def test_close_wakes_blocked_getter(self):
+        async def scenario():
+            queue = JobQueue()
+            getter = asyncio.ensure_future(queue.get())
+            await asyncio.sleep(0)
+            queue.close()
+            return await asyncio.wait_for(getter, timeout=5)
+
+        assert run(scenario()) is None
