@@ -11,7 +11,8 @@ Subpackages
 * :mod:`repro.predictors` — last-value / stride / hybrid predictors and
   the saturating-counter classifier.
 * :mod:`repro.profiling` — profile collection, the profile-image file
-  format, multi-run merging and the Section-4 similarity metrics.
+  format, multi-run merging, streaming fleet fusion with compact
+  sketches, and the Section-4 similarity metrics.
 * :mod:`repro.annotate` — phase-3 directive insertion.
 * :mod:`repro.core` — the classified value-prediction simulation drivers
   and the end-to-end three-phase methodology.
@@ -71,8 +72,12 @@ from .predictors import (
     StridePredictor,
 )
 from .profiling import (
+    MergeAccumulator,
     ProfileImage,
+    ProfileSketch,
     collect_profile,
+    fidelity_report,
+    fuse_images,
     merge_profiles,
     read_profile,
     save_profile,
@@ -123,11 +128,13 @@ __all__ = [
     "IlpConfig",
     "IlpResult",
     "LastValuePredictor",
+    "MergeAccumulator",
     "PredictionEngine",
     "PredictionStats",
     "ProfileClassification",
     "ProfileImage",
     "ProfileScheme",
+    "ProfileSketch",
     "Program",
     "Span",
     "StridePredictor",
@@ -140,6 +147,8 @@ __all__ = [
     "default_cache_dir",
     "disassemble",
     "evaluate_scheme",
+    "fidelity_report",
+    "fuse_images",
     "get_registry",
     "measure_ilp",
     "merge_profiles",

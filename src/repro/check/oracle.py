@@ -15,6 +15,11 @@ Each :class:`OraclePair` names one equivalence the codebase relies on:
     profile ``save → load → merge`` against merging the in-memory
     images, for both ``require_common`` modes, plus a round-trip of the
     merged image itself.
+``fuse-stream-vs-batch``
+    the streaming :class:`~repro.profiling.fusion.MergeAccumulator` —
+    folding in-memory images and sketch-round-tripped images — against
+    batch ``merge_profiles``, for both ``require_common`` modes, down
+    to byte-identical text dumps.
 ``runner-parallel`` / ``runner-faulty``
     the parallel engine at ``jobs=2`` — and a faulted run recovered
     under a retry policy — against a serial walk of the same graph.
@@ -40,7 +45,9 @@ from ..machine import Executor, TraceStore
 from ..machine.errors import ExecutionError
 from ..machine.tracestore import trace_key
 from ..profiling import collect_profile, merge_profiles
+from ..profiling.fusion import MergeAccumulator
 from ..profiling.image_io import dumps_profile, loads_profile
+from ..profiling.sketch import ProfileSketch, dumps_sketch, loads_sketch
 from .generator import CheckCase, generate_case
 
 DEFAULT_BUDGET = 20_000
@@ -360,6 +367,58 @@ def _check_profile_io_merge(case: CheckCase, budget: int):
     return None
 
 
+def _check_fuse_stream_vs_batch(case: CheckCase, budget: int):
+    # Three training images with genuinely different address sets (full
+    # run, the low half, the high half) so the streaming intersection
+    # both shrinks and has survivors — a regression in the incremental
+    # ``require_common`` pruning cannot hide behind identical inputs.
+    records_full = _drain_records(case, list(case.inputs), budget)
+    addresses = sorted({record.address for record in records_full})
+    cutoff = addresses[len(addresses) // 2] if addresses else 0
+    records_low = [
+        record
+        for record in _drain_records(case, list(reversed(case.inputs)), budget)
+        if record.address <= cutoff
+    ]
+    records_high = [
+        record for record in records_full if record.address >= cutoff
+    ]
+    images = [
+        collect_profile(case.program, records=records, run_label=f"train-{index}")
+        for index, records in enumerate((records_full, records_low, records_high))
+    ]
+    for require_common in (False, True):
+        batch = merge_profiles(images, require_common=require_common)
+        batch_obs = _observe_image(batch)
+        label = f"$fuse[require_common={require_common}]"
+
+        accumulator = MergeAccumulator(require_common=require_common)
+        for image in images:
+            accumulator.fold(image)
+        streamed = accumulator.result()
+        found = first_divergence(
+            _observe_image(streamed), batch_obs, f"{label}.stream"
+        )
+        if found is not None:
+            return found
+        if dumps_profile(streamed) != dumps_profile(batch):
+            return (f"{label}.stream.dump_bytes", "<differs>", "<batch dump>")
+
+        # Sketch transport: the same fold through a lossless (level 0)
+        # encode/decode round trip must land on the same merged image.
+        via_sketch = MergeAccumulator(require_common=require_common)
+        for image in images:
+            via_sketch.fold(
+                loads_sketch(dumps_sketch(ProfileSketch.from_image(image)))
+            )
+        found = first_divergence(
+            _observe_image(via_sketch.result()), batch_obs, f"{label}.sketch"
+        )
+        if found is not None:
+            return found
+    return None
+
+
 _RUNNER_EXPERIMENT = "fig-4.2"
 
 
@@ -450,6 +509,11 @@ _PAIRS: Tuple[OraclePair, ...] = (
         "profile-io-merge",
         "profile save->load->merge vs merging the in-memory images",
         True, _check_profile_io_merge,
+    ),
+    OraclePair(
+        "fuse-stream-vs-batch",
+        "streaming MergeAccumulator (image + sketch transports) vs batch merge",
+        True, _check_fuse_stream_vs_batch,
     ),
     OraclePair(
         "runner-parallel",

@@ -7,6 +7,7 @@ Mirrors the paper's three-phase workflow as shell commands::
     python -m repro profile  program.asm --inputs in0.txt -o program.profile
     python -m repro annotate program.asm program.profile --threshold 90 -o tagged.asm
     python -m repro disasm   tagged.asm
+    python -m repro fuse     "profiles/*.profile" -o merged.profile
 
 and exposes the whole experiment suite through the same entry point::
 
@@ -169,6 +170,71 @@ def _command_profile(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fuse(arguments: argparse.Namespace) -> int:
+    """Merge many profile images/sketches into one, streaming."""
+    import glob as glob_module
+    import json
+
+    from .profiling import (
+        MergeAccumulator,
+        ProfileSketch,
+        dumps_profile,
+        fidelity_report,
+        read_any_profile,
+        save_sketch,
+    )
+
+    paths: List[str] = []
+    for pattern in arguments.patterns:
+        matches = sorted(glob_module.glob(pattern))
+        if not matches:
+            print(f"fuse: no profiles match {pattern!r}", file=sys.stderr)
+            return 2
+        paths.extend(match for match in matches if match not in paths)
+
+    make_sketch = arguments.sketch or arguments.quantize > 0
+    if make_sketch and (not arguments.output or arguments.output == "-"):
+        print("fuse: --sketch output is binary; -o PATH is required",
+              file=sys.stderr)
+        return 2
+
+    if arguments.batch:
+        image = merge_profiles(
+            (read_any_profile(path) for path in paths),
+            require_common=arguments.require_common,
+        )
+    else:
+        accumulator = MergeAccumulator(require_common=arguments.require_common)
+        for path in paths:
+            accumulator.fold(read_any_profile(path))
+        image = accumulator.result()
+
+    if arguments.report:
+        report = fidelity_report(read_any_profile(path) for path in paths)
+        Path(arguments.report).write_text(
+            json.dumps(report, indent=2) + "\n", encoding="utf-8"
+        )
+
+    if make_sketch:
+        save_sketch(
+            ProfileSketch.from_image(image, arguments.quantize), arguments.output
+        )
+        destination = arguments.output
+    elif arguments.output and arguments.output != "-":
+        save_profile(image, arguments.output)
+        destination = arguments.output
+    else:
+        sys.stdout.write(dumps_profile(image))
+        destination = "stdout"
+    engine = "batch" if arguments.batch else "streaming"
+    print(
+        f"fused {len(paths)} profile(s) into {len(image)} instructions "
+        f"({engine}) -> {destination}",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _command_annotate(arguments: argparse.Namespace) -> int:
     program = _load_program(arguments.program)
     image = read_profile(arguments.profile)
@@ -300,7 +366,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = commands.add_parser(
         "bench",
         help="run the pinned performance suite and write a BENCH_<rev>.json "
-        "report (schema repro-bench/1)",
+        "report (schema repro-bench/3)",
     )
     add_bench_arguments(bench_parser)
     bench_parser.set_defaults(handler=_command_bench)
@@ -367,6 +433,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile_parser.add_argument("-o", "--output", help="profile image file")
     profile_parser.set_defaults(handler=_command_profile)
+
+    fuse_parser = commands.add_parser(
+        "fuse",
+        help="merge many profile images/sketches into one (streaming, "
+        "bounded memory)",
+    )
+    fuse_parser.add_argument(
+        "patterns",
+        nargs="+",
+        help="profile/sketch files or glob patterns (formats auto-detected)",
+    )
+    fuse_parser.add_argument(
+        "-o", "--output",
+        help="merged output (default stdout; required with --sketch)",
+    )
+    fuse_parser.add_argument(
+        "--require-common",
+        action="store_true",
+        help="keep only instructions present in every input (Section 4)",
+    )
+    fuse_parser.add_argument(
+        "--sketch",
+        action="store_true",
+        help="write the merged image as a compact binary sketch",
+    )
+    fuse_parser.add_argument(
+        "--quantize",
+        type=int,
+        default=0,
+        metavar="LEVEL",
+        help="sketch count-quantization level (implies --sketch; 0 = lossless)",
+    )
+    fuse_parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="use the batch merge engine instead of streaming "
+        "(byte-identity checks)",
+    )
+    fuse_parser.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write a JSON size/fidelity report over the inputs",
+    )
+    fuse_parser.set_defaults(handler=_command_fuse)
 
     annotate_parser = commands.add_parser(
         "annotate", help="insert value-prediction directives (phase 3)"

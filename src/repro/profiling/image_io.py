@@ -32,6 +32,8 @@ pipeline is bit-for-bit identical to merging the in-memory images.
 from __future__ import annotations
 
 import io
+import os
+import tempfile
 from pathlib import Path
 from typing import TextIO, Union
 
@@ -78,10 +80,40 @@ def dumps_profile(image: ProfileImage) -> str:
     return buffer.getvalue()
 
 
+def _publish_atomic(path: Path, payload: Union[str, bytes]) -> None:
+    """Publish ``payload`` at ``path`` via temp file + rename.
+
+    Mirrors the TraceStore publish semantics: a reader either sees the
+    previous complete file or the new complete file, never a torn write,
+    and a failure mid-write leaves the original untouched.
+    """
+    parent = path.parent if str(path.parent) else Path(".")
+    handle, tmp_name = tempfile.mkstemp(
+        dir=str(parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        if isinstance(payload, bytes):
+            with os.fdopen(handle, "wb") as stream:
+                stream.write(payload)
+        else:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already renamed or removed
+            pass
+        raise
+
+
 def save_profile(image: ProfileImage, path: Union[str, Path]) -> None:
-    """Write ``image`` to ``path``."""
-    with open(path, "w", encoding="utf-8") as stream:
-        dump_profile(image, stream)
+    """Write ``image`` to ``path`` atomically (temp file + rename).
+
+    The image is serialized in full before the temp file is created, so
+    a serialization failure leaves the filesystem untouched.
+    """
+    _publish_atomic(Path(path), dumps_profile(image))
 
 
 def _parse_group_row(line_number: int, body: str) -> tuple:

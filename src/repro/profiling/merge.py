@@ -6,32 +6,61 @@ files".  Merging sums the underlying counts, which weights each run by its
 dynamic instruction count — an instruction that executes a million times
 in one training run and ten in another is dominated by the former, exactly
 as a single concatenated profiling session would be.
+
+This is the *batch* path: it materializes every input image before
+summing, which is the right call for the paper's five training runs and
+is kept as an independent implementation so the streaming path
+(:mod:`~repro.profiling.fusion`) has a genuine differential reference.
+For fleet-scale inputs use :class:`~repro.profiling.fusion.MergeAccumulator`.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set, Union
 
 from .collector import InstructionProfile, ProfileImage
+from .image_io import load_profile
+
+#: ``merge_profiles`` accepts images or open v1 text streams.
+MergeSource = Union[ProfileImage, object]
 
 
-def common_addresses(images: Sequence[ProfileImage]) -> List[int]:
+def _as_image(source: MergeSource) -> ProfileImage:
+    if isinstance(source, ProfileImage):
+        return source
+    if hasattr(source, "read"):
+        return load_profile(source)
+    raise TypeError(
+        f"cannot merge {type(source).__name__}: expected a ProfileImage "
+        "or an open text stream"
+    )
+
+
+def common_addresses(images: Iterable[ProfileImage]) -> List[int]:
     """Addresses profiled in *every* image.
 
     The paper: "we only consider the instructions that appear in all the
     different runs of the program" (instructions appearing in only some
     runs are omitted; their number is relatively small).
+
+    Intersects incrementally — memory is bounded by the first image, the
+    running set only shrinks, and an empty intersection stops consuming
+    the input (at thousands of images most of the work is skipped).
     """
-    if not images:
-        return []
-    addresses: Set[int] = set(images[0].instructions)
-    for image in images[1:]:
-        addresses &= set(image.instructions)
-    return sorted(addresses)
+    addresses: Optional[Set[int]] = None
+    for image in images:
+        if addresses is None:
+            addresses = set(image.instructions)
+        else:
+            addresses.intersection_update(image.instructions)
+        if not addresses:
+            break
+    return sorted(addresses) if addresses else []
 
 
 def merge_profiles(
-    images: Iterable[ProfileImage],
+    images: Iterable[MergeSource],
+    *,
     program_name: str = "",
     run_label: str = "merged",
     require_common: bool = False,
@@ -39,7 +68,9 @@ def merge_profiles(
     """Merge several training-run images into one by summing counts.
 
     Args:
-        images: the per-run profile images.
+        images: the per-run profile images, or open text streams in the
+            v1 format (each is passed through
+            :func:`~repro.profiling.image_io.load_profile`).
         program_name: name for the merged image (defaults to the first
             image's).
         run_label: label for the merged image.
@@ -50,7 +81,7 @@ def merge_profiles(
             instruction dropped from the merged table contributes
             nothing to the merged group aggregates either.
     """
-    image_list = list(images)
+    image_list = [_as_image(source) for source in images]
     if not image_list:
         raise ValueError("cannot merge zero profile images")
     keep = set(common_addresses(image_list)) if require_common else None

@@ -30,6 +30,7 @@ from .api import (
     CompileJob,
     ErrorInfo,
     ExperimentJob,
+    FuseJob,
     JobResult,
     JobStatus,
     ProfileJob,
@@ -47,6 +48,7 @@ __all__ = [
     "CompileJob",
     "ErrorInfo",
     "ExperimentJob",
+    "FuseJob",
     "JobResult",
     "JobStatus",
     "ProfileJob",

@@ -339,11 +339,65 @@ class ExperimentJob:
         )
 
 
-Job = Union[CompileJob, TraceJob, ProfileJob, AnnotateJob, ExperimentJob]
+@dataclasses.dataclass(frozen=True)
+class FuseJob:
+    """Fuse tenant-uploaded profiles/sketches into one merged image.
+
+    Each ``profiles`` entry is either a ``# repro-profile-image v1``
+    text image verbatim, or a base64-encoded binary sketch
+    (:mod:`repro.profiling.sketch`) — the engine sniffs per entry.  The
+    result output is the merged image in the v1 text format, byte-
+    identical to ``repro fuse`` over the same inputs.
+    """
+
+    profiles: Tuple[str, ...]
+    name: str = "merged"
+    require_common: bool = False
+
+    KIND = "fuse"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.KIND,
+            "profiles": list(self.profiles),
+            "name": self.name,
+            "require_common": self.require_common,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FuseJob":
+        raw = payload.get("profiles")
+        if not isinstance(raw, (list, tuple)) or not raw:
+            raise ApiError(
+                INVALID_JOB, "fuse job 'profiles' must be a non-empty list"
+            )
+        entries: List[str] = []
+        for entry in raw:
+            if not isinstance(entry, str) or not entry:
+                raise ApiError(
+                    INVALID_JOB,
+                    "fuse job 'profiles' entries must be non-empty strings",
+                )
+            entries.append(entry)
+        return cls(
+            profiles=tuple(entries),
+            name=str(payload.get("name", "merged")),
+            require_common=bool(payload.get("require_common", False)),
+        )
+
+
+Job = Union[CompileJob, TraceJob, ProfileJob, AnnotateJob, ExperimentJob, FuseJob]
 
 _JOB_TYPES = {
     cls.KIND: cls
-    for cls in (CompileJob, TraceJob, ProfileJob, AnnotateJob, ExperimentJob)
+    for cls in (
+        CompileJob,
+        TraceJob,
+        ProfileJob,
+        AnnotateJob,
+        ExperimentJob,
+        FuseJob,
+    )
 }
 
 #: The closed set of job kinds the service accepts.
@@ -583,6 +637,7 @@ __all__ = [
     "ErrorInfo",
     "ExperimentJob",
     "FAILED",
+    "FuseJob",
     "HEALTH_PATH",
     "HTTP_STATUS",
     "INTERNAL_ERROR",

@@ -4,9 +4,9 @@
 SIGTERM or a client ``shutdown``), then prints the session's
 :class:`~repro.runner.retry.RunReport` summary and exits with its
 status.  ``client`` mirrors the batch toolchain commands one-for-one —
-``compile``/``trace``/``profile``/``annotate``/``experiment`` take the
-same flags and produce the same bytes, just computed by a daemon that
-shares one trace store across every caller — plus ``status``,
+``compile``/``trace``/``profile``/``annotate``/``experiment``/``fuse``
+take the same flags and produce the same bytes, just computed by a
+daemon that shares one trace store across every caller — plus ``status``,
 ``result``, ``stats``, ``health`` and ``shutdown``.
 
 Both sides speak exclusively through :mod:`repro.service.api` types.
@@ -29,6 +29,7 @@ from .api import (
     ApiError,
     CompileJob,
     ExperimentJob,
+    FuseJob,
     ProfileJob,
     TraceJob,
 )
@@ -223,6 +224,21 @@ def add_client_arguments(parser: argparse.ArgumentParser) -> None:
         help="training input sets to profile (default 5)",
     )
 
+    fuse_parser = actions.add_parser(
+        "fuse", help="fuse many profile images/sketches on the server"
+    )
+    fuse_parser.add_argument(
+        "profiles", nargs="+",
+        help="profile/sketch files or glob patterns (formats auto-detected)",
+    )
+    fuse_parser.add_argument(
+        "--require-common", action="store_true",
+        help="keep only instructions present in every input",
+    )
+    fuse_parser.add_argument(
+        "-o", "--output", help="merged profile output (default stdout)"
+    )
+
     status_parser = actions.add_parser("status", help="one job's lifecycle state")
     status_parser.add_argument("job_id")
 
@@ -289,6 +305,25 @@ def _build_job(arguments: argparse.Namespace):
             experiment=arguments.experiment,
             scale=arguments.scale,
             training_runs=arguments.training_runs,
+        )
+    if action == "fuse":
+        import glob as glob_module
+
+        from ..profiling import encode_profile_payload
+
+        paths: List[str] = []
+        for pattern in arguments.profiles:
+            matches = sorted(glob_module.glob(pattern))
+            if not matches:
+                raise ApiError(
+                    "invalid-job", f"no profiles match {pattern!r}"
+                )
+            paths.extend(match for match in matches if match not in paths)
+        return FuseJob(
+            profiles=tuple(
+                encode_profile_payload(Path(path).read_bytes()) for path in paths
+            ),
+            require_common=arguments.require_common,
         )
     return None
 

@@ -39,8 +39,10 @@ from ..lang import CompileError, compile_source
 from ..machine import DEFAULT_BUDGET, ExecutionError, TraceStore
 from ..machine.tracestore import trace_key
 from ..profiling import (
+    MergeAccumulator,
     ProfileFormatError,
     collect_profile,
+    decode_profile_payload,
     dumps_profile,
     loads_profile,
     merge_profiles,
@@ -54,6 +56,7 @@ from .api import (
     CompileJob,
     EXECUTION_ERROR,
     ExperimentJob,
+    FuseJob,
     INVALID_JOB,
     Job,
     ProfileJob,
@@ -112,6 +115,8 @@ class ServiceEngine:
                 result = self.run_annotate(job)
             elif isinstance(job, ExperimentJob):
                 result = self.run_experiment(job)
+            elif isinstance(job, FuseJob):
+                result = self.run_fuse(job)
             else:  # pragma: no cover - decoding rejects unknown kinds
                 raise ApiError(INVALID_JOB, f"unsupported job type {type(job).__name__}")
         except ApiError:
@@ -185,6 +190,23 @@ class ServiceEngine:
             ) from error
         image = images[0] if len(images) == 1 else merge_profiles(images)
         meta = {"instructions": len(image), "runs": len(images)}
+        return dumps_profile(image), meta
+
+    def run_fuse(self, job: FuseJob) -> Tuple[str, Dict[str, Any]]:
+        accumulator = MergeAccumulator(
+            run_label=job.name, require_common=job.require_common
+        )
+        sketches = 0
+        for payload in job.profiles:
+            if not payload.startswith("# repro-profile-image"):
+                sketches += 1
+            accumulator.fold(decode_profile_payload(payload))
+        image = accumulator.result()
+        meta = {
+            "images": accumulator.images_folded,
+            "sketches": sketches,
+            "instructions": len(image),
+        }
         return dumps_profile(image), meta
 
     def run_annotate(self, job: AnnotateJob) -> Tuple[str, Dict[str, Any]]:

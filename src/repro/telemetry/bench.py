@@ -12,6 +12,11 @@ writes a ``BENCH_<rev>.json`` file in a stable schema
 * **trace** — the pinned loop captured once into a
   :class:`~repro.machine.TraceStore` and replayed from packed batches;
   reports capture and replay records/sec and their ratio.
+* **fuse** — streaming profile fusion: a seeded synthetic fleet of
+  edge-run profile images is sketch-encoded and folded through
+  :class:`~repro.profiling.fusion.MergeAccumulator`; reports fuse
+  throughput (images/s) and the sketch wire size against the v1 text
+  dump (bytes/image, compression ratio).
 * **suite** — one end-to-end experiment (``fig-5.1``) at small scale,
   cold cache then warm cache, with per-kind artifact-cache hit rates
   and the whole-pipeline simulated MIPS taken from the telemetry
@@ -46,7 +51,8 @@ from .registry import Telemetry, use_registry
 
 #: Stable schema identifier; bump on any incompatible payload change.
 #: v2 added the ``trace`` section (trace-store capture/replay throughput).
-SCHEMA_VERSION = "repro-bench/2"
+#: v3 added the ``fuse`` section (streaming fusion throughput + sketch size).
+SCHEMA_VERSION = "repro-bench/3"
 
 #: Required ``metrics`` sections and the keys each must carry.
 REQUIRED_METRICS = {
@@ -59,6 +65,14 @@ REQUIRED_METRICS = {
         "replay_seconds",
         "replay_records_per_sec",
         "replay_speedup",
+    ),
+    "fuse": (
+        "images",
+        "seconds",
+        "images_per_sec",
+        "text_bytes_per_image",
+        "sketch_bytes_per_image",
+        "compression_ratio",
     ),
     "suite": ("experiment", "cold_seconds", "warm_seconds", "simulated_mips", "cache"),
 }
@@ -80,6 +94,8 @@ class BenchConfig:
     suite_jobs: int = 1
     trace_iterations: int = 50_000
     trace_replays: int = 5
+    fuse_images: int = 300
+    fuse_addresses: int = 128
 
 
 #: The default (committed-trajectory) configuration.
@@ -100,6 +116,8 @@ SMOKE = BenchConfig(
     suite_training_runs=1,
     trace_iterations=5_000,
     trace_replays=3,
+    fuse_images=60,
+    fuse_addresses=64,
 )
 
 #: Pinned executor workload: {iterations} is substituted per config.
@@ -232,6 +250,76 @@ def bench_trace(iterations: int, replays: int) -> Dict[str, Any]:
     }
 
 
+def _synthetic_fleet(images: int, addresses: int) -> "List[Any]":
+    """A seeded fleet of edge-run profile images for the fuse section.
+
+    Counts follow the shape real collector output has — executions in
+    the thousands, attempts one training miss behind, accuracy bimodal
+    (the paper's predictable/unpredictable split) — so the sketch codec
+    is timed against realistic deltas rather than uniform noise.
+    """
+    import random
+
+    from ..isa import Category
+    from ..profiling.collector import InstructionProfile, ProfileImage
+
+    rng = random.Random(1997)
+    fleet = []
+    for index in range(images):
+        image = ProfileImage("bench-fuse", run_label=f"edge-{index}")
+        for slot in range(addresses):
+            address = slot * 2
+            executions = 1_000 + rng.randrange(0, 4_000)
+            attempts = executions - 1
+            accuracy = 0.95 if slot % 3 else 0.15
+            correct = int(attempts * accuracy)
+            nonzero = correct if slot % 2 else 0
+            image.instructions[address] = InstructionProfile(
+                address, executions, attempts, correct, nonzero
+            )
+            category = Category.INT_LOAD if slot % 2 else Category.INT_ALU
+            detail = image.group_detail.setdefault((category, 0), {})
+            detail[address] = [executions, attempts, correct]
+        fleet.append(image)
+    return fleet
+
+
+def bench_fuse(images: int, addresses: int) -> Dict[str, Any]:
+    """Time streaming fusion of a synthetic fleet; size the sketch wire.
+
+    Each image is serialized both ways — v1 text dump and compact
+    sketch — then the sketch payloads are decoded and folded through a
+    single :class:`~repro.profiling.fusion.MergeAccumulator`, which is
+    exactly the fleet-aggregation path ``repro fuse`` and the service's
+    ``fuse`` job run.  ``images_per_sec`` times decode+fold+result;
+    ``compression_ratio`` is text bytes over sketch bytes at q=0.
+    """
+    from ..profiling import ProfileSketch, dumps_profile
+    from ..profiling.fusion import MergeAccumulator
+    from ..profiling.sketch import dumps_sketch, loads_sketch
+
+    fleet = _synthetic_fleet(images, addresses)
+    text_bytes = sum(len(dumps_profile(image).encode("utf-8")) for image in fleet)
+    payloads = [dumps_sketch(ProfileSketch.from_image(image)) for image in fleet]
+    sketch_bytes = sum(len(payload) for payload in payloads)
+    started = time.perf_counter()
+    accumulator = MergeAccumulator(run_label="bench-fuse")
+    for payload in payloads:
+        accumulator.fold(loads_sketch(payload).to_image())
+    merged = accumulator.result()
+    seconds = time.perf_counter() - started
+    return {
+        "images": images,
+        "addresses": addresses,
+        "merged_instructions": len(merged),
+        "seconds": seconds,
+        "images_per_sec": images / seconds if seconds else 0.0,
+        "text_bytes_per_image": text_bytes / images if images else 0.0,
+        "sketch_bytes_per_image": sketch_bytes / images if images else 0.0,
+        "compression_ratio": text_bytes / sketch_bytes if sketch_bytes else 0.0,
+    }
+
+
 def _run_suite_once(config: BenchConfig, cache_dir: str) -> Dict[str, Any]:
     """One full experiment pass under a fresh live registry."""
     from ..experiments.context import ExperimentContext
@@ -296,6 +384,7 @@ def build_payload(config: BenchConfig, smoke: bool) -> Dict[str, Any]:
             "executor": bench_executor(config.executor_iterations),
             "predictor": bench_predictor(config.predictor_ops),
             "trace": bench_trace(config.trace_iterations, config.trace_replays),
+            "fuse": bench_fuse(config.fuse_images, config.fuse_addresses),
             "suite": suite,
         },
         "telemetry": telemetry,
@@ -339,6 +428,7 @@ def summary_table(payload: Dict[str, Any]) -> str:
     executor = metrics["executor"]
     predictor = metrics["predictor"]
     trace = metrics["trace"]
+    fuse = metrics["fuse"]
     suite = metrics["suite"]
     lines = [
         f"repro bench — revision {payload['revision']} "
@@ -353,6 +443,10 @@ def summary_table(payload: Dict[str, Any]) -> str:
         f"capture {trace['capture_records_per_sec'] / 1e6:>6.3f} Mrec/s  "
         f"replay {trace['replay_records_per_sec'] / 1e6:>7.3f} Mrec/s  "
         f"({trace['replay_speedup']:.1f}x)",
+        f"  fuse       {fuse['images']:>12,} imgs  "
+        f"{fuse['seconds']:>8.3f}s  {fuse['images_per_sec']:>10,.0f} img/s  "
+        f"sketch {fuse['sketch_bytes_per_image']:,.0f} B/img "
+        f"({fuse['compression_ratio']:.1f}x)",
         f"  suite      {suite['experiment']:<12} cold {suite['cold_seconds']:>8.2f}s  "
         f"warm {suite['warm_seconds']:>7.2f}s  "
         f"simulated {suite['simulated_mips']:.3f} MIPS",

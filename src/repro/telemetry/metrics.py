@@ -47,6 +47,13 @@ KNOWN_METRICS: FrozenSet[str] = frozenset(
         "profiling.records",
         "profiling.runs",
         "profiling.collect",
+        # fusion: streaming profile merge and the sketch wire format.
+        "fusion.images",
+        "fusion.runs",
+        "fusion.fold",
+        "fusion.encode",
+        "fusion.decode",
+        "fusion.sketch_bytes",
         # runner: the parallel experiment engine and its recovery paths.
         "runner.jobs",
         "runner.jobs_cached",
