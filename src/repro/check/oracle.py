@@ -20,6 +20,11 @@ Each :class:`OraclePair` names one equivalence the codebase relies on:
     folding in-memory images and sketch-round-tripped images — against
     batch ``merge_profiles``, for both ``require_common`` modes, down
     to byte-identical text dumps.
+``profile-sampled``
+    sampled profiling: ``sample_every=1`` must be byte-identical to the
+    unsampled profile, and ``sample_every=k`` over the live executor
+    (columnar batch path) must equal profiling the drained record list
+    thinned to ``records[::k]`` (the per-record reference path).
 ``runner-parallel`` / ``runner-faulty``
     the parallel engine at ``jobs=2`` — and a faulted run recovered
     under a retry policy — against a serial walk of the same graph.
@@ -419,6 +424,67 @@ def _check_fuse_stream_vs_batch(case: CheckCase, budget: int):
     return None
 
 
+def _check_profile_sampled(case: CheckCase, budget: int):
+    # The sampling rule is defined over the *full* dynamic stream
+    # (global record position modulo k, before the candidate filter),
+    # so profiling with ``sample_every=k`` must equal profiling the
+    # drained record list thinned to ``records[::k]`` — and k=1 must be
+    # byte-for-byte the unsampled image.
+    records = _drain_records(case, list(case.inputs), budget)
+    full = collect_profile(case.program, records=records, run_label="train")
+    k1 = collect_profile(
+        case.program, records=records, run_label="train", sample_every=1
+    )
+    if dumps_profile(k1) != dumps_profile(full):
+        return ("$sampled[k=1].dump_bytes", "<differs>", "<unsampled dump>")
+    for k in (2, 3, 7):
+        reference = collect_profile(
+            case.program, records=records[::k], run_label="train"
+        )
+        via_records = collect_profile(
+            case.program, records=records, run_label="train", sample_every=k
+        )
+        found = first_divergence(
+            _observe_image(via_records),
+            _observe_image(reference),
+            f"$sampled[k={k}].records",
+        )
+        if found is not None:
+            return found
+    # The live-executor path takes the columnar batch fast path; it must
+    # land on the same image as the record-list reference for every k.
+    # A faulting case is skipped here — its record prefix is already
+    # covered above, and the executor path surfaces the fault instead.
+    for k in (1, 4):
+        try:
+            via_executor = collect_profile(
+                case.program,
+                list(case.inputs),
+                run_label="train",
+                sample_every=k,
+                max_instructions=budget,
+            )
+        except ExecutionError:
+            return None
+        reference = collect_profile(
+            case.program, records=records[::k], run_label="train"
+        )
+        found = first_divergence(
+            _observe_image(via_executor),
+            _observe_image(reference),
+            f"$sampled[k={k}].executor",
+        )
+        if found is not None:
+            return found
+        if dumps_profile(via_executor) != dumps_profile(reference):
+            return (
+                f"$sampled[k={k}].executor.dump_bytes",
+                "<differs>",
+                "<records[::k] dump>",
+            )
+    return None
+
+
 _RUNNER_EXPERIMENT = "fig-4.2"
 
 
@@ -514,6 +580,11 @@ _PAIRS: Tuple[OraclePair, ...] = (
         "fuse-stream-vs-batch",
         "streaming MergeAccumulator (image + sketch transports) vs batch merge",
         True, _check_fuse_stream_vs_batch,
+    ),
+    OraclePair(
+        "profile-sampled",
+        "sampled profiling (k=1 byte-identical; executor vs records[::k])",
+        True, _check_profile_sampled,
     ),
     OraclePair(
         "runner-parallel",

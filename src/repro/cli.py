@@ -143,16 +143,22 @@ def _command_run(arguments: argparse.Namespace) -> int:
 
 def _command_profile(arguments: argparse.Namespace) -> int:
     program = _load_program(arguments.program)
+    sample_every = getattr(arguments, "sample_every", 1)
     images = []
     for index, path in enumerate(arguments.trace or []):
         images.append(
             collect_profile(
-                program, records=read_trace(path), run_label=f"trace-{index}"
+                program,
+                records=read_trace(path),
+                run_label=f"trace-{index}",
+                sample_every=sample_every,
             )
         )
     input_specs = arguments.inputs or ([] if images else [""])
     images.extend(
-        collect_profile(program, inputs, run_label=f"run-{index}")
+        collect_profile(
+            program, inputs, run_label=f"run-{index}", sample_every=sample_every
+        )
         for index, inputs in enumerate(parse_input_sets(input_specs))
     )
     image = images[0] if len(images) == 1 else merge_profiles(images)
@@ -230,6 +236,86 @@ def _command_fuse(arguments: argparse.Namespace) -> int:
     print(
         f"fused {len(paths)} profile(s) into {len(image)} instructions "
         f"({engine}) -> {destination}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_corpus(arguments: argparse.Namespace) -> int:
+    """Generate a seeded mini-C workload corpus; compile and verify it."""
+    import json
+
+    from .machine import ExecutionError
+    from .workloads import TEST_INDEX
+    from .workloads.corpus import DEFAULT_MIX, generate_corpus, parse_mix
+
+    try:
+        mix = parse_mix(arguments.mix) if arguments.mix else DEFAULT_MIX
+        workloads = generate_corpus(
+            arguments.seed, arguments.count, mix, name_prefix=arguments.prefix
+        )
+    except ValueError as error:
+        print(f"corpus: {error}", file=sys.stderr)
+        return 2
+    out_dir = Path(arguments.out_dir) if arguments.out_dir else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    manifest = []
+    for workload in workloads:
+        program = workload.compile()
+        entry = {
+            "name": workload.name,
+            "suite": workload.suite,
+            "seed": arguments.seed,
+            "static_instructions": len(program),
+            "candidates": len(program.candidate_addresses),
+        }
+        input_sets = [
+            workload.input_set(index) for index in range(TEST_INDEX + 1)
+        ]
+        if not arguments.no_verify:
+            dynamic = 0
+            for index, inputs in enumerate(input_sets):
+                try:
+                    result = run_program(
+                        program,
+                        inputs=inputs,
+                        max_instructions=arguments.max_instructions,
+                    )
+                except ExecutionError as error:
+                    print(
+                        f"corpus: {workload.name} failed on input set "
+                        f"{index}: {error}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                dynamic += result.instruction_count
+            entry["dynamic_instructions"] = dynamic
+        if out_dir is not None:
+            # Workload names contain dots, so build filenames by plain
+            # concatenation — Path.with_suffix would clobber the last part.
+            (out_dir / f"{workload.name}.mc").write_text(
+                workload.source, encoding="utf-8"
+            )
+            (out_dir / f"{workload.name}.asm").write_text(
+                disassemble(program), encoding="utf-8"
+            )
+            for index, inputs in enumerate(input_sets):
+                (out_dir / f"{workload.name}.inputs-{index}.txt").write_text(
+                    " ".join(str(value) for value in inputs) + "\n",
+                    encoding="utf-8",
+                )
+        manifest.append(entry)
+    if arguments.manifest:
+        Path(arguments.manifest).write_text(
+            json.dumps(manifest, indent=2) + "\n", encoding="utf-8"
+        )
+    verified = "verified" if not arguments.no_verify else "unverified"
+    suites = {entry["suite"] for entry in manifest}
+    print(
+        f"generated {len(manifest)} workloads (seed {arguments.seed}, "
+        f"suites {'+'.join(sorted(suites))}, {verified})"
+        + (f" -> {out_dir}" if out_dir is not None else ""),
         file=sys.stderr,
     )
     return 0
@@ -366,7 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser = commands.add_parser(
         "bench",
         help="run the pinned performance suite and write a BENCH_<rev>.json "
-        "report (schema repro-bench/3)",
+        "report (schema repro-bench/4)",
     )
     add_bench_arguments(bench_parser)
     bench_parser.set_defaults(handler=_command_bench)
@@ -431,8 +517,56 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="profile a stored trace file instead of executing (repeatable)",
     )
+    profile_parser.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="keep every K-th dynamic record (1 = full profile, the default)",
+    )
     profile_parser.add_argument("-o", "--output", help="profile image file")
     profile_parser.set_defaults(handler=_command_profile)
+
+    corpus_parser = commands.add_parser(
+        "corpus",
+        help="generate a seeded mini-C workload corpus (compile + verify "
+        "termination by default)",
+    )
+    corpus_parser.add_argument(
+        "--seed", type=int, default=1997, help="corpus seed (default 1997)"
+    )
+    corpus_parser.add_argument(
+        "--count", type=int, default=24, help="number of workloads (default 24)"
+    )
+    corpus_parser.add_argument(
+        "--mix",
+        help="idiom mix weights, e.g. 'stride=2,table=1,chain=1,mixed=1'",
+    )
+    corpus_parser.add_argument(
+        "--prefix", default="gen", help="workload name prefix (default 'gen')"
+    )
+    corpus_parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        help="write <name>.mc, <name>.asm and per-run input files here",
+    )
+    corpus_parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="write a JSON manifest of the generated corpus",
+    )
+    corpus_parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip executing each workload on all of its input sets",
+    )
+    corpus_parser.add_argument(
+        "--max-instructions",
+        type=int,
+        default=200_000,
+        help="per-run dynamic budget during verification (default 200000)",
+    )
+    corpus_parser.set_defaults(handler=_command_corpus)
 
     fuse_parser = commands.add_parser(
         "fuse",

@@ -51,6 +51,7 @@ from . import (
     fig_5_1,
     fig_5_2,
     characterization,
+    corpus_sampling,
     extension_critical_path,
     fig_5_3,
     fig_5_4,
@@ -85,6 +86,7 @@ _MODULES = (
     ablation_ilp_machine,
     extension_critical_path,
     characterization,
+    corpus_sampling,
 )
 
 #: Experiment id -> module (the engine reads ``CELLS`` declarations here).

@@ -16,14 +16,37 @@ from .errors import CompileError, LexError, ParseError, SemanticError
 from .lexer import tokenize
 from .parser import parse
 from .semantics import analyze
+from .tokens import KEYWORDS
+
+#: Names a generated program may not use as identifiers: the language
+#: keywords plus the environment builtins.  The corpus generator
+#: (:mod:`repro.workloads.corpus`) filters its identifier pool against
+#: this set so grammar productions can never emit a colliding name.
+RESERVED_NAMES = frozenset(KEYWORDS) | {"in", "fin", "out", "phase", "main"}
+
+
+def check_source(source: str) -> None:
+    """Validate mini-C ``source`` through the compiler front half.
+
+    Runs lexing, parsing and semantic analysis — everything that can
+    reject a program — without code generation.  Raises
+    :class:`CompileError` (or a subclass) on any malformed program;
+    returns ``None`` when the source is well-formed.  This is the cheap
+    validity hook the generated-workload property tests lean on.
+    """
+    analyze(parse(source))
+
 
 __all__ = [
     "CompileError",
+    "KEYWORDS",
     "LexError",
     "ParseError",
+    "RESERVED_NAMES",
     "SemanticError",
     "Type",
     "analyze",
+    "check_source",
     "compile_source",
     "parse",
     "tokenize",

@@ -176,6 +176,9 @@ def collect_profile(
     max_instructions: Optional[int] = None,
     records=None,
     store: Optional[TraceStore] = None,
+    sample_every: int = 1,
+    address_buckets: int = 1,
+    address_bucket: int = 0,
 ) -> ProfileImage:
     """Profile one run of ``program`` under ``predictor``.
 
@@ -191,6 +194,11 @@ def collect_profile(
         store: optional :class:`~repro.machine.TraceStore`; the trace is
             replayed from the store when present there, captured into it
             otherwise.
+        sample_every: keep only every ``k``-th dynamic trace record
+            (``k = 1`` keeps everything and is byte-identical to full
+            profiling; see :func:`collect_profiles`).
+        address_buckets / address_bucket: optionally restrict the profile
+            to candidate addresses in one modulo bucket.
     """
     images = collect_profiles(
         program,
@@ -200,6 +208,9 @@ def collect_profile(
         max_instructions=max_instructions,
         records=records,
         store=store,
+        sample_every=sample_every,
+        address_buckets=address_buckets,
+        address_bucket=address_bucket,
     )
     return images["default"]
 
@@ -212,6 +223,9 @@ def collect_profiles(
     max_instructions: Optional[int] = None,
     records=None,
     store: Optional[TraceStore] = None,
+    sample_every: int = 1,
+    address_buckets: int = 1,
+    address_bucket: int = 0,
 ) -> Dict[str, ProfileImage]:
     """Profile one run under several predictors simultaneously.
 
@@ -227,7 +241,37 @@ def collect_profiles(
     :class:`~repro.machine.trace.TraceRecord`, e.g. from
     :func:`repro.machine.read_trace`) to profile a *stored* trace instead
     of executing the program — the SHADE-style trace/analyze split.
+
+    ``sample_every=k`` keeps only dynamic records whose 0-based position
+    in the run's full trace is a multiple of ``k`` — the sampled phase-2
+    mode.  The rule is applied to the *unfiltered* dynamic stream (before
+    the candidate filter), identically across the ``records``, batch and
+    fast-stride consumption paths, so profiling with ``sample_every=k``
+    equals profiling ``records[::k]`` and ``k=1`` is byte-identical to
+    full profiling (the ``profile-sampled-k1`` oracle pair enforces
+    this).  ``address_buckets``/``address_bucket`` optionally restrict
+    collection to candidate addresses with ``address % address_buckets
+    == address_bucket`` — the bucketed profiles of one run partition the
+    full profile.
     """
+    if (
+        isinstance(sample_every, bool)
+        or not isinstance(sample_every, int)
+        or sample_every < 1
+    ):
+        raise ValueError(f"sample_every must be an int >= 1, got {sample_every!r}")
+    if (
+        isinstance(address_buckets, bool)
+        or not isinstance(address_buckets, int)
+        or address_buckets < 1
+    ):
+        raise ValueError(
+            f"address_buckets must be an int >= 1, got {address_buckets!r}"
+        )
+    if not 0 <= address_bucket < address_buckets:
+        raise ValueError(
+            f"address_bucket must be in [0, {address_buckets}), got {address_bucket!r}"
+        )
     if predictors is None:
         predictors = {"stride": StridePredictor()}
     images = {
@@ -236,12 +280,19 @@ def collect_profiles(
     is_candidate = [
         instruction.is_prediction_candidate for instruction in program.instructions
     ]
+    if address_buckets > 1:
+        is_candidate = [
+            flag and address % address_buckets == address_bucket
+            for address, flag in enumerate(is_candidate)
+        ]
     categories = [instruction.category for instruction in program.instructions]
     pairs = [(name, predictor) for name, predictor in predictors.items()]
 
     started = time.perf_counter()
     if records is not None:
-        for record in records:
+        for position, record in enumerate(records):
+            if sample_every > 1 and position % sample_every:
+                continue
             address = record.address
             if not is_candidate[address]:
                 continue
@@ -284,18 +335,34 @@ def collect_profiles(
                     _generic_profiler(predictor, images[name], categories)
                 )
         try:
+            # 0-based position of the current batch's first record within
+            # the run's full dynamic stream — the sampling rule is global,
+            # not per batch, so a record boundary mid-batch cannot shift
+            # which records a sampled profile keeps.
+            offset = 0
             for batch in batches:
                 addresses = batch.addresses
                 values = batch.values
                 triples: List[Tuple[int, Optional[Number], int]] = []
                 for start, end, phase in batch.phase_segments():
-                    triples.extend(
-                        (address, value, phase)
-                        for address, value in zip(
-                            addresses[start:end], values[start:end]
+                    if sample_every > 1:
+                        first = -(-(offset + start) // sample_every) * sample_every
+                        triples.extend(
+                            (addresses[position], values[position], phase)
+                            for position in range(
+                                first - offset, end, sample_every
+                            )
+                            if is_candidate[addresses[position]]
                         )
-                        if is_candidate[address]
-                    )
+                    else:
+                        triples.extend(
+                            (address, value, phase)
+                            for address, value in zip(
+                                addresses[start:end], values[start:end]
+                            )
+                            if is_candidate[address]
+                        )
+                offset += len(batch)
                 if not triples:
                     continue
                 for consume in consumers:
@@ -316,6 +383,9 @@ def collect_profiles(
         telemetry.counter("profiling.records").add(observed)
         telemetry.counter("profiling.runs").add(1)
         telemetry.timer("profiling.collect").add(time.perf_counter() - started)
+        if sample_every > 1 or address_buckets > 1:
+            telemetry.counter("profiling.sampled.runs").add(1)
+            telemetry.counter("profiling.sampled.records").add(observed)
     return images
 
 

@@ -226,7 +226,14 @@ def fuse_images(
 
 
 def read_any_profile(path: Union[str, Path]) -> ProfileImage:
-    """Load ``path`` as a profile image, sniffing text image vs sketch."""
+    """Load ``path`` as a profile image, sniffing text image vs sketch.
+
+    Any malformed content — truncated files, a mangled magic line,
+    corrupt deflate bodies, binary garbage — raises a typed
+    :class:`~repro.profiling.image_io.ProfileFormatError` (or its
+    :class:`~repro.profiling.sketch.SketchFormatError` subclass), never
+    a bare ``zlib.error``/``UnicodeDecodeError``.
+    """
     with open(path, "rb") as stream:
         head = stream.read(len(SKETCH_MAGIC))
     if head == SKETCH_MAGIC:

@@ -219,6 +219,16 @@ def loads_profile(text: str) -> ProfileImage:
 
 
 def read_profile(path: Union[str, Path]) -> ProfileImage:
-    """Load a profile image from ``path``."""
-    with open(path, "r", encoding="utf-8") as stream:
-        return load_profile(stream)
+    """Load a profile image from ``path``.
+
+    Raises :class:`ProfileFormatError` for any malformed content —
+    including binary garbage that is not valid UTF-8, which the text
+    decoder would otherwise surface as a bare ``UnicodeDecodeError``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            return load_profile(stream)
+    except UnicodeDecodeError as error:
+        raise ProfileFormatError(
+            f"{path}: not a text profile image (undecodable bytes: {error})"
+        ) from error

@@ -25,12 +25,23 @@ def collect_phase_profiles(
     predictor: Optional[ValuePredictor] = None,
     run_label: str = "",
     max_instructions: Optional[int] = None,
+    sample_every: int = 1,
 ) -> Dict[int, ProfileImage]:
     """Profile one run, splitting the accounting by execution phase.
 
     Returns phase -> image.  Programs that never execute a ``phase``
     instruction yield a single image under phase 0.
+
+    ``sample_every=k`` keeps only every ``k``-th record of the dynamic
+    stream, under the same global-position rule as
+    :func:`~repro.profiling.collector.collect_profiles`.
     """
+    if (
+        isinstance(sample_every, bool)
+        or not isinstance(sample_every, int)
+        or sample_every < 1
+    ):
+        raise ValueError(f"sample_every must be an int >= 1, got {sample_every!r}")
     predictor = predictor or StridePredictor()
     images: Dict[int, ProfileImage] = {}
     is_candidate = [
@@ -41,7 +52,9 @@ def collect_phase_profiles(
     kwargs = {}
     if max_instructions is not None:
         kwargs["max_instructions"] = max_instructions
-    for record in trace_program(program, inputs, **kwargs):
+    for position, record in enumerate(trace_program(program, inputs, **kwargs)):
+        if sample_every > 1 and position % sample_every:
+            continue
         address = record.address
         if not is_candidate[address]:
             continue

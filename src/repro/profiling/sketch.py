@@ -249,9 +249,18 @@ def loads_sketch(data: bytes) -> ProfileSketch:
             f"not a profile sketch (header {bytes(data[:16])!r})"
         )
     try:
-        body = zlib.decompress(data[len(SKETCH_MAGIC):])
+        decompressor = zlib.decompressobj()
+        body = decompressor.decompress(data[len(SKETCH_MAGIC):])
+        body += decompressor.flush()
     except zlib.error as exc:
         raise SketchFormatError(f"corrupt sketch body: {exc}") from None
+    if not decompressor.eof:
+        raise SketchFormatError("truncated deflate stream in sketch")
+    if decompressor.unused_data:
+        raise SketchFormatError(
+            f"{len(decompressor.unused_data)} trailing bytes after "
+            "sketch deflate stream"
+        )
 
     pos = 0
     program_name, pos = _get_text(body, pos)

@@ -232,6 +232,7 @@ class ProfileJob:
     name: str = "program"
     input_sets: Tuple[Tuple[Number, ...], ...] = ((),)
     max_instructions: Optional[int] = None
+    sample_every: int = 1
 
     KIND = "profile"
 
@@ -242,6 +243,7 @@ class ProfileJob:
             "name": self.name,
             "input_sets": [list(inputs) for inputs in self.input_sets],
             "max_instructions": self.max_instructions,
+            "sample_every": self.sample_every,
         }
 
     @classmethod
@@ -259,11 +261,21 @@ class ProfileJob:
         budget = payload.get("max_instructions")
         if budget is not None and (isinstance(budget, bool) or not isinstance(budget, int)):
             raise ApiError(INVALID_JOB, "profile job max_instructions must be an int")
+        sample_every = payload.get("sample_every", 1)
+        if (
+            isinstance(sample_every, bool)
+            or not isinstance(sample_every, int)
+            or sample_every < 1
+        ):
+            raise ApiError(
+                INVALID_JOB, "profile job sample_every must be an int >= 1"
+            )
         return cls(
             program=_require_text(payload, "program", cls.KIND),
             name=str(payload.get("name", "program")),
             input_sets=input_sets,
             max_instructions=budget,
+            sample_every=sample_every,
         )
 
 

@@ -194,6 +194,13 @@ def add_client_arguments(parser: argparse.ArgumentParser) -> None:
     profile_parser.add_argument(
         "--max-instructions", type=int, default=None, help="dynamic budget"
     )
+    profile_parser.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="keep every K-th dynamic record (1 = full profile, the default)",
+    )
     profile_parser.add_argument("-o", "--output", help="profile output (default stdout)")
 
     annotate_parser = actions.add_parser(
@@ -290,6 +297,7 @@ def _build_job(arguments: argparse.Namespace):
                 tuple(inputs) for inputs in parse_input_sets(arguments.inputs or [""])
             ),
             max_instructions=arguments.max_instructions,
+            sample_every=arguments.sample_every,
         )
     if action == "annotate":
         path = Path(arguments.program)

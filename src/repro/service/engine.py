@@ -180,6 +180,7 @@ class ServiceEngine:
                     list(inputs),
                     run_label=f"run-{index}",
                     max_instructions=job.max_instructions,
+                    sample_every=job.sample_every,
                     store=self.traces,
                 )
                 for index, inputs in enumerate(job.input_sets)

@@ -17,6 +17,12 @@ writes a ``BENCH_<rev>.json`` file in a stable schema
   :class:`~repro.profiling.fusion.MergeAccumulator`; reports fuse
   throughput (images/s) and the sketch wire size against the v1 text
   dump (bytes/image, compression ratio).
+* **corpus** — the seeded mini-C generator
+  (:mod:`repro.workloads.corpus`): generate + compile a pinned corpus
+  slice; reports programs/sec and the mean static program size.
+* **sampling** — sampled phase-2 profiling: one corpus program profiled
+  in full and at the pinned sampling rate from the same captured trace;
+  reports records/sec both ways and the sampled-path speedup.
 * **suite** — one end-to-end experiment (``fig-5.1``) at small scale,
   cold cache then warm cache, with per-kind artifact-cache hit rates
   and the whole-pipeline simulated MIPS taken from the telemetry
@@ -52,7 +58,9 @@ from .registry import Telemetry, use_registry
 #: Stable schema identifier; bump on any incompatible payload change.
 #: v2 added the ``trace`` section (trace-store capture/replay throughput).
 #: v3 added the ``fuse`` section (streaming fusion throughput + sketch size).
-SCHEMA_VERSION = "repro-bench/3"
+#: v4 added the ``corpus`` section (generator throughput) and the
+#: ``sampling`` section (sampled vs full profiling throughput).
+SCHEMA_VERSION = "repro-bench/4"
 
 #: Required ``metrics`` sections and the keys each must carry.
 REQUIRED_METRICS = {
@@ -73,6 +81,21 @@ REQUIRED_METRICS = {
         "text_bytes_per_image",
         "sketch_bytes_per_image",
         "compression_ratio",
+    ),
+    "corpus": (
+        "programs",
+        "seconds",
+        "programs_per_sec",
+        "mean_static_instructions",
+    ),
+    "sampling": (
+        "records",
+        "sample_every",
+        "full_seconds",
+        "full_records_per_sec",
+        "sampled_seconds",
+        "sampled_records_per_sec",
+        "speedup",
     ),
     "suite": ("experiment", "cold_seconds", "warm_seconds", "simulated_mips", "cache"),
 }
@@ -96,6 +119,9 @@ class BenchConfig:
     trace_replays: int = 5
     fuse_images: int = 300
     fuse_addresses: int = 128
+    corpus_count: int = 48
+    corpus_seed: int = 1997
+    sampling_rate: int = 10
 
 
 #: The default (committed-trajectory) configuration.
@@ -118,6 +144,7 @@ SMOKE = BenchConfig(
     trace_replays=3,
     fuse_images=60,
     fuse_addresses=64,
+    corpus_count=8,
 )
 
 #: Pinned executor workload: {iterations} is substituted per config.
@@ -320,6 +347,79 @@ def bench_fuse(images: int, addresses: int) -> Dict[str, Any]:
     }
 
 
+def bench_corpus(count: int, seed: int) -> Dict[str, Any]:
+    """Time generating and compiling a pinned corpus slice.
+
+    ``programs_per_sec`` covers the full pipeline a ``repro corpus``
+    invocation pays per workload — grammar expansion, input-set
+    derivation, and mini-C compilation — so a generator or compiler
+    regression shows up here before it slows the sweep experiments.
+    """
+    from ..workloads.corpus import generate_corpus
+
+    started = time.perf_counter()
+    workloads = generate_corpus(seed, count)
+    static_sizes = [len(workload.compile()) for workload in workloads]
+    seconds = time.perf_counter() - started
+    return {
+        "programs": count,
+        "seed": seed,
+        "seconds": seconds,
+        "programs_per_sec": count / seconds if seconds else 0.0,
+        "mean_static_instructions": (
+            sum(static_sizes) / len(static_sizes) if static_sizes else 0.0
+        ),
+    }
+
+
+def bench_sampling(seed: int, sample_every: int) -> Dict[str, Any]:
+    """Time full vs sampled profiling of one corpus program.
+
+    The program's test run is captured once into a memory
+    :class:`~repro.machine.TraceStore`; both profiling passes then
+    replay the same packed batches, so the timed difference is purely
+    the collector's sampled batch path against its full path.
+    ``speedup`` is wall-time full/sampled — the payoff a profiling
+    deployment buys by keeping every ``sample_every``-th record.
+    """
+    from ..machine import TraceStore
+    from ..profiling import collect_profile
+    from ..workloads.corpus import generate_corpus
+
+    workload = generate_corpus(seed, 1)[0]
+    program = workload.compile()
+    inputs = workload.test_inputs()
+    store = TraceStore(None)
+    records = 0
+    for batch in store.batches(program, inputs):
+        records += len(batch)
+    started = time.perf_counter()
+    collect_profile(program, inputs, run_label="bench-full", store=store)
+    full_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    sampled = collect_profile(
+        program,
+        inputs,
+        run_label="bench-sampled",
+        sample_every=sample_every,
+        store=store,
+    )
+    sampled_seconds = time.perf_counter() - started
+    kept = sum(profile.executions for profile in sampled.instructions.values())
+    return {
+        "records": records,
+        "sample_every": sample_every,
+        "sampled_candidate_records": kept,
+        "full_seconds": full_seconds,
+        "full_records_per_sec": records / full_seconds if full_seconds else 0.0,
+        "sampled_seconds": sampled_seconds,
+        "sampled_records_per_sec": (
+            records / sampled_seconds if sampled_seconds else 0.0
+        ),
+        "speedup": full_seconds / sampled_seconds if sampled_seconds else 0.0,
+    }
+
+
 def _run_suite_once(config: BenchConfig, cache_dir: str) -> Dict[str, Any]:
     """One full experiment pass under a fresh live registry."""
     from ..experiments.context import ExperimentContext
@@ -385,6 +485,8 @@ def build_payload(config: BenchConfig, smoke: bool) -> Dict[str, Any]:
             "predictor": bench_predictor(config.predictor_ops),
             "trace": bench_trace(config.trace_iterations, config.trace_replays),
             "fuse": bench_fuse(config.fuse_images, config.fuse_addresses),
+            "corpus": bench_corpus(config.corpus_count, config.corpus_seed),
+            "sampling": bench_sampling(config.corpus_seed, config.sampling_rate),
             "suite": suite,
         },
         "telemetry": telemetry,
@@ -429,6 +531,8 @@ def summary_table(payload: Dict[str, Any]) -> str:
     predictor = metrics["predictor"]
     trace = metrics["trace"]
     fuse = metrics["fuse"]
+    corpus = metrics["corpus"]
+    sampling = metrics["sampling"]
     suite = metrics["suite"]
     lines = [
         f"repro bench — revision {payload['revision']} "
@@ -447,6 +551,14 @@ def summary_table(payload: Dict[str, Any]) -> str:
         f"{fuse['seconds']:>8.3f}s  {fuse['images_per_sec']:>10,.0f} img/s  "
         f"sketch {fuse['sketch_bytes_per_image']:,.0f} B/img "
         f"({fuse['compression_ratio']:.1f}x)",
+        f"  corpus     {corpus['programs']:>12,} progs "
+        f"{corpus['seconds']:>8.3f}s  {corpus['programs_per_sec']:>10,.0f} prog/s  "
+        f"mean {corpus['mean_static_instructions']:.0f} instr",
+        f"  sampling   {sampling['records']:>12,} recs  "
+        f"full {sampling['full_records_per_sec'] / 1e6:>6.3f} Mrec/s  "
+        f"k={sampling['sample_every']} "
+        f"{sampling['sampled_records_per_sec'] / 1e6:>6.3f} Mrec/s  "
+        f"({sampling['speedup']:.1f}x)",
         f"  suite      {suite['experiment']:<12} cold {suite['cold_seconds']:>8.2f}s  "
         f"warm {suite['warm_seconds']:>7.2f}s  "
         f"simulated {suite['simulated_mips']:.3f} MIPS",

@@ -47,6 +47,11 @@ KNOWN_METRICS: FrozenSet[str] = frozenset(
         "profiling.records",
         "profiling.runs",
         "profiling.collect",
+        "profiling.sampled.runs",
+        "profiling.sampled.records",
+        # corpus: the seeded mini-C workload generator.
+        "corpus.programs",
+        "corpus.generate",
         # fusion: streaming profile merge and the sketch wire format.
         "fusion.images",
         "fusion.runs",

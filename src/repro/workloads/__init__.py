@@ -12,6 +12,14 @@ evaluation experiments.
 """
 
 from .base import REGISTRY, TEST_INDEX, TRAINING_RUNS, Workload, WorkloadRegistry
+from .corpus import (
+    DEFAULT_MIX,
+    IdiomMix,
+    corpus_workload,
+    generate_corpus,
+    parse_mix,
+    register_corpus,
+)
 from .inputs import Lcg, scaled, text_stream
 from .programs import (
     compress,
@@ -81,6 +89,8 @@ def table_4_1_workloads() -> list[Workload]:
 
 
 __all__ = [
+    "DEFAULT_MIX",
+    "IdiomMix",
     "Lcg",
     "REGISTRY",
     "TABLE_4_1_NAMES",
@@ -89,7 +99,11 @@ __all__ = [
     "Workload",
     "WorkloadRegistry",
     "all_workloads",
+    "corpus_workload",
+    "generate_corpus",
     "get_workload",
+    "parse_mix",
+    "register_corpus",
     "scaled",
     "table_4_1_workloads",
     "text_stream",

@@ -1,0 +1,436 @@
+"""Grammar-driven generation of seeded mini-C workloads.
+
+The 13 hand-written workloads are a *suite*; fleet-scale questions —
+does profile-guided classification transfer across a workload
+*population*, how fast does sampled profiling degrade — need hundreds
+of programs with controlled value-behaviour mixes.  This module grows
+them from a grammar.
+
+:class:`MiniCGrammar` is a productions-as-methods generator (in the
+spirit of classic grammar-as-class parser toolkits): each ``p_*`` method
+is one grammar production that emits a mini-C fragment, and every
+choice — how many idiom blocks, which idiom, which constants — is drawn
+from the repo's seeded :class:`~repro.workloads.inputs.Lcg`.  Nothing
+depends on Python's ``random``, hash seeds or dict order, so the same
+seed produces byte-identical source and input sets in every process
+(the corpus property suite asserts this across ``PYTHONHASHSEED``
+values).
+
+The four idiom productions target the paper's value-behaviour classes:
+
+``stride``
+    affine induction chains stored through an array — the
+    stride-predictable core of Figure 2.2's FP loops.
+``table``
+    fill a table once, then re-walk it — repeated loads with last-value
+    locality.
+``chain``
+    a data-dependent LCG recurrence — the unpredictable tail.
+``mixed``
+    interleaved int/FP arithmetic seeded from a ``fin()`` parameter.
+
+Each generated program is paired with a deterministic input generator
+and wrapped in a normal :class:`~repro.workloads.base.Workload`, so
+``run``/``trace``/``profile``/``experiments``/``fuse`` consume corpus
+workloads exactly like the hand-written ones.  Generated programs
+terminate by construction: every loop is bounded by the scaled
+iteration parameter read from the input set or by a literal constant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..lang import RESERVED_NAMES
+from ..telemetry import get_registry
+from .base import REGISTRY, Workload, WorkloadRegistry
+from .inputs import Lcg, scaled
+
+Number = Union[int, float]
+
+#: The idiom kinds a mix weights, in canonical order.
+IDIOM_KINDS = ("stride", "table", "chain", "mixed")
+
+
+@dataclasses.dataclass(frozen=True)
+class IdiomMix:
+    """Relative weights of the four idiom productions.
+
+    A weight of 0 removes the idiom from the draw entirely; the knobs
+    therefore provably change the generated opcode histogram (a
+    ``mixed``-free corpus contains no FP arithmetic at all).
+    """
+
+    stride: int = 1
+    table: int = 1
+    chain: int = 1
+    mixed: int = 1
+
+    def __post_init__(self) -> None:
+        weights = self.weights()
+        if any(weight < 0 for _, weight in weights):
+            raise ValueError(f"idiom weights must be non-negative: {self}")
+        if sum(weight for _, weight in weights) == 0:
+            raise ValueError("at least one idiom weight must be positive")
+
+    def weights(self) -> List[Tuple[str, int]]:
+        """(kind, weight) pairs in canonical order."""
+        return [(kind, getattr(self, kind)) for kind in IDIOM_KINDS]
+
+
+#: The balanced default: every idiom equally likely.
+DEFAULT_MIX = IdiomMix()
+
+
+def parse_mix(text: str) -> IdiomMix:
+    """Parse a ``stride=2,table=1,...`` CLI mix spec (omitted kinds = 1)."""
+    values = {kind: 1 for kind in IDIOM_KINDS}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, raw = part.partition("=")
+        name = name.strip()
+        if name not in values or not _:
+            raise ValueError(
+                f"bad mix component {part!r} (expected kind=weight with kind "
+                f"in {', '.join(IDIOM_KINDS)})"
+            )
+        try:
+            values[name] = int(raw)
+        except ValueError:
+            raise ValueError(f"bad mix weight in {part!r}") from None
+    return IdiomMix(**values)
+
+
+#: What one prologue/block input read means for input-set generation.
+#: ("iters",) scales with the run; ("int", low, high) and
+#: ("float", lo_milli, hi_milli) draw per-set values from the set's RNG.
+ReadSpec = Tuple
+
+
+@dataclasses.dataclass
+class GeneratedSource:
+    """One generated program: source text plus its input protocol."""
+
+    seed: int
+    source: str
+    idioms: Tuple[str, ...]
+    reads: Tuple[ReadSpec, ...]
+    base_iterations: int
+    uses_float: bool
+
+
+class MiniCGrammar:
+    """Productions-as-methods mini-C program generator.
+
+    Every ``p_*`` method is one grammar production: it draws its choices
+    from the generator's seeded LCG, appends declarations and statements
+    to the program under construction, and records any ``in()``/``fin()``
+    reads it emits in the input protocol.  :meth:`p_program` is the start
+    symbol.
+    """
+
+    #: Float literals are chosen from this closed pool, never formatted
+    #: from computed floats, so source bytes cannot depend on float repr.
+    FLOAT_LITERALS = ("0.25", "0.5", "0.75", "0.99", "1.25", "1.5")
+
+    def __init__(self, seed: int, mix: IdiomMix = DEFAULT_MIX) -> None:
+        self.seed = seed
+        self.rng = Lcg(seed)
+        self.mix = mix
+        self.globals: List[str] = []
+        self.declarations: List[str] = []
+        self.body: List[str] = []
+        self.reads: List[ReadSpec] = []
+        self.idioms: List[str] = []
+        self._counter = 0
+        self.uses_float = False
+        self.base_iterations = 0
+
+    # -- helpers ------------------------------------------------------
+
+    def fresh(self, stem: str) -> str:
+        """A new identifier; stems are filtered against reserved names."""
+        while True:
+            name = f"{stem}{self._counter}"
+            self._counter += 1
+            if name not in RESERVED_NAMES:
+                return name
+
+    def pick(self, options: Sequence):
+        """One seeded choice from a sequence."""
+        return options[self.rng.below(len(options))]
+
+    def pick_idiom(self) -> str:
+        """One weighted idiom draw from the mix."""
+        weights = self.mix.weights()
+        total = sum(weight for _, weight in weights)
+        ticket = self.rng.below(total)
+        for kind, weight in weights:
+            if ticket < weight:
+                return kind
+            ticket -= weight
+        return weights[-1][0]  # unreachable; appeases the type checker
+
+    def statement(self, text: str) -> None:
+        self.body.append(f"  {text}")
+
+    # -- productions --------------------------------------------------
+
+    def p_program(self) -> GeneratedSource:
+        """Start symbol: prologue, 2-4 idiom blocks, epilogue."""
+        self.base_iterations = 40 + self.rng.below(81)  # 40..120
+        self.p_prologue()
+        block_count = 2 + self.rng.below(3)  # 2..4
+        self.statement("phase(2);")
+        for _ in range(block_count):
+            kind = self.pick_idiom()
+            self.idioms.append(kind)
+            getattr(self, f"p_{kind}")()
+        self.p_epilogue()
+        lines = list(self.globals)
+        if lines:
+            lines.append("")
+        lines.append("void main() {")
+        lines.extend(self.declarations)
+        lines.extend(self.body)
+        lines.append("}")
+        return GeneratedSource(
+            seed=self.seed,
+            source="\n".join(lines) + "\n",
+            idioms=tuple(self.idioms),
+            reads=tuple(self.reads),
+            base_iterations=self.base_iterations,
+            uses_float=self.uses_float,
+        )
+
+    def p_prologue(self) -> None:
+        """Shared state: the scaled iteration count and the accumulator."""
+        self.declarations.append("  int n;")
+        self.declarations.append("  int acc;")
+        self.statement("phase(1);")
+        self.statement("n = in();")
+        self.reads.append(("iters",))
+        self.statement("acc = 0;")
+
+    def p_epilogue(self) -> None:
+        self.statement("out(acc);")
+
+    def p_stride(self) -> None:
+        """Affine induction chain stored through an array (predictable)."""
+        array = self.fresh("grid")
+        size = self.pick((32, 48, 64))
+        start = self.fresh("base")
+        index = self.fresh("i")
+        stride = self.pick((2, 3, 5, 7))
+        self.globals.append(f"int {array}[{size}];")
+        self.declarations.append(f"  int {start};")
+        self.declarations.append(f"  int {index};")
+        self.statement(f"{start} = in();")
+        self.reads.append(("int", 1, 64))
+        self.statement(f"for ({index} = 0; {index} < n; {index} = {index} + 1) {{")
+        self.statement(
+            f"  {array}[{index} % {size}] = {start} + {index} * {stride};"
+        )
+        self.statement(f"  acc = acc + {array}[{index} % {size}];")
+        self.statement("}")
+
+    def p_table(self) -> None:
+        """Fill a table once, then re-walk it (load reuse)."""
+        array = self.fresh("tbl")
+        size = self.pick((16, 24, 32))
+        index = self.fresh("j")
+        passes = self.fresh("r")
+        pass_count = self.pick((2, 3))
+        fill_a = self.pick((3, 5, 11))
+        fill_b = self.pick((17, 29, 41))
+        self.globals.append(f"int {array}[{size}];")
+        self.declarations.append(f"  int {index};")
+        self.declarations.append(f"  int {passes};")
+        self.statement(
+            f"for ({index} = 0; {index} < {size}; {index} = {index} + 1) {{"
+        )
+        self.statement(f"  {array}[{index}] = ({index} * {fill_a}) % {fill_b};")
+        self.statement("}")
+        self.statement(
+            f"for ({passes} = 0; {passes} < {pass_count}; {passes} = {passes} + 1) {{"
+        )
+        self.statement(
+            f"  for ({index} = 0; {index} < n; {index} = {index} + 1) {{"
+        )
+        self.statement(f"    acc = acc + {array}[{index} % {size}];")
+        self.statement("  }")
+        self.statement("}")
+
+    def p_chain(self) -> None:
+        """Data-dependent LCG recurrence (unpredictable)."""
+        value = self.fresh("v")
+        index = self.fresh("k")
+        modulus = self.pick((9, 13, 31))
+        self.declarations.append(f"  int {value};")
+        self.declarations.append(f"  int {index};")
+        self.statement(f"{value} = in();")
+        self.reads.append(("int", 1, 4096))
+        self.statement(f"for ({index} = 0; {index} < n; {index} = {index} + 1) {{")
+        self.statement(f"  {value} = ({value} * 1103515245 + 12345) % 32768;")
+        self.statement(f"  acc = acc + {value} % {modulus};")
+        self.statement("}")
+
+    def p_mixed(self) -> None:
+        """Interleaved int/FP arithmetic from a ``fin()`` parameter."""
+        factor = self.fresh("f")
+        accumulator = self.fresh("facc")
+        index = self.fresh("m")
+        decay = self.pick(self.FLOAT_LITERALS)
+        modulus = self.pick((5, 7, 11))
+        self.uses_float = True
+        self.declarations.append(f"  float {factor};")
+        self.declarations.append(f"  float {accumulator};")
+        self.declarations.append(f"  int {index};")
+        self.statement(f"{factor} = fin();")
+        self.reads.append(("float", 500, 1500))
+        self.statement(f"{accumulator} = 0.0;")
+        self.statement(f"for ({index} = 0; {index} < n; {index} = {index} + 1) {{")
+        self.statement(
+            f"  {accumulator} = {accumulator} * {decay} + (float){index} * {factor};"
+        )
+        self.statement(f"  acc = acc + (int){accumulator} % {modulus};")
+        self.statement("}")
+        self.statement(f"out({accumulator});")
+
+
+# -- workload construction ---------------------------------------------------
+
+#: Multiplier/offsets for deriving child and per-input-set seeds; odd
+#: constants so distinct (seed, index) pairs land on distinct LCG states.
+_SEED_MIX = 2654435761
+_SET_MIX = 1013904223
+
+
+def _derive_seed(seed: int, index: int) -> int:
+    return (seed * _SEED_MIX + index * _SET_MIX + 1) % Lcg.MODULUS
+
+
+def _make_inputs(
+    seed: int, reads: Tuple[ReadSpec, ...], base_iterations: int
+) -> Callable[[int, float], List[Number]]:
+    """The deterministic input generator for one generated program.
+
+    Input set ``index`` draws from ``Lcg`` seeded by (program seed,
+    index), so training sets 0-4 and the held-out test set differ but
+    are each stable across processes and Python versions.
+    """
+
+    def make(index: int, scale: float) -> List[Number]:
+        rng = Lcg(_derive_seed(seed, index))
+        values: List[Number] = []
+        for spec in reads:
+            if spec[0] == "iters":
+                values.append(scaled(base_iterations, scale))
+            elif spec[0] == "int":
+                values.append(rng.in_range(spec[1], spec[2]))
+            else:  # float, bounds in thousandths
+                values.append(rng.in_range(spec[1], spec[2]) / 1000.0)
+        return values
+
+    return make
+
+
+def corpus_workload(
+    seed: int, mix: IdiomMix = DEFAULT_MIX, name: Optional[str] = None
+) -> Workload:
+    """Generate one seeded workload (source + input sets)."""
+    generated = MiniCGrammar(seed, mix).p_program()
+    return Workload(
+        name=name or f"gen.{seed:010d}",
+        suite="fp" if generated.uses_float else "int",
+        description=(
+            f"generated workload, seed {seed}, "
+            f"idioms {'+'.join(generated.idioms)}"
+        ),
+        source=generated.source,
+        make_inputs=_make_inputs(
+            seed, generated.reads, generated.base_iterations
+        ),
+    )
+
+
+def generate_corpus(
+    seed: int,
+    count: int,
+    mix: IdiomMix = DEFAULT_MIX,
+    name_prefix: str = "gen",
+) -> List[Workload]:
+    """Generate ``count`` workloads from one corpus seed.
+
+    Workload ``i`` is named ``<prefix>.<seed>.<i>`` and generated from a
+    child seed derived from ``(seed, i)``, so a corpus is fully
+    reproducible from its ``(seed, count, mix)`` triple and any slice of
+    it is stable under growing ``count``.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    width = max(3, len(str(max(count - 1, 0))))
+    telemetry = get_registry()
+    started = time.perf_counter()
+    workloads = [
+        corpus_workload(
+            _derive_seed(seed, index),
+            mix,
+            name=f"{name_prefix}.{seed}.{index:0{width}d}",
+        )
+        for index in range(count)
+    ]
+    if telemetry.enabled:
+        telemetry.counter("corpus.programs").add(count)
+        telemetry.timer("corpus.generate").add(time.perf_counter() - started)
+    return workloads
+
+
+def register_corpus(
+    seed: int,
+    count: int,
+    mix: IdiomMix = DEFAULT_MIX,
+    registry: Optional[WorkloadRegistry] = None,
+    name_prefix: str = "gen",
+) -> List[Workload]:
+    """Generate a corpus and register it in ``registry`` (default global).
+
+    Registered corpus workloads are indistinguishable from hand-written
+    ones: ``get_workload``/``workload_names`` see them, and every
+    consumer of the registry (CLI, experiments, service) can run them.
+    """
+    registry = registry if registry is not None else REGISTRY
+    workloads = generate_corpus(seed, count, mix, name_prefix=name_prefix)
+    for workload in workloads:
+        registry.register(workload)
+    return workloads
+
+
+def opcode_histogram(program) -> Dict[str, int]:
+    """Static opcode mnemonic -> count for a compiled program.
+
+    The corpus property suite uses this to assert that idiom-mix knobs
+    actually change what the generator emits.
+    """
+    histogram: Dict[str, int] = {}
+    for instruction in program.instructions:
+        mnemonic = instruction.opcode.value
+        histogram[mnemonic] = histogram.get(mnemonic, 0) + 1
+    return histogram
+
+
+__all__ = [
+    "DEFAULT_MIX",
+    "IDIOM_KINDS",
+    "IdiomMix",
+    "MiniCGrammar",
+    "corpus_workload",
+    "generate_corpus",
+    "opcode_histogram",
+    "parse_mix",
+    "register_corpus",
+]

@@ -1,0 +1,202 @@
+"""Property suite for the grammar-driven workload corpus generator."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.lang import check_source
+from repro.machine import run_program
+from repro.workloads import TEST_INDEX, WorkloadRegistry
+from repro.workloads.corpus import (
+    DEFAULT_MIX,
+    IDIOM_KINDS,
+    IdiomMix,
+    corpus_workload,
+    generate_corpus,
+    opcode_histogram,
+    parse_mix,
+    register_corpus,
+)
+
+RUN_BUDGET = 200_000
+
+
+def _fingerprint(seed: int, count: int) -> list:
+    """Everything that must be reproducible: sources and all input sets."""
+    out = []
+    for workload in generate_corpus(seed, count):
+        sets = [workload.input_set(index) for index in range(TEST_INDEX + 1)]
+        out.append((workload.name, workload.suite, workload.source, sets))
+    return out
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        assert _fingerprint(1997, 6) == _fingerprint(1997, 6)
+
+    def test_different_seeds_differ(self):
+        first = [w.source for w in generate_corpus(1, 4)]
+        second = [w.source for w in generate_corpus(2, 4)]
+        assert first != second
+
+    def test_slice_stable_under_count(self):
+        small = generate_corpus(1997, 5)
+        large = generate_corpus(1997, 8)
+        for a, b in zip(small, large):
+            assert a.name == b.name
+            assert a.source == b.source
+            assert a.test_inputs() == b.test_inputs()
+
+    def test_hash_seed_independent(self):
+        # The real property: byte-identical corpora across *processes*
+        # with different PYTHONHASHSEED values.
+        script = (
+            "import hashlib, sys\n"
+            "from repro.workloads import TEST_INDEX\n"
+            "from repro.workloads.corpus import generate_corpus\n"
+            "digest = hashlib.sha256()\n"
+            "for w in generate_corpus(1997, 6):\n"
+            "    digest.update(w.source.encode())\n"
+            "    for i in range(TEST_INDEX + 1):\n"
+            "        digest.update(repr(w.input_set(i)).encode())\n"
+            "print(digest.hexdigest())\n"
+        )
+        digests = set()
+        for hash_seed in ("0", "1", "4242"):
+            result = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={"PYTHONHASHSEED": hash_seed, "PYTHONPATH": "src"},
+                check=True,
+            )
+            digests.add(result.stdout.strip())
+        assert len(digests) == 1
+
+
+class TestGeneratedPrograms:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_compiles_and_terminates(self, seed):
+        workload = corpus_workload(seed)
+        check_source(workload.source)  # front half accepts it
+        program = workload.compile()
+        for index in range(TEST_INDEX + 1):
+            result = run_program(
+                program,
+                inputs=workload.input_set(index),
+                max_instructions=RUN_BUDGET,
+            )
+            assert result.instruction_count > 0
+
+    def test_default_corpus_has_candidates(self):
+        for workload in generate_corpus(1997, 6):
+            program = workload.compile()
+            assert program.candidate_addresses
+
+    def test_training_and_test_inputs_differ(self):
+        workload = generate_corpus(1997, 6)[0]
+        sets = [workload.input_set(index) for index in range(TEST_INDEX + 1)]
+        # The iteration count is shared; the drawn values must vary
+        # across at least some of the six sets.
+        assert len({tuple(s) for s in sets}) > 1
+
+
+class TestIdiomMix:
+    def test_knobs_change_opcode_histogram(self):
+        stride_only = IdiomMix(stride=1, table=0, chain=0, mixed=0)
+        mixed_only = IdiomMix(stride=0, table=0, chain=0, mixed=1)
+        histogram_a = opcode_histogram(
+            corpus_workload(1997, stride_only).compile()
+        )
+        histogram_b = opcode_histogram(
+            corpus_workload(1997, mixed_only).compile()
+        )
+        assert histogram_a != histogram_b
+        # mixed emits FP arithmetic; stride-only must not.
+        assert not any(key.startswith("f") for key in histogram_a)
+
+    def test_mixed_free_corpus_is_all_int(self):
+        mix = IdiomMix(stride=1, table=1, chain=1, mixed=0)
+        assert all(
+            workload.suite == "int"
+            for workload in generate_corpus(1997, 10, mix)
+        )
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            IdiomMix(stride=-1)
+        with pytest.raises(ValueError):
+            IdiomMix(stride=0, table=0, chain=0, mixed=0)
+
+    def test_parse_mix(self):
+        assert parse_mix("stride=2,table=0") == IdiomMix(
+            stride=2, table=0, chain=1, mixed=1
+        )
+        assert parse_mix("") == DEFAULT_MIX
+        with pytest.raises(ValueError):
+            parse_mix("bogus=1")
+        with pytest.raises(ValueError):
+            parse_mix("stride")
+        with pytest.raises(ValueError):
+            parse_mix("stride=lots")
+
+    def test_idiom_kinds_cover_mix_fields(self):
+        assert set(IDIOM_KINDS) == {
+            field for field, _ in DEFAULT_MIX.weights()
+        }
+
+
+class TestRegistry:
+    def test_register_corpus_in_private_registry(self):
+        registry = WorkloadRegistry()
+        workloads = register_corpus(1997, 4, registry=registry)
+        assert registry.names() == sorted(w.name for w in workloads)
+        fetched = registry.get(workloads[0].name)
+        assert fetched.source == workloads[0].source
+
+    def test_duplicate_registration_rejected(self):
+        registry = WorkloadRegistry()
+        register_corpus(1997, 2, registry=registry)
+        with pytest.raises(ValueError):
+            register_corpus(1997, 2, registry=registry)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_corpus(1997, -1)
+
+
+class TestCorpusCli:
+    def test_corpus_command_writes_deterministic_files(self, tmp_path, capsys):
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        for out_dir in (first, second):
+            code = cli_main(
+                [
+                    "corpus",
+                    "--seed",
+                    "1997",
+                    "--count",
+                    "3",
+                    "--out-dir",
+                    str(out_dir),
+                    "--manifest",
+                    str(out_dir / "manifest.json"),
+                ]
+            )
+            assert code == 0
+        names = sorted(p.name for p in first.iterdir())
+        assert sorted(p.name for p in second.iterdir()) == names
+        # 3 workloads x (.mc + .asm + 6 input sets) + manifest
+        assert len(names) == 3 * 8 + 1
+        for name in names:
+            assert (first / name).read_bytes() == (second / name).read_bytes()
+
+    def test_corpus_command_bad_mix(self, capsys):
+        assert cli_main(["corpus", "--count", "1", "--mix", "bogus=1"]) == 2
