@@ -25,6 +25,16 @@ Each :class:`OraclePair` names one equivalence the codebase relies on:
     unsampled profile, and ``sample_every=k`` over the live executor
     (columnar batch path) must equal profiling the drained record list
     thinned to ``records[::k]`` (the per-record reference path).
+``simulate-vec-vs-pure``
+    ``simulate_prediction_many`` over a ten-engine grid with the
+    vectorized (numpy) backend live against the same grid with
+    ``REPRO_NO_NUMPY`` forced — on the generated case (which exercises
+    mid-run demotion: generated programs always produce floats) *and*
+    on an all-integer twin of it (which exercises the actual fold).
+``capture-shard-vs-serial``
+    ``capture_sharded`` at ``jobs=2`` against a serial capture of the
+    same input sets, compared by store-directory fingerprint and
+    per-shard outcomes.
 ``runner-parallel`` / ``runner-faulty``
     the parallel engine at ``jobs=2`` — and a faulted run recovered
     under a retry policy — against a serial walk of the same graph.
@@ -107,8 +117,10 @@ def _observe_batches_raw(case: CheckCase, budget: int) -> Dict[str, object]:
     """Fast-side observation: decode the columnar batches by hand.
 
     Deliberately re-implements the column walk (phase segments, dense
-    ``mems`` cursor against the static ``mem_flags`` bitmap) instead of
-    calling ``TraceBatch.records`` — the adapter is the thing under test.
+    ``mems`` cursor against the static ``mem_flags`` bitmap, packed
+    produced-value cursor against the static ``value_flags`` bitmap)
+    instead of calling ``TraceBatch.records`` — the adapter is the thing
+    under test.
     """
     executor = Executor(
         case.program, inputs=list(case.inputs), max_instructions=budget
@@ -118,8 +130,11 @@ def _observe_batches_raw(case: CheckCase, budget: int) -> Dict[str, object]:
     try:
         for batch in executor.run_batches():
             flags = batch.mem_flags
+            vflags = batch.value_flags
             mems = batch.mems
+            produced = batch.values
             cursor = 0
+            vcursor = 0
             for start, end, phase in batch.phase_segments():
                 for index in range(start, end):
                     address = batch.addresses[index]
@@ -128,9 +143,13 @@ def _observe_batches_raw(case: CheckCase, budget: int) -> Dict[str, object]:
                         cursor += 1
                     else:
                         mem_address = None
+                    if vflags[address]:
+                        value = produced[vcursor]
+                        vcursor += 1
+                    else:
+                        value = None
                     records.append(
-                        (address, _canon_value(batch.values[index]), phase,
-                         mem_address)
+                        (address, _canon_value(value), phase, mem_address)
                     )
     except ExecutionError as exc:
         outcome = ("error", type(exc).__name__, str(exc))
@@ -485,6 +504,274 @@ def _check_profile_sampled(case: CheckCase, budget: int):
     return None
 
 
+def _engine_grid(program):
+    """A predictor/scheme grid covering every vectorized code path.
+
+    Families: stride, last-value, two-delta and the hybrid split table;
+    schemes: unconditional, FSM-classified, profile-classified and the
+    probe-wrapped variants — so the vec backend's allocation masks, take
+    policies, FSM scan and directive routing all face their pure twins.
+    """
+    from ..core.schemes import (
+        AlwaysClassification,
+        HardwareClassification,
+        ProbeScheme,
+        ProfileClassification,
+    )
+    from ..core.simulate import PredictionEngine
+    from ..predictors import (
+        HybridPredictor,
+        LastValuePredictor,
+        StridePredictor,
+        TwoDeltaStridePredictor,
+    )
+
+    directives = {
+        address: Directive.STRIDE if address % 2 == 0 else Directive.LAST_VALUE
+        for address in program.candidate_addresses
+    }
+
+    def profile():
+        return ProfileClassification.from_directives(directives)
+
+    return {
+        "stride/always": PredictionEngine(
+            program, StridePredictor(), AlwaysClassification()
+        ),
+        "stride/fsm": PredictionEngine(
+            program, StridePredictor(), HardwareClassification()
+        ),
+        "stride/profile": PredictionEngine(program, StridePredictor(), profile()),
+        "stride/probe-profile": PredictionEngine(
+            program, StridePredictor(), ProbeScheme(profile())
+        ),
+        "lv/always": PredictionEngine(
+            program, LastValuePredictor(), AlwaysClassification()
+        ),
+        "lv/fsm": PredictionEngine(
+            program, LastValuePredictor(), HardwareClassification()
+        ),
+        "2d/always": PredictionEngine(
+            program, TwoDeltaStridePredictor(), AlwaysClassification()
+        ),
+        "2d/fsm": PredictionEngine(
+            program, TwoDeltaStridePredictor(), HardwareClassification()
+        ),
+        "hybrid/profile": PredictionEngine(program, HybridPredictor(), profile()),
+        "hybrid/probe-fsm": PredictionEngine(
+            program, HybridPredictor(), ProbeScheme(HardwareClassification())
+        ),
+    }
+
+
+def _observe_engine(engine) -> Dict[str, object]:
+    """Canonical engine end-state: stats, tables, entries, FSM counters.
+
+    Entries are keyed by sorted address (infinite-table insertion order
+    is an internal detail the pure fast and step paths already disagree
+    on); values go through :func:`_canon_value` so a float-valued entry
+    can never masquerade as its int twin.
+    """
+    from ..predictors.last_value import LastValueEntry
+    from ..predictors.stride import StrideEntry
+    from ..predictors.two_delta import TwoDeltaEntry
+
+    def canon_entry(entry):
+        if isinstance(entry, StrideEntry):
+            return (
+                "stride",
+                _canon_value(entry.last_value),
+                _canon_value(entry.stride),
+            )
+        if isinstance(entry, TwoDeltaEntry):
+            return (
+                "two-delta",
+                _canon_value(entry.last_value),
+                _canon_value(entry.candidate_stride),
+                _canon_value(entry.committed_stride),
+            )
+        if isinstance(entry, LastValueEntry):
+            return ("last-value", _canon_value(entry.last_value))
+        return ("?", repr(entry))  # pragma: no cover - closed entry set
+
+    tables = {}
+    for index, table in enumerate(engine.predictor.tables()):
+        tables[f"table{index}"] = {
+            "meters": (table.lookups, table.hits, table.evictions),
+            "entries": {
+                address: canon_entry(entry)
+                for address, entry in sorted(table)
+            },
+        }
+    scheme = engine.scheme
+    inner = getattr(scheme, "inner", scheme)
+    counters = {}
+    fsm = getattr(inner, "fsm", None)
+    if fsm is not None:
+        counters = {
+            address: counter.value
+            for address, counter in sorted(fsm._counters.items())
+        }
+    return {
+        "stats": engine.stats.to_dict(),
+        "tables": tables,
+        "fsm": counters,
+    }
+
+
+def _simulate_observation(case: CheckCase, budget: int) -> Dict[str, object]:
+    from ..core.simulate import simulate_prediction_many
+
+    engines = _engine_grid(case.program)
+    outcome: Tuple[str, ...] = ("halt",)
+    try:
+        simulate_prediction_many(
+            case.program, list(case.inputs), engines, max_instructions=budget
+        )
+    except ExecutionError as exc:
+        outcome = ("error", type(exc).__name__, str(exc))
+    return {
+        "outcome": outcome,
+        "engines": {
+            label: _observe_engine(engine) for label, engine in engines.items()
+        },
+    }
+
+
+def _forced_pure(fn):
+    """Run ``fn`` with the vectorized backend disabled via the env flag."""
+    import os
+
+    from ..core.simulate_vec import DISABLE_ENV
+
+    previous = os.environ.get(DISABLE_ENV)
+    os.environ[DISABLE_ENV] = "1"
+    try:
+        return fn()
+    finally:
+        if previous is None:
+            os.environ.pop(DISABLE_ENV, None)
+        else:
+            os.environ[DISABLE_ENV] = previous
+
+
+#: Opcode substitution turning a generated program into an all-integer
+#: twin: float producers become their integer counterparts, so the
+#: vectorized backend's packed-int fast fold genuinely engages (mixed
+#: int/float programs only ever exercise its demotion path).
+_INT_SUBSTITUTES = {
+    Opcode.FLI: Opcode.LI,
+    Opcode.FADD: Opcode.ADD,
+    Opcode.FSUB: Opcode.SUB,
+    Opcode.FMUL: Opcode.MUL,
+    Opcode.FDIV: Opcode.DIV,
+    Opcode.FNEG: Opcode.NEG,
+    Opcode.FMOV: Opcode.MOV,
+    Opcode.FSLT: Opcode.SLT,
+    Opcode.FSLE: Opcode.SLE,
+    Opcode.FSEQ: Opcode.SEQ,
+    Opcode.FSNE: Opcode.SNE,
+    Opcode.CVTIF: Opcode.MOV,
+    Opcode.CVTFI: Opcode.MOV,
+    Opcode.FLD: Opcode.LD,
+    Opcode.FST: Opcode.ST,
+    Opcode.FIN: Opcode.IN,
+}
+
+
+def _int_only_case(case: CheckCase) -> CheckCase:
+    """The case with every float source replaced by an integer twin.
+
+    Derived from the *current* program (not regenerated from the seed),
+    so NOP minimization shrinks the integer variant along with the
+    original.
+    """
+    from ..isa import build_program
+
+    code = []
+    for instruction in case.program.instructions:
+        replacement = _INT_SUBSTITUTES.get(instruction.opcode)
+        imm = instruction.imm
+        if isinstance(imm, float):
+            imm = int(imm)
+        if replacement is None and imm is instruction.imm:
+            code.append(instruction)
+        else:
+            code.append(
+                dataclasses.replace(
+                    instruction,
+                    opcode=replacement or instruction.opcode,
+                    imm=imm,
+                )
+            )
+    data = {address: int(value) for address, value in case.program.data.items()}
+    return CheckCase(
+        seed=case.seed,
+        program=build_program(
+            code, data=data, name=f"{case.program.name}-int"
+        ),
+        inputs=case.inputs,
+    )
+
+
+def _check_simulate_vec(case: CheckCase, budget: int):
+    # The raw case (mixed int/float traffic) exercises mid-run demotion;
+    # the integer twin exercises the actual vectorized fold.
+    for variant, label in (
+        (case, "$simulate"),
+        (_int_only_case(case), "$simulate.int"),
+    ):
+        fast = _simulate_observation(variant, budget)
+        reference = _forced_pure(lambda: _simulate_observation(variant, budget))
+        found = first_divergence(fast, reference, label)
+        if found is not None:
+            return found
+    return None
+
+
+def _store_fingerprint(directory) -> Dict[str, str]:
+    """Relative path -> content hash for every file under ``directory``."""
+    import hashlib
+    from pathlib import Path
+
+    root = Path(directory)
+    fingerprint = {}
+    for path in sorted(p for p in root.rglob("*") if p.is_file()):
+        digest = hashlib.sha256(path.read_bytes()).hexdigest()
+        fingerprint[str(path.relative_to(root))] = digest
+    return fingerprint
+
+
+def _check_capture_shard(case: CheckCase, budget: int):
+    from ..machine.sharding import capture_sharded
+
+    input_sets = [
+        list(case.inputs),
+        list(reversed(case.inputs)),
+        [value + 1 for value in case.inputs],
+        list(case.inputs)[: max(1, len(case.inputs) // 2)],
+    ]
+
+    def observe(jobs: int) -> Dict[str, object]:
+        with tempfile.TemporaryDirectory(prefix="repro-shard-") as tmp:
+            report = capture_sharded(
+                case.program,
+                input_sets,
+                directory=tmp,
+                jobs=jobs,
+                max_instructions=budget,
+            )
+            return {
+                "store": _store_fingerprint(tmp),
+                "shards": [
+                    (result.key, result.records, result.error)
+                    for result in report.results
+                ],
+            }
+
+    return first_divergence(observe(jobs=2), observe(jobs=1), "$shard[jobs=2]")
+
+
 _RUNNER_EXPERIMENT = "fig-4.2"
 
 
@@ -585,6 +872,16 @@ _PAIRS: Tuple[OraclePair, ...] = (
         "profile-sampled",
         "sampled profiling (k=1 byte-identical; executor vs records[::k])",
         True, _check_profile_sampled,
+    ),
+    OraclePair(
+        "simulate-vec-vs-pure",
+        "vectorized simulation backend vs the pure-Python consumers",
+        True, _check_simulate_vec,
+    ),
+    OraclePair(
+        "capture-shard-vs-serial",
+        "sharded multi-process capture vs a serial capture of the same sets",
+        True, _check_capture_shard,
     ),
     OraclePair(
         "runner-parallel",

@@ -142,8 +142,13 @@ def _command_run(arguments: argparse.Namespace) -> int:
 
 
 def _command_profile(arguments: argparse.Namespace) -> int:
+    import contextlib
+    import tempfile
+
     program = _load_program(arguments.program)
     sample_every = getattr(arguments, "sample_every", 1)
+    jobs = getattr(arguments, "jobs", 1)
+    store_dir = getattr(arguments, "store", None)
     images = []
     for index, path in enumerate(arguments.trace or []):
         images.append(
@@ -155,12 +160,42 @@ def _command_profile(arguments: argparse.Namespace) -> int:
             )
         )
     input_specs = arguments.inputs or ([] if images else [""])
-    images.extend(
-        collect_profile(
-            program, inputs, run_label=f"run-{index}", sample_every=sample_every
+    input_sets = parse_input_sets(input_specs)
+    with contextlib.ExitStack() as stack:
+        store = None
+        if input_sets and (jobs > 1 or store_dir):
+            # Capture the training runs across worker processes into one
+            # shared TraceStore, then profile by (in-process) replay.  A
+            # --store directory persists the traces; otherwise they live
+            # in a temporary directory for the duration of the command.
+            from .machine import TraceStore, capture_sharded
+
+            if store_dir is None:
+                store_dir = stack.enter_context(tempfile.TemporaryDirectory())
+            report = capture_sharded(
+                program, input_sets, directory=store_dir, jobs=jobs
+            )
+            if report.failures:
+                # The replay below re-raises each fault at the exact same
+                # record a serial run would — surface them early instead.
+                for failure in report.failures:
+                    print(
+                        f"profile: input set {failure.index} faulted: "
+                        f"{failure.error}",
+                        file=sys.stderr,
+                    )
+                return 1
+            store = TraceStore(directory=store_dir)
+        images.extend(
+            collect_profile(
+                program,
+                inputs,
+                run_label=f"run-{index}",
+                sample_every=sample_every,
+                store=store,
+            )
+            for index, inputs in enumerate(input_sets)
         )
-        for index, inputs in enumerate(parse_input_sets(input_specs))
-    )
     image = images[0] if len(images) == 1 else merge_profiles(images)
     if arguments.output:
         save_profile(image, arguments.output)
@@ -260,9 +295,37 @@ def _command_corpus(arguments: argparse.Namespace) -> int:
     out_dir = Path(arguments.out_dir) if arguments.out_dir else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
+    compiled = [
+        (
+            workload,
+            workload.compile(),
+            [workload.input_set(index) for index in range(TEST_INDEX + 1)],
+        )
+        for workload in workloads
+    ]
+    verification: dict = {}
+    if not arguments.no_verify and getattr(arguments, "jobs", 1) > 1:
+        # Flatten every (workload, input set) run into one case list and
+        # verify across worker processes; results come back in case order.
+        from .machine import parallel_runs
+
+        cases = [
+            (program, inputs)
+            for _workload, program, input_sets in compiled
+            for inputs in input_sets
+        ]
+        outcomes = parallel_runs(
+            cases, jobs=arguments.jobs,
+            max_instructions=arguments.max_instructions,
+        )
+        cursor = 0
+        for workload, _program, input_sets in compiled:
+            verification[workload.name] = outcomes[
+                cursor : cursor + len(input_sets)
+            ]
+            cursor += len(input_sets)
     manifest = []
-    for workload in workloads:
-        program = workload.compile()
+    for workload, program, input_sets in compiled:
         entry = {
             "name": workload.name,
             "suite": workload.suite,
@@ -270,26 +333,30 @@ def _command_corpus(arguments: argparse.Namespace) -> int:
             "static_instructions": len(program),
             "candidates": len(program.candidate_addresses),
         }
-        input_sets = [
-            workload.input_set(index) for index in range(TEST_INDEX + 1)
-        ]
         if not arguments.no_verify:
             dynamic = 0
+            outcomes = verification.get(workload.name)
             for index, inputs in enumerate(input_sets):
-                try:
-                    result = run_program(
-                        program,
-                        inputs=inputs,
-                        max_instructions=arguments.max_instructions,
-                    )
-                except ExecutionError as error:
+                if outcomes is not None:
+                    count, error_text = outcomes[index]
+                else:
+                    try:
+                        result = run_program(
+                            program,
+                            inputs=inputs,
+                            max_instructions=arguments.max_instructions,
+                        )
+                        count, error_text = result.instruction_count, None
+                    except ExecutionError as error:
+                        count, error_text = 0, str(error)
+                if error_text is not None:
                     print(
                         f"corpus: {workload.name} failed on input set "
-                        f"{index}: {error}",
+                        f"{index}: {error_text}",
                         file=sys.stderr,
                     )
                     return 1
-                dynamic += result.instruction_count
+                dynamic += count
             entry["dynamic_instructions"] = dynamic
         if out_dir is not None:
             # Workload names contain dots, so build filenames by plain
@@ -342,6 +409,48 @@ def _command_annotate(arguments: argparse.Namespace) -> int:
 
 def _command_trace(arguments: argparse.Namespace) -> int:
     program = _load_program(arguments.program)
+    if arguments.store:
+        # Sharded capture: each --inputs flag is its own run, captured
+        # into one content-addressed TraceStore across --jobs workers.
+        from .machine import capture_sharded
+
+        if arguments.output:
+            print(
+                "trace: choose one of -o (single trace file) or "
+                "--store (sharded capture directory)",
+                file=sys.stderr,
+            )
+            return 2
+        input_sets = parse_input_sets(arguments.inputs or [""])
+        report = capture_sharded(
+            program,
+            input_sets,
+            directory=arguments.store,
+            jobs=arguments.jobs,
+            max_instructions=arguments.max_instructions,
+        )
+        for failure in report.failures:
+            print(
+                f"trace: input set {failure.index} faulted: {failure.error} "
+                "(partial trace stored; it replays the same fault)",
+                file=sys.stderr,
+            )
+        print(
+            f"captured {len(report.results)} run(s), {report.records} records "
+            f"({report.jobs} job(s), {report.elapsed:.2f}s) "
+            f"-> {arguments.store}",
+            file=sys.stderr,
+        )
+        return 0
+    if not arguments.output:
+        print("trace: -o is required without --store", file=sys.stderr)
+        return 2
+    if arguments.jobs != 1:
+        print(
+            "trace: --jobs needs --store (a single trace file is one run)",
+            file=sys.stderr,
+        )
+        return 2
     count = save_trace(
         program,
         arguments.output,
@@ -524,6 +633,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="K",
         help="keep every K-th dynamic record (1 = full profile, the default)",
     )
+    profile_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="capture the training runs across N worker processes, then "
+        "profile by replay (default 1: in-process)",
+    )
+    profile_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="TraceStore directory shared between the capture workers "
+        "(default: a temporary directory; traces persist when given)",
+    )
     profile_parser.add_argument("-o", "--output", help="profile image file")
     profile_parser.set_defaults(handler=_command_profile)
 
@@ -565,6 +688,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=200_000,
         help="per-run dynamic budget during verification (default 200000)",
+    )
+    corpus_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="verify workloads across N worker processes (default 1)",
     )
     corpus_parser.set_defaults(handler=_command_corpus)
 
@@ -637,20 +767,33 @@ def build_parser() -> argparse.ArgumentParser:
     disasm_parser.set_defaults(handler=_command_disasm)
 
     trace_parser = commands.add_parser(
-        "trace", help="execute once and store the dynamic trace"
+        "trace", help="execute and store the dynamic trace(s)"
     )
     trace_parser.add_argument("program", help="assembly file")
     trace_parser.add_argument(
         "--inputs", action="append",
         help="input stream: '1,2,3' inline or '@file' (repeatable; "
-        "streams concatenate)",
+        "streams concatenate with -o, one run each with --store)",
     )
     trace_parser.add_argument(
         "--max-instructions", type=int, default=None, help="dynamic budget"
     )
     trace_parser.add_argument(
-        "-o", "--output", required=True,
-        help="trace file (.gz suffix compresses)",
+        "-o", "--output",
+        help="trace file (.gz suffix compresses); required without --store",
+    )
+    trace_parser.add_argument(
+        "--store",
+        metavar="DIR",
+        help="capture each input set into this TraceStore directory "
+        "instead of writing one trace file",
+    )
+    trace_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for --store capture (default 1)",
     )
     trace_parser.set_defaults(handler=_command_trace)
 

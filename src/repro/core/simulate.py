@@ -52,6 +52,7 @@ from ..predictors import HybridPredictor, StridePredictor, ValuePredictor
 from ..predictors.stride import StrideEntry
 from ..telemetry import get_registry
 from .results import PredictionStats
+from .simulate_vec import build_vec_plan
 from .schemes import (
     AlwaysClassification,
     ClassificationScheme,
@@ -182,7 +183,11 @@ def simulate_prediction_many(
         raise ValueError("need at least one engine")
     engine_list = list(engines.values())
     is_candidate = engine_list[0]._is_candidate
-    consumers, finishers = _build_consumers(engine_list)
+    vec = build_vec_plan(program, engine_list)
+    consumers: list = []
+    finishers: list = []
+    if vec is None:
+        consumers, finishers = _build_consumers(engine_list)
     budget = max_instructions if max_instructions is not None else DEFAULT_BUDGET
     started = time.perf_counter()
     if store is not None:
@@ -193,12 +198,19 @@ def simulate_prediction_many(
         ).run_batches()
     try:
         for batch in batches:
-            values = batch.values
-            pairs = [
-                (address, value)
-                for address, value in zip(batch.addresses, values)
-                if is_candidate[address]
-            ]
+            if vec is not None:
+                if vec.consume(batch):
+                    continue
+                # The batch left the vectorized envelope (escaped float /
+                # bigint values, or magnitudes near the int64 guard rail):
+                # demote to the pure consumers, replaying everything the
+                # plan had accumulated, then continue record-at-a-time.
+                consumers, finishers = _build_consumers(engine_list)
+                for replayed in vec.drain_pairs():
+                    for consume in consumers:
+                        consume(replayed)
+                vec = None
+            pairs = _candidate_pairs(batch, is_candidate)
             if not pairs:
                 continue
             for consume in consumers:
@@ -207,13 +219,37 @@ def simulate_prediction_many(
         # Fold the fast paths' accumulators even when the trace raised
         # mid-run, matching the step path's behaviour of keeping every
         # observation up to the fault.
-        for finish in finishers:
-            finish()
+        if vec is not None:
+            vec.finish()
+        else:
+            for finish in finishers:
+                finish()
     telemetry = get_registry()
     if telemetry.enabled:
         telemetry.timer("core.simulate").add(time.perf_counter() - started)
         _publish_engine_metrics(telemetry, engine_list)
     return {label: engine.stats for label, engine in engines.items()}
+
+
+def _candidate_pairs(batch, is_candidate):
+    """The batch's ``(address, value)`` candidate stream as a list.
+
+    Prediction candidates are always value producers, so a cursor walk
+    over the packed produced-value column recovers each candidate's
+    value without materialising the legacy one-slot-per-record list.
+    """
+    flags = batch.value_flags
+    column = batch.values
+    produced = column.ints if column.is_pure_int else column.tolist()
+    pairs: list = []
+    append = pairs.append
+    cursor = 0
+    for address in batch.addresses:
+        if flags[address]:
+            if is_candidate[address]:
+                append((address, produced[cursor]))
+            cursor += 1
+    return pairs
 
 
 def _build_consumers(engine_list):

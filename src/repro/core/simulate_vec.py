@@ -1,0 +1,568 @@
+"""Vectorized (numpy) backend for the value-prediction simulation.
+
+:func:`build_vec_plan` inspects a set of
+:class:`~repro.core.simulate.PredictionEngine` instances and, when every
+engine's evolution is a pure function of the candidate stream — infinite
+tables starting empty, stock classification schemes — returns a
+:class:`VecSimulationPlan` that replaces the per-record Python loop with
+array arithmetic:
+
+1. **accumulate** — each :class:`~repro.machine.TraceBatch` contributes
+   its candidate ``(address, value)`` pairs as int64 ndarray chunks
+   (zero Python objects: the packed value column is lifted straight into
+   an ndarray);
+2. **finish** — one stable sort groups the stream by static address into
+   contiguous segments that preserve per-address time order, and every
+   predictor family reduces to segment expressions over the sorted
+   columns: last-value correctness is ``v_i == v_{i-1}``, stride
+   correctness is ``v_i == 2 v_{i-1} - v_{i-2}``, two-delta's committed
+   stride is a segmented forward-fill of repeated deltas, and the
+   saturating-counter classifier is a segmented prefix scan over clamped
+   increment maps (``x -> clip(x + a, lo, hi)`` maps compose in closed
+   form, so a Hillis-Steele doubling scan recovers every counter state
+   the sequential FSM would have seen).
+
+The backend is *bit-identical* to the pure-Python path: identical
+:class:`~repro.core.results.PredictionStats`, identical final table
+entries inserted in first-occurrence order, identical table meters, and
+identical FSM counter states.  The ``simulate-vec-vs-pure`` differential
+oracle pair (:mod:`repro.check.oracle`) holds the two paths against each
+other over randomized programs.
+
+Eligibility is conservative.  The plan refuses engines with finite or
+pre-populated tables, non-stock schemes, or pre-trained FSM state; and
+it demotes *mid-run* (replaying everything accumulated so far through
+the pure consumers) the moment a batch carries escaped values (floats /
+bigints) or integers at magnitudes where ``2a - b`` could wrap int64.
+numpy itself is optional — the ``repro[fast]`` extra; without it (or
+with ``REPRO_NO_NUMPY=1`` in the environment) :func:`build_vec_plan`
+returns ``None`` and the simulation runs the pure path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..isa import Directive, Program
+from ..machine import value_flags
+from ..predictors import (
+    FsmClassifier,
+    HybridPredictor,
+    LastValuePredictor,
+    StridePredictor,
+)
+from ..predictors.fsm import SaturatingCounter
+from ..predictors.last_value import LastValueEntry
+from ..predictors.stride import StrideEntry
+from ..predictors.table import PredictionTable
+from ..predictors.two_delta import TwoDeltaEntry, TwoDeltaStridePredictor
+from ..telemetry import get_registry
+from .schemes import (
+    AlwaysClassification,
+    HardwareClassification,
+    ProbeScheme,
+    ProfileClassification,
+)
+
+try:  # numpy is the optional ``repro[fast]`` extra
+    import numpy as _numpy
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _numpy = None
+
+#: Values must satisfy ``|v| < 2**61`` for the vectorized math to stay
+#: inside int64: the stride expression ``2a - b`` reaches ``3 * 2**61``
+#: in magnitude, just under the ``2**63`` wrap point.
+SAFE_MAGNITUDE = 1 << 61
+
+#: Environment flag forcing the pure-Python path even when numpy is
+#: importable — the no-numpy CI leg and the differential oracle use it.
+DISABLE_ENV = "REPRO_NO_NUMPY"
+
+
+def numpy_or_none():
+    """The numpy module, or ``None`` when absent or disabled via env."""
+    if _numpy is None or os.environ.get(DISABLE_ENV):
+        return None
+    return _numpy
+
+
+class _EngineSpec:
+    """One engine's statically-decomposed policy, vec-path form."""
+
+    __slots__ = (
+        "engine",
+        "family",
+        "alloc_members",
+        "take_members",
+        "fsm",
+        "stride_members",
+    )
+
+    def __init__(
+        self, engine, family, alloc_members, take_members, fsm, stride_members
+    ) -> None:
+        self.engine = engine
+        self.family = family
+        self.alloc_members = alloc_members
+        self.take_members = take_members
+        self.fsm = fsm
+        self.stride_members = stride_members
+
+
+_STOCK = (AlwaysClassification, HardwareClassification, ProfileClassification)
+
+
+def _engine_spec(engine) -> Optional[_EngineSpec]:
+    """Decompose one engine into vec-path form, or ``None`` if ineligible."""
+    predictor = engine.predictor
+    scheme = engine.scheme
+    if type(scheme) is ProbeScheme:
+        inner = scheme.inner
+        alloc_members = None
+    else:
+        inner = scheme
+        alloc_members = (
+            scheme._directives if type(scheme) is ProfileClassification else None
+        )
+    if type(inner) not in _STOCK:
+        return None
+    take_members = None
+    fsm = None
+    if type(inner) is ProfileClassification:
+        take_members = inner._directives
+    elif type(inner) is HardwareClassification:
+        fsm = inner.fsm
+        if type(fsm) is not FsmClassifier or fsm._counters:
+            return None
+
+    kind = type(predictor)
+    stride_members: Optional[frozenset] = None
+    if kind is StridePredictor:
+        family = "stride"
+        tables = (predictor.table,)
+    elif kind is LastValuePredictor:
+        family = "last_value"
+        tables = (predictor.table,)
+    elif kind is TwoDeltaStridePredictor:
+        family = "two_delta"
+        tables = (predictor.table,)
+    elif kind is HybridPredictor:
+        if type(predictor.stride) is not StridePredictor:
+            return None
+        if type(predictor.last_value) is not LastValuePredictor:
+            return None
+        family = "hybrid"
+        tables = (predictor.stride.table, predictor.last_value.table)
+        directives = getattr(inner, "_directives", None) or {}
+        stride_members = frozenset(
+            address
+            for address, directive in directives.items()
+            if directive is Directive.STRIDE
+        )
+    else:
+        return None
+    for table in tables:
+        if type(table) is not PredictionTable:
+            return None
+        if not table.is_infinite or len(table):
+            return None
+        if table.lookups or table.hits or table.evictions:
+            return None
+    return _EngineSpec(engine, family, alloc_members, take_members, fsm, stride_members)
+
+
+def build_vec_plan(program: Program, engine_list) -> Optional["VecSimulationPlan"]:
+    """A :class:`VecSimulationPlan` for ``engine_list``, or ``None``.
+
+    Returns ``None`` when numpy is unavailable/disabled or any engine
+    falls outside the vectorized envelope; the caller then runs the
+    pure-Python consumers unchanged.
+    """
+    np = numpy_or_none()
+    if np is None or not engine_list:
+        return None
+    specs = []
+    for engine in engine_list:
+        spec = _engine_spec(engine)
+        if spec is None:
+            return None
+        specs.append(spec)
+    return VecSimulationPlan(np, program, engine_list, specs)
+
+
+class VecSimulationPlan:
+    """Accumulates a run's candidate stream and folds it vectorially."""
+
+    def __init__(self, np, program: Program, engine_list, specs) -> None:
+        self._np = np
+        self._specs = specs
+        self._engines = engine_list
+        code_size = len(program.instructions)
+        self._produced_lut = np.frombuffer(
+            value_flags(program), dtype=np.uint8
+        ).astype(bool)
+        self._cand_lut = np.zeros(code_size, dtype=bool)
+        for address, flag in enumerate(engine_list[0]._is_candidate):
+            if flag:
+                self._cand_lut[address] = True
+        self._chunks_a: List = []
+        self._chunks_v: List = []
+        self._records = 0
+        self._candidates = 0
+
+    def consume(self, batch) -> bool:
+        """Accumulate one batch; ``False`` demands demotion to pure.
+
+        A ``False`` return leaves the plan untouched by this batch, so
+        the caller can replay the accumulated stream through the pure
+        consumers and then feed it this very batch record-at-a-time.
+        """
+        column = batch.values
+        if column.escapes:
+            return False
+        np = self._np
+        addrs = np.frombuffer(batch.addresses, dtype=np.int64)
+        produced_addrs = addrs[self._produced_lut[addrs]]
+        keep = self._cand_lut[produced_addrs]
+        values = np.frombuffer(column.ints, dtype=np.int64)[keep]
+        if values.size:
+            if (
+                int(values.max()) >= SAFE_MAGNITUDE
+                or int(values.min()) <= -SAFE_MAGNITUDE
+            ):
+                return False
+            self._chunks_a.append(produced_addrs[keep])
+            self._chunks_v.append(values)
+            self._candidates += int(values.size)
+        self._records += len(batch)
+        return True
+
+    def drain_pairs(self):
+        """Yield the accumulated stream as ``(address, value)`` lists.
+
+        Used on demotion: the pure consumers replay exactly the pairs
+        the plan had absorbed, in original trace order.
+        """
+        for chunk_a, chunk_v in zip(self._chunks_a, self._chunks_v):
+            yield list(zip(chunk_a.tolist(), chunk_v.tolist()))
+        self._chunks_a = []
+        self._chunks_v = []
+
+    # -- the vectorized fold ----------------------------------------------
+
+    def finish(self) -> None:
+        """Fold the accumulated stream into every engine's state."""
+        np = self._np
+        telemetry = get_registry()
+        if telemetry.enabled:
+            telemetry.counter("simulate.vec.runs").add(1)
+            telemetry.counter("simulate.vec.records").add(self._records)
+            telemetry.counter("simulate.vec.candidates").add(self._candidates)
+            telemetry.counter("simulate.vec.engines").add(len(self._specs))
+        if not self._chunks_a:
+            return
+        stream_a = np.concatenate(self._chunks_a)
+        stream_v = np.concatenate(self._chunks_v)
+        self._chunks_a = []
+        self._chunks_v = []
+        n = stream_a.size
+
+        order = np.argsort(stream_a, kind="stable")
+        sa = stream_a[order]
+        sv = stream_v[order]
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        first[1:] = sa[1:] != sa[:-1]
+        not_first = ~first
+        seg_id = np.cumsum(first) - 1
+        starts = np.flatnonzero(first)
+        ends = np.append(starts[1:], n) - 1
+        counts = np.diff(np.append(starts, n))
+        seg_addresses = sa[starts]
+        # Pure-path dicts grow in first-occurrence order; recover it so
+        # table entries land in identical insertion order.
+        _, first_pos = np.unique(stream_a, return_index=True)
+        occurrence_order = np.argsort(first_pos, kind="stable")
+
+        prev = np.empty(n, dtype=np.int64)
+        prev[0] = 0
+        prev[1:] = sv[:-1]
+        delta = np.where(not_first, sv - prev, 0)
+        delta_prev = np.empty(n, dtype=np.int64)
+        delta_prev[0] = 0
+        delta_prev[1:] = delta[:-1]
+
+        families = {spec.family for spec in self._specs}
+        lv_correct = stride_correct = td_correct = committed_after = None
+        if families & {"last_value", "hybrid"}:
+            lv_correct = not_first & (sv == prev)
+        if families & {"stride", "hybrid"}:
+            # A fresh entry predicts with stride 0, and delta is pinned
+            # to 0 at segment firsts — so ``prev + delta_prev`` covers
+            # the second access (last-value degenerate) and the general
+            # case ``2 v_{i-1} - v_{i-2}`` alike.
+            stride_correct = not_first & (sv == prev + delta_prev)
+        if "two_delta" in families:
+            committed_after = _committed_strides(
+                np, n, seg_id, not_first, delta, delta_prev
+            )
+            committed_prev = np.empty(n, dtype=np.int64)
+            committed_prev[0] = 0
+            committed_prev[1:] = committed_after[:-1]
+            committed_before = np.where(not_first, committed_prev, 0)
+            td_correct = not_first & (sv == prev + committed_before)
+
+        shared = _SharedColumns(
+            np=np,
+            sa=sa,
+            sv=sv,
+            seg_id=seg_id,
+            first=first,
+            not_first=not_first,
+            starts=starts,
+            ends=ends,
+            counts=counts,
+            seg_addresses=seg_addresses,
+            occurrence_order=occurrence_order,
+            delta=delta,
+            lv_correct=lv_correct,
+            stride_correct=stride_correct,
+            td_correct=td_correct,
+            committed_after=committed_after,
+            code_size=self._cand_lut.size,
+        )
+        for spec in self._specs:
+            _fold_engine(shared, spec)
+
+
+class _SharedColumns:
+    """Per-run sorted columns shared by every engine's fold."""
+
+    __slots__ = (
+        "np",
+        "sa",
+        "sv",
+        "seg_id",
+        "first",
+        "not_first",
+        "starts",
+        "ends",
+        "counts",
+        "seg_addresses",
+        "occurrence_order",
+        "delta",
+        "lv_correct",
+        "stride_correct",
+        "td_correct",
+        "committed_after",
+        "code_size",
+    )
+
+    def __init__(self, **fields) -> None:
+        for name, value in fields.items():
+            setattr(self, name, value)
+
+    def member_lut(self, members) -> "object":
+        """Static-address membership as a boolean LUT."""
+        np = self.np
+        lut = np.zeros(self.code_size, dtype=bool)
+        addresses = [a for a in members if 0 <= a < self.code_size]
+        if addresses:
+            lut[addresses] = True
+        return lut
+
+
+def _committed_strides(np, n, seg_id, not_first, delta, delta_prev):
+    """Two-delta committed stride *after* each record, per segment.
+
+    The committed stride changes at record ``i`` exactly when the new
+    delta repeats the previous one (``delta_i == delta_{i-1}``, with the
+    initial candidate stride 0 standing in at the second access); it is
+    then ``delta_i``.  A segmented forward-fill of those change points
+    recovers the committed stride everywhere, keyed so the running max
+    never leaks across segment boundaries.
+    """
+    changed = not_first & (delta == delta_prev)
+    position = np.arange(n, dtype=np.int64)
+    keyed = seg_id * (n + 1) + np.where(changed, position + 1, 0)
+    filled = np.maximum.accumulate(keyed) - seg_id * (n + 1) - 1
+    return np.where(filled >= 0, delta[np.maximum(filled, 0)], 0)
+
+
+def _fsm_scan(np, seg_id, not_first, correct, initial, maximum):
+    """Per-record counter state *before* each attempt's take decision.
+
+    Each attempt applies ``x -> clip(x + a, 0, maximum)`` with ``a = +1``
+    on a correct suggestion and ``-1`` otherwise.  Such clamped maps are
+    closed under composition — ``(a_f, l_f, h_f)`` then ``(a_g, l_g,
+    h_g)`` is ``(a_f + a_g, clip(l_f + a_g, l_g, h_g), clip(h_f + a_g,
+    l_g, h_g))`` — so a segmented Hillis-Steele doubling scan composes
+    each record's *predecessor* maps and one final application to the
+    initial state yields the state the sequential FSM consults.
+    """
+    n = seg_id.size
+    ident_lo = np.int64(-(1 << 30))
+    ident_hi = np.int64(1 << 30)
+    step = np.where(correct, 1, -1).astype(np.int64)
+    # Effective map at i = the (i-1)-th record's update when that record
+    # was an attempt of the same segment, else the identity.
+    has_prev = np.zeros(n, dtype=bool)
+    has_prev[1:] = not_first[1:] & not_first[:-1]
+    shift = np.zeros(n, dtype=np.int64)
+    shift[1:] = np.where(has_prev[1:], step[:-1], 0)
+    lo = np.where(has_prev, np.int64(0), ident_lo)
+    hi = np.where(has_prev, np.int64(maximum), ident_hi)
+    index = np.arange(n)
+    distance = 1
+    while distance < n:
+        prior = index - distance
+        clamped = np.maximum(prior, 0)
+        same = (prior >= 0) & (seg_id[clamped] == seg_id)
+        pa = shift[clamped]
+        pl = lo[clamped]
+        ph = hi[clamped]
+        na = np.where(same, pa + shift, shift)
+        nl = np.where(same, np.minimum(np.maximum(pl + shift, lo), hi), lo)
+        nh = np.where(same, np.minimum(np.maximum(ph + shift, lo), hi), hi)
+        shift, lo, hi = na, nl, nh
+        distance <<= 1
+    state_before = np.minimum(np.maximum(np.int64(initial) + shift, lo), hi)
+    return state_before, step
+
+
+def _fold_engine(shared, spec) -> None:
+    """Fold the sorted candidate stream into one engine's state."""
+    np = shared.np
+    counts = shared.counts
+    starts = shared.starts
+    ends = shared.ends
+    seg_addresses = shared.seg_addresses
+
+    family = spec.family
+    if family == "stride":
+        correct = shared.stride_correct
+    elif family == "last_value":
+        correct = shared.lv_correct
+    elif family == "two_delta":
+        correct = shared.td_correct
+    else:
+        stride_route = shared.member_lut(spec.stride_members)[shared.sa]
+        correct = np.where(stride_route, shared.stride_correct, shared.lv_correct)
+
+    if spec.alloc_members is None:
+        member_seg = np.ones(counts.size, dtype=bool)
+        correct_members = correct
+    else:
+        member_lut = shared.member_lut(spec.alloc_members)
+        member_seg = member_lut[seg_addresses]
+        correct_members = correct & member_lut[shared.sa]
+
+    attempts_seg = np.where(member_seg, counts - 1, 0)
+    would_seg = np.add.reduceat(correct_members.astype(np.int64), starts)
+
+    final_states = None
+    if spec.fsm is not None:
+        # FSM engines always allocate unconditionally (Hardware / Probe),
+        # so every non-first record of every segment is an attempt.
+        state_before, step = _fsm_scan(
+            np,
+            shared.seg_id,
+            shared.not_first,
+            correct,
+            spec.fsm.initial,
+            (1 << spec.fsm.bits) - 1,
+        )
+        taken_mask = shared.not_first & (state_before >= spec.fsm.take_threshold)
+        taken_seg = np.add.reduceat(taken_mask.astype(np.int64), starts)
+        taken_correct_seg = np.add.reduceat(
+            (taken_mask & correct).astype(np.int64), starts
+        )
+        final_states = np.minimum(
+            np.maximum(state_before[ends] + step[ends], 0),
+            (1 << spec.fsm.bits) - 1,
+        )
+    elif spec.take_members is not None:
+        take_seg_mask = member_seg & shared.member_lut(spec.take_members)[
+            seg_addresses
+        ]
+        taken_seg = np.where(take_seg_mask, counts - 1, 0)
+        taken_correct_seg = np.where(take_seg_mask, would_seg, 0)
+    else:
+        taken_seg = attempts_seg
+        taken_correct_seg = would_seg
+
+    engine = spec.engine
+    stats = engine.stats
+    stats.executions += int(counts.sum())
+    stats.attempts += int(attempts_seg.sum())
+    stats.would_correct += int(would_seg.sum())
+    stats.taken += int(taken_seg.sum())
+    stats.taken_correct += int(taken_correct_seg.sum())
+    stats.allocations += int(member_seg.sum())
+
+    # Table meters: lookups count *every* candidate execution (misses on
+    # never-allocated addresses still probe the table); hits equal the
+    # attempts.  Hybrid splits both by directive routing.
+    if family == "hybrid":
+        stride_seg = shared.member_lut(spec.stride_members)[seg_addresses]
+        stride_table = engine.predictor.stride.table
+        lv_table = engine.predictor.last_value.table
+        stride_table.lookups += int(counts[stride_seg].sum())
+        lv_table.lookups += int(counts[~stride_seg].sum())
+        stride_table.hits += int(attempts_seg[stride_seg].sum())
+        lv_table.hits += int(attempts_seg[~stride_seg].sum())
+        stride_entries = stride_table._set_for(0)
+        lv_entries = lv_table._set_for(0)
+        stride_seg_list = stride_seg.tolist()
+    else:
+        table = engine.predictor.table
+        table.lookups += int(counts.sum())
+        table.hits += int(attempts_seg.sum())
+        entries = table._set_for(0)
+        stride_seg_list = None
+
+    address_list = seg_addresses.tolist()
+    counts_list = counts.tolist()
+    attempts_list = attempts_seg.tolist()
+    would_list = would_seg.tolist()
+    taken_list = taken_seg.tolist()
+    taken_correct_list = taken_correct_seg.tolist()
+    member_list = member_seg.tolist()
+    last_values = shared.sv[ends].tolist()
+    last_deltas = shared.delta[ends].tolist()
+    committed_list = (
+        shared.committed_after[ends].tolist() if family == "two_delta" else None
+    )
+    final_list = final_states.tolist() if final_states is not None else None
+
+    address_stats = stats.address_stats
+    fsm = spec.fsm
+    for k in shared.occurrence_order.tolist():
+        address = address_list[k]
+        entry_stats = address_stats(address)
+        entry_stats.executions += counts_list[k]
+        entry_stats.attempts += attempts_list[k]
+        entry_stats.would_correct += would_list[k]
+        entry_stats.taken += taken_list[k]
+        entry_stats.taken_correct += taken_correct_list[k]
+        if not member_list[k]:
+            continue
+        entry_stats.allocations += 1
+        if family == "stride":
+            entries[address] = StrideEntry(last_values[k], last_deltas[k])
+        elif family == "last_value":
+            entries[address] = LastValueEntry(last_values[k])
+        elif family == "two_delta":
+            entry = TwoDeltaEntry(last_values[k])
+            entry.candidate_stride = last_deltas[k]
+            entry.committed_stride = committed_list[k]
+            entries[address] = entry
+        elif stride_seg_list[k]:
+            stride_entries[address] = StrideEntry(last_values[k], last_deltas[k])
+        else:
+            lv_entries[address] = LastValueEntry(last_values[k])
+        if fsm is not None and counts_list[k] > 1:
+            counter = SaturatingCounter(fsm.bits, fsm.initial)
+            counter.value = final_list[k]
+            fsm._counters[address] = counter

@@ -8,6 +8,7 @@ captured once and replayed many times through :class:`TraceStore`.
 """
 
 from .batch import DEFAULT_CHUNK, TraceBatch
+from .columns import ValueColumn
 from .errors import (
     DivisionByZero,
     ExecutionError,
@@ -24,6 +25,7 @@ from .executor import (
     trace_program,
     value_flags,
 )
+from .sharding import ShardReport, ShardResult, capture_sharded, parallel_runs
 from .state import MachineState
 from .stats import RunStatistics, collect_statistics
 from .tracefile import TraceFormatError, read_trace, save_trace, write_trace
@@ -49,14 +51,19 @@ __all__ = [
     "PackedTrace",
     "RunResult",
     "RunStatistics",
+    "ShardReport",
+    "ShardResult",
     "TraceBatch",
     "TraceFormatError",
     "TraceRecord",
     "TraceStore",
+    "ValueColumn",
     "candidate_records",
+    "capture_sharded",
     "collect_statistics",
     "inputs_digest",
     "mem_flags",
+    "parallel_runs",
     "program_digest",
     "read_trace",
     "run_program",

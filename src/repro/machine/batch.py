@@ -7,28 +7,32 @@ object per retired instruction:
 ``addresses``
     an ``array('q')`` of static instruction addresses, one per record;
 ``values``
-    a plain list of produced values (``None`` for non-writers) — kept as
-    Python objects so arbitrary-precision integers and exact float
-    identity survive;
+    a :class:`~repro.machine.columns.ValueColumn` of *produced* values —
+    a packed ``array('q')`` plus an escape map for floats/bigints.
+    Which records produce a value is static per program
+    (``value_flags`` indexed by static address), so the column stores
+    no per-record ``None`` slot for non-writers, exactly as ``mems``
+    never stored per-record ``None`` memory addresses;
 ``phase_runs``
     run-length encoded phases: ``(start_offset, phase)`` pairs, the
     first always at offset 0;
 ``mems``
     effective addresses of the loads/stores in the batch, in trace
-    order.  Which records own a memory address is static per program
-    (``mem_flags`` indexed by static address), so the column stores no
-    per-record slot for the ~85% of records without one.
+    order, against the static ``mem_flags`` bitmap.
 
 Consumers that care about throughput walk the columns directly;
 :meth:`TraceBatch.records` is the compatibility adapter that rebuilds
-the per-record view.
+the per-record view, and :meth:`TraceBatch.record_values` rebuilds the
+legacy one-slot-per-record value list (``None`` for non-writers).
 """
 
 from __future__ import annotations
 
 from array import array
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
+from ..isa import Number
+from .columns import ValueColumn
 from .trace import TraceRecord
 
 #: Default number of records per batch emitted by ``Executor.run_batches``.
@@ -38,41 +42,63 @@ DEFAULT_CHUNK = 16_384
 class TraceBatch:
     """One columnar chunk of a dynamic trace."""
 
-    __slots__ = ("addresses", "values", "phase_runs", "mems", "mem_flags")
+    __slots__ = (
+        "addresses",
+        "values",
+        "value_flags",
+        "phase_runs",
+        "mems",
+        "mem_flags",
+    )
 
     def __init__(
         self,
         addresses: array,
-        values: List,
+        values: ValueColumn,
+        value_flags: Sequence[bool],
         phase_runs: List[Tuple[int, int]],
         mems: List[int],
         mem_flags: Sequence[bool],
     ) -> None:
         self.addresses = addresses
         self.values = values
+        self.value_flags = value_flags
         self.phase_runs = phase_runs
         self.mems = mems
         self.mem_flags = mem_flags
 
     def __len__(self) -> int:
-        return len(self.values)
+        return len(self.addresses)
 
     def phase_segments(self) -> Iterator[Tuple[int, int, int]]:
         """``(start, end, phase)`` half-open segments covering the batch."""
         runs = self.phase_runs
-        n = len(self.values)
+        n = len(self.addresses)
         for index, (start, phase) in enumerate(runs):
             end = runs[index + 1][0] if index + 1 < len(runs) else n
             if start < end:
                 yield start, end, phase
 
+    def record_values(self) -> List[Optional[Number]]:
+        """The legacy aligned value list: one slot per record, ``None``
+        for non-writers — rebuilt from the packed column and the static
+        writer flags."""
+        flags = self.value_flags
+        produced = iter(self.values)
+        advance = produced.__next__
+        return [
+            advance() if flags[address] else None for address in self.addresses
+        ]
+
     def records(self) -> Iterator[TraceRecord]:
         """Per-record adapter: rebuild one ``TraceRecord`` per entry."""
         addresses = self.addresses
         values = self.values
+        vflags = self.value_flags
         mems = self.mems
         flags = self.mem_flags
         cursor = 0
+        vcursor = 0
         for start, end, phase in self.phase_segments():
             for index in range(start, end):
                 address = addresses[index]
@@ -81,4 +107,9 @@ class TraceBatch:
                     cursor += 1
                 else:
                     mem_address = None
-                yield TraceRecord(address, values[index], phase, mem_address)
+                if vflags[address]:
+                    value = values[vcursor]
+                    vcursor += 1
+                else:
+                    value = None
+                yield TraceRecord(address, value, phase, mem_address)

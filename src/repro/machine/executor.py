@@ -38,6 +38,7 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 from ..isa import Instruction, Number, Opcode, Program
 from ..telemetry import get_registry
 from .batch import DEFAULT_CHUNK, TraceBatch
+from .columns import ValueColumn
 from .errors import ExecutionError, InstructionBudgetExceeded
 from .handlers import HANDLERS, ORDINALS, BatchContext, int_div, int_mod
 from .state import MachineState
@@ -136,6 +137,7 @@ class Executor:
         self.instruction_count = 0
         self._decoded: List[_Decoded] = [_decode(i) for i in program.instructions]
         self.mem_flags = mem_flags(program)
+        self.value_flags = value_flags(program)
 
     def run_batches(self, chunk_size: int = DEFAULT_CHUNK) -> Iterator[TraceBatch]:
         """Execute to completion, yielding columnar chunks of the trace.
@@ -158,6 +160,7 @@ class Executor:
         )
         count = self.instruction_count
         flags = self.mem_flags
+        vflags = self.value_flags
 
         ctx = BatchContext()
         ctx.pc = state.pc
@@ -168,6 +171,8 @@ class Executor:
 
         telemetry = get_registry()
         initial_count = count
+        produced_total = 0
+        escaped_total = 0
         started = time.perf_counter()
         try:
             halted = False
@@ -205,9 +210,17 @@ class Executor:
                             break
                 except ExecutionError as exc:
                     error = exc
-                if values:
+                if addresses:
+                    column = ValueColumn.from_values(values)
+                    produced_total += len(column.ints)
+                    escaped_total += len(column.escapes)
                     yield TraceBatch(
-                        array("q", addresses), values, phase_runs, mems, flags
+                        array("q", addresses),
+                        column,
+                        vflags,
+                        phase_runs,
+                        mems,
+                        flags,
                     )
                 if error is not None:
                     raise error
@@ -216,6 +229,8 @@ class Executor:
             # overrun, or an abandoned trace generator alike.  One counter
             # add and one timer add per run keeps the loop itself clean.
             telemetry.counter("machine.instructions").add(count - initial_count)
+            telemetry.counter("machine.columns.values").add(produced_total)
+            telemetry.counter("machine.columns.escapes").add(escaped_total)
             telemetry.timer("machine.run").add(time.perf_counter() - started)
 
     def run(self) -> Iterator[TraceRecord]:

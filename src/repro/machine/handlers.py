@@ -132,27 +132,23 @@ def _op_store(ctx, pc, dest, src1, src2, imm, target):
     ctx.memory[mem_address] = regs[src1]
     ctx.mems.append(mem_address)
     ctx.addresses.append(pc)
-    ctx.values.append(None)
 
 
 def _op_beqz(ctx, pc, dest, src1, src2, imm, target):
     if ctx.regs[src1] == 0:
         ctx.pc = target
     ctx.addresses.append(pc)
-    ctx.values.append(None)
 
 
 def _op_bnez(ctx, pc, dest, src1, src2, imm, target):
     if ctx.regs[src1] != 0:
         ctx.pc = target
     ctx.addresses.append(pc)
-    ctx.values.append(None)
 
 
 def _op_jmp(ctx, pc, dest, src1, src2, imm, target):
     ctx.pc = target
     ctx.addresses.append(pc)
-    ctx.values.append(None)
 
 
 def _op_call(ctx, pc, dest, src1, src2, imm, target):
@@ -169,7 +165,6 @@ def _op_call(ctx, pc, dest, src1, src2, imm, target):
 def _op_jr(ctx, pc, dest, src1, src2, imm, target):
     ctx.pc = ctx.regs[src1]
     ctx.addresses.append(pc)
-    ctx.values.append(None)
 
 
 def _op_in(ctx, pc, dest, src1, src2, imm, target):
@@ -197,20 +192,19 @@ def _op_fin(ctx, pc, dest, src1, src2, imm, target):
 def _op_out(ctx, pc, dest, src1, src2, imm, target):
     ctx.state.outputs.append(ctx.regs[src1])
     ctx.addresses.append(pc)
-    ctx.values.append(None)
 
 
 def _op_phase(ctx, pc, dest, src1, src2, imm, target):
     phase = int(imm)
     ctx.phase = phase
-    ctx.phase_runs.append((len(ctx.values), phase))
+    # Phase-run offsets are *record* indices; addresses is the only
+    # per-record column, and this record's address is appended below.
+    ctx.phase_runs.append((len(ctx.addresses), phase))
     ctx.addresses.append(pc)
-    ctx.values.append(None)
 
 
 def _op_nop(ctx, pc, dest, src1, src2, imm, target):
     ctx.addresses.append(pc)
-    ctx.values.append(None)
 
 
 def _op_halt(ctx, pc, dest, src1, src2, imm, target):
@@ -219,7 +213,6 @@ def _op_halt(ctx, pc, dest, src1, src2, imm, target):
     state.pc = pc + 1
     state.phase = ctx.phase
     ctx.addresses.append(pc)
-    ctx.values.append(None)
     return True
 
 

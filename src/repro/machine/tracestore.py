@@ -28,10 +28,14 @@ and effective addresses are stored as raw ``array('q')`` bytes, produced
 values as an ``array('q')``/``array('d')`` when the batch is uniformly
 int64/float (the overwhelmingly common case), and as a tagged
 int64/float/bigint section otherwise, so arbitrary-precision integers
-and exact float identity survive the round trip.  The ``None`` value
-slots and per-record memory addresses are *not* stored — both are static
-program properties (see :func:`~repro.machine.executor.value_flags` and
-:func:`~repro.machine.executor.mem_flags`) reconstructed at replay.
+and exact float identity survive the round trip.  Batches carry no
+per-record ``None`` value slots or memory addresses at all — both are
+static program properties (see
+:func:`~repro.machine.executor.value_flags` and
+:func:`~repro.machine.executor.mem_flags`), and the all-int64 kind
+replays by wrapping the stored ``array('q')`` into a
+:class:`~repro.machine.columns.ValueColumn` without creating a single
+per-record Python object.
 
 Telemetry: capture publishes the ``machine.trace.capture`` timer and
 ``machine.trace.captures``/``machine.trace.captured_records`` counters;
@@ -58,6 +62,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 from ..isa import Number, Program
 from ..telemetry import get_registry
 from .batch import DEFAULT_CHUNK, TraceBatch
+from .columns import ValueColumn
 from .errors import (
     DivisionByZero,
     ExecutionError,
@@ -140,15 +145,14 @@ def trace_key(
     return hasher.hexdigest()
 
 
-def _pack_values(values: List[Optional[Number]]) -> tuple:
-    """Pack a batch's produced (non-``None``) values into typed columns."""
-    produced = [value for value in values if value is not None]
-    if not produced:
+def _pack_values(column: ValueColumn) -> tuple:
+    """Pack a batch's produced-value column into a typed tuple."""
+    if not len(column):
         return ("0", 0)
-    try:
-        return ("q", array("q", produced))
-    except (OverflowError, TypeError):
-        pass
+    if column.is_pure_int:
+        # The capture-time column *is* the packed representation.
+        return ("q", column.ints)
+    produced = column.tolist()
     if all(type(value) is float for value in produced):
         return ("d", array("d", produced))
     tags = bytearray()
@@ -169,44 +173,38 @@ def _pack_values(values: List[Optional[Number]]) -> tuple:
     return ("x", bytes(tags), ints, floats, bigints)
 
 
-def _unpack_values(
-    addresses: array, packed: tuple, vflags: bytes, count: int
-) -> List[Optional[Number]]:
-    """Rebuild the aligned value column, re-inserting static ``None`` slots."""
+def _unpack_values(packed: tuple) -> ValueColumn:
+    """Rebuild the produced-value column from its packed form.
+
+    The hot all-int64 kind wraps the stored ``array('q')`` directly —
+    replay touches no per-record Python objects; only float/bigint
+    batches pay an escape-map rebuild.
+    """
     kind = packed[0]
     if kind == "0":
-        return [None] * count
-    if kind == "x":
-        produced_iter = _tagged_values(packed)
-        produced_len = len(packed[1])
-    else:
-        produced_seq = packed[1]
-        produced_len = len(produced_seq)
-        if produced_len == count:
-            return list(produced_seq)
-        produced_iter = iter(produced_seq)
-    if produced_len == count:
-        return list(produced_iter)
-    values: List[Optional[Number]] = []
-    append = values.append
-    advance = produced_iter.__next__
-    for address in addresses:
-        append(advance() if vflags[address] else None)
-    return values
-
-
-def _tagged_values(packed: tuple) -> Iterator[Number]:
+        return ValueColumn(array("q"), {})
+    if kind == "q":
+        return ValueColumn(packed[1], {})
+    if kind == "d":
+        floats = packed[1]
+        return ValueColumn(
+            array("q", bytes(8 * len(floats))),
+            dict(enumerate(floats)),
+        )
     _, tags, ints, floats, bigints = packed
+    column = array("q", bytes(8 * len(tags)))
+    escapes: "dict[int, Number]" = {}
     int_iter = iter(ints)
     float_iter = iter(floats)
     big_iter = iter(bigints)
-    for tag in tags:
+    for position, tag in enumerate(tags):
         if tag == 0:
-            yield next(int_iter)
+            column[position] = next(int_iter)
         elif tag == 1:
-            yield next(float_iter)
+            escapes[position] = next(float_iter)
         else:
-            yield next(big_iter)
+            escapes[position] = next(big_iter)
+    return ValueColumn(column, escapes)
 
 
 class PackedTrace:
@@ -253,8 +251,10 @@ class PackedTrace:
         vflags = value_flags(program)
         mflags = mem_flags(program)
         for addresses, packed_values, phase_runs, mems in self.batches:
-            values = _unpack_values(addresses, packed_values, vflags, len(addresses))
-            yield TraceBatch(addresses, values, list(phase_runs), mems, mflags)
+            values = _unpack_values(packed_values)
+            yield TraceBatch(
+                addresses, values, vflags, list(phase_runs), mems, mflags
+            )
         self.raise_stored_error()
 
     def to_bytes(self) -> bytes:

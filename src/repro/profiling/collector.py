@@ -342,10 +342,13 @@ def collect_profiles(
             offset = 0
             for batch in batches:
                 addresses = batch.addresses
-                values = batch.values
                 triples: List[Tuple[int, Optional[Number], int]] = []
-                for start, end, phase in batch.phase_segments():
-                    if sample_every > 1:
+                if sample_every > 1:
+                    # Sampling indexes records at arbitrary positions, so
+                    # rebuild the aligned one-slot-per-record view (the
+                    # sampled rows are a small fraction of the batch).
+                    values = batch.record_values()
+                    for start, end, phase in batch.phase_segments():
                         first = -(-(offset + start) // sample_every) * sample_every
                         triples.extend(
                             (addresses[position], values[position], phase)
@@ -354,14 +357,23 @@ def collect_profiles(
                             )
                             if is_candidate[addresses[position]]
                         )
-                    else:
-                        triples.extend(
-                            (address, value, phase)
-                            for address, value in zip(
-                                addresses[start:end], values[start:end]
-                            )
-                            if is_candidate[address]
-                        )
+                else:
+                    # Full profiling: cursor-walk the packed produced-value
+                    # column (candidates are always producers).
+                    vflags = batch.value_flags
+                    column = batch.values
+                    produced = (
+                        column.ints if column.is_pure_int else column.tolist()
+                    )
+                    append = triples.append
+                    cursor = 0
+                    for start, end, phase in batch.phase_segments():
+                        for position in range(start, end):
+                            address = addresses[position]
+                            if vflags[address]:
+                                if is_candidate[address]:
+                                    append((address, produced[cursor], phase))
+                                cursor += 1
                 offset += len(batch)
                 if not triples:
                     continue

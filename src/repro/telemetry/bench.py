@@ -23,6 +23,10 @@ writes a ``BENCH_<rev>.json`` file in a stable schema
 * **sampling** — sampled phase-2 profiling: one corpus program profiled
   in full and at the pinned sampling rate from the same captured trace;
   reports records/sec both ways and the sampled-path speedup.
+* **analysis** — multi-scheme prediction simulation: a pinned
+  all-integer trace replayed through a six-engine fig-5.1-style grid on
+  the vectorized (numpy) backend and again with the backend disabled;
+  reports records/sec both ways and the vectorization speedup.
 * **suite** — one end-to-end experiment (``fig-5.1``) at small scale,
   cold cache then warm cache, with per-kind artifact-cache hit rates
   and the whole-pipeline simulated MIPS taken from the telemetry
@@ -60,7 +64,9 @@ from .registry import Telemetry, use_registry
 #: v3 added the ``fuse`` section (streaming fusion throughput + sketch size).
 #: v4 added the ``corpus`` section (generator throughput) and the
 #: ``sampling`` section (sampled vs full profiling throughput).
-SCHEMA_VERSION = "repro-bench/4"
+#: v5 added the ``analysis`` section (vectorized vs pure multi-scheme
+#: simulation throughput).
+SCHEMA_VERSION = "repro-bench/5"
 
 #: Required ``metrics`` sections and the keys each must carry.
 REQUIRED_METRICS = {
@@ -97,6 +103,16 @@ REQUIRED_METRICS = {
         "sampled_records_per_sec",
         "speedup",
     ),
+    "analysis": (
+        "records",
+        "engines",
+        "numpy",
+        "vec_seconds",
+        "vec_records_per_sec",
+        "pure_seconds",
+        "pure_records_per_sec",
+        "speedup",
+    ),
     "suite": ("experiment", "cold_seconds", "warm_seconds", "simulated_mips", "cache"),
 }
 
@@ -122,6 +138,8 @@ class BenchConfig:
     corpus_count: int = 48
     corpus_seed: int = 1997
     sampling_rate: int = 10
+    analysis_iterations: int = 50_000
+    analysis_replays: int = 3
 
 
 #: The default (committed-trajectory) configuration.
@@ -145,6 +163,8 @@ SMOKE = BenchConfig(
     fuse_images=60,
     fuse_addresses=64,
     corpus_count=8,
+    analysis_iterations=2_000,
+    analysis_replays=1,
 )
 
 #: Pinned executor workload: {iterations} is substituted per config.
@@ -420,6 +440,119 @@ def bench_sampling(seed: int, sample_every: int) -> Dict[str, Any]:
     }
 
 
+#: Pinned analysis workload: an all-integer loop whose candidate stream
+#: mixes stride-predictable (counters, scaled indices), last-value
+#: friendly (periodic masks/moduli) and hard (quadratic) addresses — the
+#: value mix a fig-5.1 multi-scheme comparison walks.
+_ANALYSIS_ASM = """
+.name bench-analysis
+.text
+    li r1, 0
+    li r2, {iterations}
+    li r3, 0
+loop:
+    addi r1, r1, 1
+    addi r3, r3, 3
+    add r4, r1, r3
+    shli r5, r1, 2
+    andi r6, r1, 15
+    modi r7, r1, 7
+    mul r8, r1, r1
+    sub r9, r4, r3
+    xor r10, r6, r7
+    slt r11, r1, r2
+    bnez r11, loop
+    out r4
+    halt
+"""
+
+
+def _analysis_engines(program) -> "Dict[str, Any]":
+    """A fresh fig-5.1-style engine grid (three predictors, two schemes)."""
+    from ..core.schemes import AlwaysClassification, HardwareClassification
+    from ..core.simulate import PredictionEngine
+    from ..predictors import (
+        LastValuePredictor,
+        StridePredictor,
+        TwoDeltaStridePredictor,
+    )
+
+    predictors = {
+        "stride": StridePredictor,
+        "lv": LastValuePredictor,
+        "2d": TwoDeltaStridePredictor,
+    }
+    return {
+        f"{name}/{scheme}": PredictionEngine(
+            program,
+            factory(),
+            AlwaysClassification()
+            if scheme == "always"
+            else HardwareClassification(),
+        )
+        for name, factory in predictors.items()
+        for scheme in ("always", "fsm")
+    }
+
+
+def bench_analysis(iterations: int, replays: int) -> Dict[str, Any]:
+    """Time multi-scheme analysis, vectorized backend against pure Python.
+
+    The pinned loop is captured once into a memory
+    :class:`~repro.machine.TraceStore`; both passes then replay the same
+    packed batches through :func:`~repro.core.simulate.simulate_prediction_many`
+    over the same six-engine grid, so the timed difference is purely the
+    analysis backend — the numpy fold versus the per-record consumers
+    (forced via the backend's disable switch).  ``speedup`` is the
+    ``vec_records_per_sec`` / ``pure_records_per_sec`` ratio; without
+    numpy both passes run the pure path and it sits near 1.0.
+    """
+    import os
+
+    from ..core.simulate import simulate_prediction_many
+    from ..core.simulate_vec import DISABLE_ENV, numpy_or_none
+    from ..isa import assemble
+    from ..machine import TraceStore
+
+    program = assemble(_ANALYSIS_ASM.format(iterations=iterations))
+    store = TraceStore(None)
+    records = 0
+    for batch in store.batches(program):
+        records += len(batch)
+
+    def timed_pass() -> float:
+        started = time.perf_counter()
+        for _ in range(replays):
+            simulate_prediction_many(
+                program, (), _analysis_engines(program), store=store
+            )
+        return (time.perf_counter() - started) / replays
+
+    vec_seconds = timed_pass()
+    saved = os.environ.get(DISABLE_ENV)
+    os.environ[DISABLE_ENV] = "1"
+    try:
+        pure_seconds = timed_pass()
+    finally:
+        if saved is None:
+            os.environ.pop(DISABLE_ENV, None)
+        else:
+            os.environ[DISABLE_ENV] = saved
+    vec_rate = records / vec_seconds if vec_seconds else 0.0
+    pure_rate = records / pure_seconds if pure_seconds else 0.0
+    return {
+        "records": records,
+        "engines": 6,
+        "replays": replays,
+        "numpy": numpy_or_none() is not None,
+        "vec_seconds": vec_seconds,
+        "vec_records_per_sec": vec_rate,
+        "pure_seconds": pure_seconds,
+        "pure_records_per_sec": pure_rate,
+        "speedup": vec_rate / pure_rate if pure_rate else 0.0,
+    }
+
+
 def _run_suite_once(config: BenchConfig, cache_dir: str) -> Dict[str, Any]:
     """One full experiment pass under a fresh live registry."""
     from ..experiments.context import ExperimentContext
@@ -487,6 +620,9 @@ def build_payload(config: BenchConfig, smoke: bool) -> Dict[str, Any]:
             "fuse": bench_fuse(config.fuse_images, config.fuse_addresses),
             "corpus": bench_corpus(config.corpus_count, config.corpus_seed),
             "sampling": bench_sampling(config.corpus_seed, config.sampling_rate),
+            "analysis": bench_analysis(
+                config.analysis_iterations, config.analysis_replays
+            ),
             "suite": suite,
         },
         "telemetry": telemetry,
@@ -533,6 +669,7 @@ def summary_table(payload: Dict[str, Any]) -> str:
     fuse = metrics["fuse"]
     corpus = metrics["corpus"]
     sampling = metrics["sampling"]
+    analysis = metrics["analysis"]
     suite = metrics["suite"]
     lines = [
         f"repro bench — revision {payload['revision']} "
@@ -559,6 +696,11 @@ def summary_table(payload: Dict[str, Any]) -> str:
         f"k={sampling['sample_every']} "
         f"{sampling['sampled_records_per_sec'] / 1e6:>6.3f} Mrec/s  "
         f"({sampling['speedup']:.1f}x)",
+        f"  analysis   {analysis['records']:>12,} recs  "
+        f"vec {analysis['vec_records_per_sec'] / 1e6:>7.3f} Mrec/s  "
+        f"pure {analysis['pure_records_per_sec'] / 1e6:>6.3f} Mrec/s  "
+        f"({analysis['speedup']:.1f}x"
+        f"{'' if analysis['numpy'] else ', no numpy'})",
         f"  suite      {suite['experiment']:<12} cold {suite['cold_seconds']:>8.2f}s  "
         f"warm {suite['warm_seconds']:>7.2f}s  "
         f"simulated {suite['simulated_mips']:.3f} MIPS",
@@ -588,6 +730,7 @@ def check_regression(
     hosts.
     """
     problems: List[str] = []
+    revision = baseline.get("revision", "unknown")
     new_mips = payload["metrics"]["suite"]["simulated_mips"]
     old_mips = baseline.get("metrics", {}).get("suite", {}).get("simulated_mips")
     if not old_mips:
@@ -596,8 +739,32 @@ def check_regression(
         problems.append(
             f"suite.simulated_mips regressed: {new_mips:.3f} < "
             f"{min_mips_ratio:.2f} x baseline {old_mips:.3f} "
-            f"(revision {baseline.get('revision', 'unknown')})"
+            f"(revision {revision})"
         )
+    # Every throughput field of the analysis section is gated the same
+    # way, each with its own failure report, so a lost fast path (e.g.
+    # the vectorized fold silently demoting) can't hide behind the
+    # suite-level number.  Old baselines predate the section; skip them.
+    new_analysis = payload["metrics"].get("analysis", {})
+    old_analysis = baseline.get("metrics", {}).get("analysis", {})
+    throughput_fields = [
+        key
+        for key in old_analysis
+        if key.endswith("_per_sec") or key == "speedup"
+    ]
+    for key in throughput_fields:
+        old_value = old_analysis[key]
+        new_value = new_analysis.get(key)
+        if not old_value:
+            continue
+        if new_value is None:
+            problems.append(f"analysis.{key} missing from this run")
+        elif new_value < old_value * min_mips_ratio:
+            problems.append(
+                f"analysis.{key} regressed: {new_value:,.1f} < "
+                f"{min_mips_ratio:.2f} x baseline {old_value:,.1f} "
+                f"(revision {revision})"
+            )
     return problems
 
 
@@ -682,9 +849,15 @@ def run_from_arguments(arguments: argparse.Namespace) -> int:
             return 1
         old_mips = baseline["metrics"]["suite"]["simulated_mips"]
         new_mips = payload["metrics"]["suite"]["simulated_mips"]
+        gated = 1 + sum(
+            1
+            for key in baseline.get("metrics", {}).get("analysis", {})
+            if key.endswith("_per_sec") or key == "speedup"
+        )
         print(
-            f"bench regression guard passed: {new_mips:.3f} MIPS vs "
-            f"baseline {old_mips:.3f} (floor {arguments.min_mips_ratio:.2f}x)"
+            f"bench regression guard passed ({gated} gated fields): "
+            f"{new_mips:.3f} MIPS vs baseline {old_mips:.3f} "
+            f"(floor {arguments.min_mips_ratio:.2f}x)"
         )
     return 0
 

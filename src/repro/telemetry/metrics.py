@@ -30,6 +30,14 @@ KNOWN_METRICS: FrozenSet[str] = frozenset(
         "machine.trace.replays",
         "machine.trace.replayed_records",
         "machine.trace.replay",
+        "machine.columns.values",
+        "machine.columns.escapes",
+        # capture.shard: multi-process sharded trace capture.
+        "capture.shard.runs",
+        "capture.shard.jobs",
+        "capture.shard.shards",
+        "capture.shard.records",
+        "capture.shard.capture",
         # predictors: shared by the core simulation engines.
         "predictor.lookups",
         "predictor.hits",
@@ -43,6 +51,11 @@ KNOWN_METRICS: FrozenSet[str] = frozenset(
         "core.taken_correct",
         "core.would_correct",
         "core.allocations",
+        # simulate.vec: the vectorized (numpy) analysis backend.
+        "simulate.vec.runs",
+        "simulate.vec.records",
+        "simulate.vec.candidates",
+        "simulate.vec.engines",
         # profiling: phase-2 profile collection.
         "profiling.records",
         "profiling.runs",

@@ -1,0 +1,153 @@
+"""Property tests for the packed value sidecar and the vectorized backend.
+
+Three layers, matching how a value travels through the analysis stack:
+
+* :class:`~repro.machine.ValueColumn` — packing a produced-value stream
+  must round-trip exactly, floats staying floats (``3.0`` never collapses
+  into ``3``) and bigints surviving beyond the int64 envelope.
+* ``TraceBatch.records()`` — the per-record adapter over packed columns
+  must reproduce the value stream the executor produced.
+* ``simulate_prediction_many`` — over seeded random programs, the
+  vectorized backend and the pure-Python consumers must publish
+  identical statistics, table contents and classifier states (the
+  in-process mirror of the ``simulate-vec-vs-pure`` oracle pair).
+
+Tests that assert the numpy fold actually *engages* are skip-marked when
+numpy is absent; everything else runs on the pure path unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.check.generator import generate_case
+from repro.check.oracle import _check_simulate_vec, _int_only_case
+from repro.core.simulate_vec import DISABLE_ENV, numpy_or_none
+from repro.machine import ExecutionError, ValueColumn, trace_batches
+
+_has_numpy = numpy_or_none() is not None
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
+
+#: Produced values as the executor hands them over: mostly small ints,
+#: with floats and the occasional bigint mixed in.
+_VALUES = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.integers(min_value=_INT64_MIN, max_value=_INT64_MAX),
+    st.integers(min_value=_INT64_MAX + 1, max_value=1 << 80),
+    st.integers(min_value=-(1 << 80), max_value=_INT64_MIN - 1),
+    st.floats(allow_nan=False),
+    st.just(3.0),  # the canonical int-masquerade float
+)
+
+
+def _same_value(left, right) -> bool:
+    """Exact identity: type-aware, NaN-tolerant."""
+    if isinstance(left, float) != isinstance(right, float):
+        return False
+    if isinstance(left, float) and math.isnan(left):
+        return isinstance(right, float) and math.isnan(right)
+    return left == right
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_VALUES, max_size=64))
+def test_value_column_round_trips(values):
+    column = ValueColumn.from_values(values)
+    assert len(column) == len(values)
+    assert all(
+        _same_value(packed, original)
+        for packed, original in zip(column.tolist(), values)
+    )
+    assert all(
+        _same_value(column[position], original)
+        for position, original in enumerate(values)
+    )
+    assert all(
+        _same_value(packed, original)
+        for packed, original in zip(column, values)
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(_VALUES, max_size=64))
+def test_value_column_escapes_exactly_the_unpackable(values):
+    column = ValueColumn.from_values(values)
+    for position, value in enumerate(values):
+        packable = (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and _INT64_MIN <= value <= _INT64_MAX
+        )
+        assert (position in column.escapes) == (not packable)
+    assert column.is_pure_int == (not column.escapes)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_batch_records_reproduce_produced_values(seed):
+    """records() must re-interleave packed values with the None slots."""
+    case = generate_case(seed)
+    produced = []
+    rebuilt = []
+    try:
+        for batch in trace_batches(
+            case.program, case.inputs, max_instructions=5_000
+        ):
+            flags = batch.value_flags
+            produced.extend(batch.values.tolist())
+            rebuilt.extend(
+                record.value
+                for record in batch.records()
+                if flags[record.address]
+            )
+    except ExecutionError:
+        pass  # a faulting program still yields its prefix batches first
+    assert len(produced) == len(rebuilt)
+    assert all(_same_value(a, b) for a, b in zip(produced, rebuilt))
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10**6))
+def test_vec_matches_pure_on_random_programs(seed):
+    """The oracle pair, in-process: generated case + its integer twin."""
+    assert _check_simulate_vec(generate_case(seed), 5_000) is None
+
+
+@pytest.mark.skipif(not _has_numpy, reason="numpy unavailable")
+def test_vec_backend_engages_on_integer_programs():
+    """The integer twin must run the numpy fold, not just demote."""
+    from repro.telemetry import Telemetry, use_registry
+
+    registry = Telemetry()
+    with use_registry(registry):
+        assert _check_simulate_vec(generate_case(7), 5_000) is None
+    counters = registry.snapshot()["counters"]
+    assert counters.get("simulate.vec.runs", 0) > 0
+    assert counters.get("simulate.vec.candidates", 0) > 0
+
+
+@pytest.mark.skipif(not _has_numpy, reason="numpy unavailable")
+def test_disable_env_forces_pure_path():
+    from repro.telemetry import Telemetry, use_registry
+
+    case = _int_only_case(generate_case(11))
+    saved = os.environ.get(DISABLE_ENV)
+    os.environ[DISABLE_ENV] = "1"
+    try:
+        registry = Telemetry()
+        with use_registry(registry):
+            assert _check_simulate_vec(case, 5_000) is None
+        counters = registry.snapshot()["counters"]
+        assert counters.get("simulate.vec.runs", 0) == 0
+    finally:
+        if saved is None:
+            os.environ.pop(DISABLE_ENV, None)
+        else:
+            os.environ[DISABLE_ENV] = saved
