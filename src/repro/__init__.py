@@ -14,6 +14,9 @@ Subpackages
   format, multi-run merging, streaming fleet fusion with compact
   sketches, and the Section-4 similarity metrics.
 * :mod:`repro.annotate` — phase-3 directive insertion.
+* :mod:`repro.classify` — learned predictability classification: static
+  feature extraction and a seed-deterministic model trained on
+  profile-labeled corpus programs.
 * :mod:`repro.core` — the classified value-prediction simulation drivers
   and the end-to-end three-phase methodology.
 * :mod:`repro.ilp` — the 40-entry-window abstract ILP machine.
@@ -53,6 +56,8 @@ from .core import (
     EvaluationScheme,
     HardwareClassification,
     HardwareScheme,
+    LearnedClassification,
+    LearnedScheme,
     PredictionEngine,
     PredictionStats,
     ProfileClassification,
@@ -89,6 +94,11 @@ __version__ = "1.0.0"
 #: parallel engine) loads only when first touched, keeping plain
 #: ``import repro`` cheap and the import graph cycle-free.
 _LAZY = {
+    "PredictabilityModel": ("repro.classify", "PredictabilityModel"),
+    "train_model": ("repro.classify", "train_model"),
+    "extract_features": ("repro.classify", "extract_features"),
+    "dumps_model": ("repro.classify", "dumps_model"),
+    "loads_model": ("repro.classify", "loads_model"),
     "ExperimentContext": ("repro.experiments.context", "ExperimentContext"),
     "run_experiments": ("repro.experiments.runner", "run_experiments"),
     "ArtifactCache": ("repro.runner.cache", "ArtifactCache"),
@@ -128,7 +138,10 @@ __all__ = [
     "IlpConfig",
     "IlpResult",
     "LastValuePredictor",
+    "LearnedClassification",
+    "LearnedScheme",
     "MergeAccumulator",
+    "PredictabilityModel",
     "PredictionEngine",
     "PredictionStats",
     "ProfileClassification",
@@ -146,11 +159,15 @@ __all__ = [
     "compile_source",
     "default_cache_dir",
     "disassemble",
+    "dumps_model",
     "evaluate_scheme",
+    "extract_features",
     "fidelity_report",
     "fuse_images",
     "get_registry",
+    "loads_model",
     "measure_ilp",
+    "train_model",
     "merge_profiles",
     "read_profile",
     "run_experiments",

@@ -38,6 +38,11 @@ Each :class:`OraclePair` names one equivalence the codebase relies on:
 ``runner-parallel`` / ``runner-faulty``
     the parallel engine at ``jobs=2`` — and a faulted run recovered
     under a retry policy — against a serial walk of the same graph.
+``classify-train-determinism``
+    the learned predictability model trained on the same labeled corpus
+    presented in reversed row order (canonical sorting must make input
+    order irrelevant), byte-for-byte on the serialized model, plus a
+    ``loads -> dumps`` round trip of the model file itself.
 
 Program-consuming pairs draw seeded random programs from
 :mod:`repro.check.generator`; the runner pairs run a pinned experiment
@@ -827,6 +832,28 @@ def _check_runner_faulty(case: None, budget: int):
     )
 
 
+def _check_classify_determinism(case: None, budget: int):
+    from ..classify import (
+        build_dataset,
+        dataset_rows,
+        dumps_model,
+        loads_model,
+        train_model,
+    )
+    from ..workloads.corpus import DEFAULT_MIX, generate_corpus
+
+    workloads = generate_corpus(1997, 6, DEFAULT_MIX)
+    rows = dataset_rows(build_dataset(workloads, training_runs=2, scale=0.1))
+    reference = dumps_model(train_model(rows, seed=1997))
+    reordered = dumps_model(train_model(list(reversed(rows)), seed=1997))
+    if reordered != reference:
+        return ("$classify.row_order", "<differs>", "<canonical model bytes>")
+    round_trip = dumps_model(loads_model(reference))
+    if round_trip != reference:
+        return ("$classify.round_trip", "<differs>", "<original model bytes>")
+    return None
+
+
 @dataclasses.dataclass(frozen=True)
 class OraclePair:
     """One fast/reference equivalence the oracle exercises."""
@@ -892,6 +919,11 @@ _PAIRS: Tuple[OraclePair, ...] = (
         "runner-faulty",
         "faulted run recovered under retries vs a clean serial walk",
         False, _check_runner_faulty,
+    ),
+    OraclePair(
+        "classify-train-determinism",
+        "model trained on reversed row order vs canonical, byte-for-byte",
+        False, _check_classify_determinism,
     ),
 )
 

@@ -1,0 +1,92 @@
+"""Learned predictability classification (profile-free phase 3).
+
+The paper asks whether a *profile* can replace per-entry hardware
+counters; this package asks the successor question (PGO-without-Profiles,
+PAPERS.md): can a model trained on profiled corpus programs predict
+per-instruction predictability from **static features alone**?
+
+Pipeline:
+
+1. :mod:`~repro.classify.features` — versioned static feature vectors
+   per candidate instruction (opcode/operand shape, loop nesting,
+   block position, reaching-definition shape).
+2. :mod:`~repro.classify.dataset` — corpus programs labeled by their own
+   phase-2 profiles through the phase-3 directive policy.
+3. :mod:`~repro.classify.model` — a seed-deterministic stdlib decision
+   tree with digest-stamped save/load.
+4. :mod:`~repro.classify.predict` — re-tag any binary with predicted
+   directives; :class:`repro.core.LearnedClassification` plugs the
+   result into the unified evaluation API.
+"""
+
+from .dataset import (
+    LabeledProgram,
+    build_dataset,
+    dataset_rows,
+    label_program,
+    majority_label,
+    profile_workload,
+    split_corpus,
+)
+from .features import (
+    FEATURE_NAMES,
+    FEATURE_SCHEMA_VERSION,
+    FeatureVector,
+    extract_features,
+    feature_vector,
+    loop_spans,
+)
+from .model import (
+    LABEL_LAST_VALUE,
+    LABEL_NAMES,
+    LABEL_NONE,
+    LABEL_STRIDE,
+    MODEL_FORMAT_VERSION,
+    MODEL_MAGIC,
+    ModelFormatError,
+    PredictabilityModel,
+    TreeLeaf,
+    TreeNode,
+    directive_label,
+    dumps_model,
+    label_directive,
+    loads_model,
+    model_digest,
+    train_model,
+)
+from .predict import annotate_with_model, predict_directives, predict_labels
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURE_SCHEMA_VERSION",
+    "FeatureVector",
+    "LABEL_LAST_VALUE",
+    "LABEL_NAMES",
+    "LABEL_NONE",
+    "LABEL_STRIDE",
+    "LabeledProgram",
+    "MODEL_FORMAT_VERSION",
+    "MODEL_MAGIC",
+    "ModelFormatError",
+    "PredictabilityModel",
+    "TreeLeaf",
+    "TreeNode",
+    "annotate_with_model",
+    "build_dataset",
+    "dataset_rows",
+    "directive_label",
+    "dumps_model",
+    "extract_features",
+    "feature_vector",
+    "label_directive",
+    "label_program",
+    "loads_model",
+    "loop_spans",
+    "majority_label",
+    "model_digest",
+    "predict_directives",
+    "predict_labels",
+    "profile_workload",
+    "split_corpus",
+    "train_model",
+]

@@ -1,0 +1,159 @@
+"""Labeled training data: corpus programs labeled by their own profiles.
+
+The PR 8 corpus generator supplies unlimited programs; phase 2 of the
+paper's own methodology supplies the ground truth.  Each corpus program
+is profiled on its training input sets, the merged profile is pushed
+through the phase-3 :class:`~repro.annotate.AnnotationPolicy`, and the
+resulting directive (or its absence) becomes the instruction's label.
+The learned model therefore predicts exactly what the profile-guided
+classifier *would have said* — with no profile in sight at use time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..annotate import AnnotationPolicy
+from ..isa import Program
+from ..profiling import ProfileImage, collect_profile, merge_profiles
+from ..telemetry import get_registry
+from ..workloads import TRAINING_RUNS, Workload
+from .features import FeatureVector, extract_features
+from .model import Row, directive_label
+
+
+@dataclasses.dataclass(frozen=True)
+class LabeledProgram:
+    """One corpus program's feature vectors and profile-derived labels."""
+
+    name: str
+    features: Dict[int, FeatureVector]
+    labels: Dict[int, int]
+
+    def rows(self) -> List[Row]:
+        """(features, label) pairs in address order."""
+        return [
+            (self.features[address], self.labels[address])
+            for address in sorted(self.features)
+        ]
+
+
+def label_program(
+    program: Program,
+    profile: ProfileImage,
+    policy: Optional[AnnotationPolicy] = None,
+) -> Dict[int, int]:
+    """Label every candidate address from its profiled statistics.
+
+    Candidates the profile never saw predicted (or never saw at all)
+    label as ``none`` — exactly what phase 3 would decide.
+    """
+    policy = policy or AnnotationPolicy()
+    labels: Dict[int, int] = {}
+    for address in program.candidate_addresses:
+        stats = profile.instructions.get(address)
+        directive = None if stats is None else policy.classify(stats)
+        labels[address] = directive_label(directive)
+    return labels
+
+
+def profile_workload(
+    workload: Workload,
+    *,
+    training_runs: int = TRAINING_RUNS,
+    scale: float = 1.0,
+) -> Tuple[Program, ProfileImage]:
+    """Compile one workload and merge its training-run profiles."""
+    program = workload.compile()
+    images = [
+        collect_profile(
+            program,
+            workload.input_set(index, scale=scale),
+            run_label=f"train-{index}",
+        )
+        for index in range(training_runs)
+    ]
+    profile = (
+        images[0]
+        if len(images) == 1
+        else merge_profiles(images, program_name=workload.name)
+    )
+    return program, profile
+
+
+def build_dataset(
+    workloads: Sequence[Workload],
+    *,
+    training_runs: int = TRAINING_RUNS,
+    scale: float = 1.0,
+    policy: Optional[AnnotationPolicy] = None,
+) -> List[LabeledProgram]:
+    """Profile and label a corpus slice (phase 2 per program)."""
+    telemetry = get_registry()
+    started = time.perf_counter()
+    labeled = []
+    for workload in workloads:
+        program, profile = profile_workload(
+            workload, training_runs=training_runs, scale=scale
+        )
+        labeled.append(
+            LabeledProgram(
+                name=workload.name,
+                features=extract_features(program),
+                labels=label_program(program, profile, policy),
+            )
+        )
+    if telemetry.enabled:
+        telemetry.counter("classify.programs").add(len(labeled))
+        telemetry.timer("classify.dataset").add(time.perf_counter() - started)
+    return labeled
+
+
+def dataset_rows(labeled: Iterable[LabeledProgram]) -> List[Row]:
+    """All (features, label) rows of a labeled corpus, in corpus order."""
+    rows: List[Row] = []
+    for item in labeled:
+        rows.extend(item.rows())
+    return rows
+
+
+def majority_label(rows: Sequence[Row]) -> int:
+    """The most frequent label (lowest index on ties) — the baseline."""
+    counts = [0, 0, 0]
+    for _, label in rows:
+        counts[label] += 1
+    best = 0
+    for label in range(1, len(counts)):
+        if counts[label] > counts[best]:
+            best = label
+    return best
+
+
+def split_corpus(
+    workloads: Sequence[Workload], train_fraction: float = 0.75
+) -> Tuple[List[Workload], List[Workload]]:
+    """Deterministic prefix split into (training, held-out) slices.
+
+    Corpus workload ``i`` is a pure function of ``(corpus_seed, i)``, so
+    a prefix split is already an independent draw; no shuffle needed.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    if len(workloads) < 2:
+        raise ValueError("need at least two workloads to split")
+    cut = int(len(workloads) * train_fraction)
+    cut = max(1, min(cut, len(workloads) - 1))
+    return list(workloads[:cut]), list(workloads[cut:])
+
+
+__all__ = [
+    "LabeledProgram",
+    "build_dataset",
+    "dataset_rows",
+    "label_program",
+    "majority_label",
+    "profile_workload",
+    "split_corpus",
+]

@@ -1,0 +1,174 @@
+"""Static per-instruction features for learned predictability classification.
+
+The feature extractor answers one question: what can be said about a
+value-prediction candidate from the *binary alone* — no profile, no
+execution?  Each candidate address gets a fixed-width vector of small
+integers derived from the opcode, its operand shape, the surrounding
+basic-block/loop structure (via :mod:`repro.analysis.blocks`) and the
+within-block reaching definitions of its source registers.
+
+The schema is versioned: :data:`FEATURE_SCHEMA_VERSION` names the exact
+tuple layout in :data:`FEATURE_NAMES`, and saved models record both, so
+a model trained under one schema refuses to score vectors from another.
+
+Everything here is deterministic by construction — features are plain
+integers computed from the instruction tuple in address order; no hash
+iteration, no floats — so the same program yields byte-identical vectors
+in every process and under every ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.blocks import BasicBlock, basic_blocks, block_of, control_flow_graph
+from ..isa import Category, Opcode, Program
+from ..telemetry import get_registry
+
+#: Bump when the tuple layout below changes; stored in every model file.
+FEATURE_SCHEMA_VERSION = 1
+
+#: The feature tuple layout, in order.  All values are small integers.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "category",                 # Category enum index of the opcode
+    "is_fp",                    # FP ALU or FP load
+    "is_load",                  # integer or FP load
+    "source_count",             # number of source registers
+    "has_immediate",            # carries an immediate operand
+    "immediate_magnitude",      # |imm| truncated to int, capped at 255
+    "loop_depth",               # enclosing natural-loop nesting depth
+    "block_size",               # instructions in the containing block
+    "block_position",           # offset from the block leader
+    "block_fraction_milli",     # position / (size - 1), in thousandths
+    "self_recurrence",          # instruction reads its own destination
+    "sources_defined_in_block", # sources with an earlier writer in-block
+    "fed_by_load",              # some source's in-block writer is a load
+    "fed_by_immediate",         # ... is li/fli
+    "fed_by_input",             # ... is in()/fin()
+    "fed_by_induction",         # ... is itself a self-recurrence (x = x+k)
+)
+
+FeatureVector = Tuple[int, ...]
+
+_CATEGORY_INDEX = {category: index for index, category in enumerate(Category)}
+_LOAD_CATEGORIES = (Category.INT_LOAD, Category.FP_LOAD)
+_FP_CATEGORIES = (Category.FP_ALU, Category.FP_LOAD)
+_IMMEDIATE_OPCODES = (Opcode.LI, Opcode.FLI)
+_INPUT_OPCODES = (Opcode.IN, Opcode.FIN)
+
+#: Cap on the immediate-magnitude feature, so one outlier constant
+#: cannot dominate threshold selection.
+_IMMEDIATE_CAP = 255
+
+
+def loop_spans(program: Program) -> List[Tuple[int, int]]:
+    """Half-open ``[body_start, body_end)`` address spans of natural loops.
+
+    A loop is a backward edge in the block-level control-flow graph — an
+    edge whose target block starts at or before the source block (the
+    structured mini-C compiler only emits backward control flow for
+    loops).  The loop body spans from the target leader through the end
+    of the source block.
+    """
+    blocks = basic_blocks(program)
+    ends = {block.start: block.end for block in blocks}
+    spans = []
+    for source, successors in sorted(control_flow_graph(program).items()):
+        for target in successors:
+            if target <= source:
+                spans.append((target, ends[source]))
+    return sorted(spans)
+
+
+def _loop_depth(spans: List[Tuple[int, int]], address: int) -> int:
+    return sum(1 for low, high in spans if low <= address < high)
+
+
+def _in_block_writer(
+    program: Program, block: BasicBlock, address: int, register: int
+) -> Optional[int]:
+    """Address of the nearest earlier in-block writer of ``register``."""
+    for earlier in range(address - 1, block.start - 1, -1):
+        if program[earlier].dest == register:
+            return earlier
+    return None
+
+
+def feature_vector(
+    program: Program,
+    address: int,
+    blocks: List[BasicBlock],
+    spans: List[Tuple[int, int]],
+) -> FeatureVector:
+    """The feature tuple for one instruction (see :data:`FEATURE_NAMES`)."""
+    instruction = program[address]
+    category = instruction.category
+    block = block_of(blocks, address)
+    position = address - block.start
+    size = len(block)
+    fraction = 0 if size <= 1 else (1000 * position) // (size - 1)
+    immediate = instruction.imm
+    magnitude = 0 if immediate is None else min(int(abs(immediate)), _IMMEDIATE_CAP)
+    self_recurrence = int(
+        instruction.dest is not None and instruction.dest in instruction.srcs
+    )
+    defined = fed_load = fed_immediate = fed_input = fed_induction = 0
+    for register in instruction.srcs:
+        writer_address = _in_block_writer(program, block, address, register)
+        if writer_address is None:
+            continue
+        defined += 1
+        writer = program[writer_address]
+        if writer.category in _LOAD_CATEGORIES:
+            fed_load = 1
+        if writer.opcode in _IMMEDIATE_OPCODES:
+            fed_immediate = 1
+        if writer.opcode in _INPUT_OPCODES:
+            fed_input = 1
+        if writer.dest is not None and writer.dest in writer.srcs:
+            fed_induction = 1
+    return (
+        _CATEGORY_INDEX[category],
+        int(category in _FP_CATEGORIES),
+        int(category in _LOAD_CATEGORIES),
+        len(instruction.srcs),
+        int(immediate is not None),
+        magnitude,
+        _loop_depth(spans, address),
+        size,
+        position,
+        fraction,
+        self_recurrence,
+        defined,
+        fed_load,
+        fed_immediate,
+        fed_input,
+        fed_induction,
+    )
+
+
+def extract_features(program: Program) -> Dict[int, FeatureVector]:
+    """Feature vectors for every prediction candidate, in address order."""
+    telemetry = get_registry()
+    started = time.perf_counter()
+    blocks = basic_blocks(program)
+    spans = loop_spans(program)
+    features = {
+        address: feature_vector(program, address, blocks, spans)
+        for address in program.candidate_addresses
+    }
+    if telemetry.enabled:
+        telemetry.counter("classify.features").add(len(features))
+        telemetry.timer("classify.extract").add(time.perf_counter() - started)
+    return features
+
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURE_SCHEMA_VERSION",
+    "FeatureVector",
+    "extract_features",
+    "feature_vector",
+    "loop_spans",
+]

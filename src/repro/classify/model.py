@@ -1,0 +1,399 @@
+"""A seed-deterministic decision tree over static instruction features.
+
+The learned counterpart of the paper's profile thresholds: instead of
+measuring each instruction's predictability, predict it from the static
+feature vectors of :mod:`repro.classify.features`.  Labels are the
+phase-3 directive classes — ``none`` / ``last-value`` / ``stride`` — so
+a trained model *is* a directive policy that needs no profile.
+
+Pure stdlib, and deterministic to the byte:
+
+* split selection uses exact integer arithmetic (cross-multiplied
+  Gini comparisons — no float accumulation, no representation drift);
+* ties break on the lowest feature index, then the lowest threshold;
+* training rows are canonically sorted, so row order cannot matter;
+* any subsampling is driven by the repo :class:`~repro.workloads.inputs.Lcg`,
+  never by :mod:`random` or hash order.
+
+The model file format (``repro-classify-model/1``) is a single header
+line carrying the format version and the SHA-256 digest of the canonical
+JSON body that follows; :func:`loads_model` rejects digest mismatches,
+so a model file is self-verifying the way service jobs are
+(:func:`repro.service.api.job_digest`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..isa import Directive
+from ..telemetry import get_registry
+from ..workloads.inputs import Lcg
+from .features import FEATURE_NAMES, FEATURE_SCHEMA_VERSION, FeatureVector
+
+#: Model file format version (header magic below).
+MODEL_FORMAT_VERSION = 1
+
+MODEL_MAGIC = f"repro-classify-model/{MODEL_FORMAT_VERSION}"
+
+#: The label classes, index == label integer.
+LABEL_NONE = 0
+LABEL_LAST_VALUE = 1
+LABEL_STRIDE = 2
+LABEL_NAMES: Tuple[str, ...] = ("none", "last-value", "stride")
+
+_DIRECTIVE_TO_LABEL = {
+    None: LABEL_NONE,
+    Directive.LAST_VALUE: LABEL_LAST_VALUE,
+    Directive.STRIDE: LABEL_STRIDE,
+}
+_LABEL_TO_DIRECTIVE = {
+    LABEL_NONE: None,
+    LABEL_LAST_VALUE: Directive.LAST_VALUE,
+    LABEL_STRIDE: Directive.STRIDE,
+}
+
+#: One training example: (feature vector, label).
+Row = Tuple[FeatureVector, int]
+
+
+class ModelFormatError(ValueError):
+    """Raised when a model file fails to parse or verify."""
+
+
+def directive_label(directive: Optional[Directive]) -> int:
+    """Map a phase-3 directive (or ``None``) to its label integer."""
+    return _DIRECTIVE_TO_LABEL[directive]
+
+
+def label_directive(label: int) -> Optional[Directive]:
+    """Map a label integer back to its directive (``None`` for untagged)."""
+    try:
+        return _LABEL_TO_DIRECTIVE[label]
+    except KeyError:
+        raise ValueError(f"unknown label {label!r}") from None
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeLeaf:
+    """Terminal node: the majority label plus its training class counts."""
+
+    label: int
+    counts: Tuple[int, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class TreeNode:
+    """Internal split: ``features[feature] <= threshold`` goes left."""
+
+    feature: int
+    threshold: int
+    left: "Node"
+    right: "Node"
+
+
+Node = Union[TreeLeaf, TreeNode]
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictabilityModel:
+    """A trained predictability classifier plus its provenance."""
+
+    tree: Node
+    seed: int
+    training_rows: int
+    schema_version: int = FEATURE_SCHEMA_VERSION
+    feature_names: Tuple[str, ...] = FEATURE_NAMES
+    labels: Tuple[str, ...] = LABEL_NAMES
+
+    def predict(self, features: FeatureVector) -> int:
+        """The label integer for one feature vector."""
+        node = self.tree
+        while isinstance(node, TreeNode):
+            node = node.left if features[node.feature] <= node.threshold else node.right
+        return node.label
+
+    def predict_directive(self, features: FeatureVector) -> Optional[Directive]:
+        """The predicted directive (``None`` = leave untagged)."""
+        return label_directive(self.predict(features))
+
+    @property
+    def node_count(self) -> int:
+        return _count_nodes(self.tree)
+
+    @property
+    def depth(self) -> int:
+        return _tree_depth(self.tree)
+
+
+def _count_nodes(node: Node) -> int:
+    if isinstance(node, TreeLeaf):
+        return 1
+    return 1 + _count_nodes(node.left) + _count_nodes(node.right)
+
+
+def _tree_depth(node: Node) -> int:
+    if isinstance(node, TreeLeaf):
+        return 0
+    return 1 + max(_tree_depth(node.left), _tree_depth(node.right))
+
+
+# -- training ----------------------------------------------------------------
+
+
+def _class_counts(rows: Sequence[Row]) -> List[int]:
+    counts = [0] * len(LABEL_NAMES)
+    for _, label in rows:
+        counts[label] += 1
+    return counts
+
+
+def _majority(counts: Sequence[int]) -> int:
+    best = 0
+    for label in range(1, len(counts)):
+        if counts[label] > counts[best]:
+            best = label
+    return best
+
+
+def _best_split(
+    rows: Sequence[Row], min_leaf: int
+) -> Optional[Tuple[int, int]]:
+    """The (feature, threshold) minimizing weighted Gini impurity.
+
+    Comparisons are exact: for a binary split the weighted impurity is
+    proportional to ``I / (n_left * n_right)`` with
+    ``I = n_right*(n_left^2 - S_left) + n_left*(n_right^2 - S_right)``
+    (``S`` = sum of squared class counts), so two candidates compare by
+    integer cross-multiplication.  Ties keep the earliest feature, then
+    the smallest threshold.
+    """
+    total = len(rows)
+    best: Optional[Tuple[int, int]] = None
+    best_score: Optional[Tuple[int, int]] = None  # (numerator, denominator)
+    for feature in range(len(FEATURE_NAMES)):
+        ordered = sorted(rows, key=lambda row: row[0][feature])
+        left_counts = [0] * len(LABEL_NAMES)
+        left_square = 0
+        total_counts = _class_counts(ordered)
+        total_square = sum(count * count for count in total_counts)
+        for index in range(1, total):
+            label = ordered[index - 1][1]
+            left_square += 2 * left_counts[label] + 1
+            left_counts[label] += 1
+            if ordered[index - 1][0][feature] == ordered[index][0][feature]:
+                continue
+            n_left, n_right = index, total - index
+            if n_left < min_leaf or n_right < min_leaf:
+                continue
+            right_square = total_square
+            for label_index in range(len(LABEL_NAMES)):
+                delta = total_counts[label_index] - left_counts[label_index]
+                right_square += delta * delta - total_counts[label_index] * total_counts[label_index]
+            score = (
+                n_right * (n_left * n_left - left_square)
+                + n_left * (n_right * n_right - right_square)
+            )
+            denominator = n_left * n_right
+            if best_score is None or score * best_score[1] < best_score[0] * denominator:
+                best_score = (score, denominator)
+                best = (feature, ordered[index - 1][0][feature])
+    return best
+
+
+def _grow(
+    rows: Sequence[Row], depth: int, max_depth: int, min_leaf: int
+) -> Node:
+    counts = _class_counts(rows)
+    pure = sum(1 for count in counts if count > 0) <= 1
+    if depth >= max_depth or pure or len(rows) < 2 * min_leaf:
+        return TreeLeaf(label=_majority(counts), counts=tuple(counts))
+    split = _best_split(rows, min_leaf)
+    if split is None:
+        return TreeLeaf(label=_majority(counts), counts=tuple(counts))
+    feature, threshold = split
+    left = [row for row in rows if row[0][feature] <= threshold]
+    right = [row for row in rows if row[0][feature] > threshold]
+    if not left or not right:
+        return TreeLeaf(label=_majority(counts), counts=tuple(counts))
+    return TreeNode(
+        feature=feature,
+        threshold=threshold,
+        left=_grow(left, depth + 1, max_depth, min_leaf),
+        right=_grow(right, depth + 1, max_depth, min_leaf),
+    )
+
+
+def _subsample(rows: List[Row], limit: int, rng: Lcg) -> List[Row]:
+    """Seeded partial Fisher-Yates selection of ``limit`` rows."""
+    pool = list(rows)
+    for index in range(limit):
+        other = index + rng.below(len(pool) - index)
+        pool[index], pool[other] = pool[other], pool[index]
+    return pool[:limit]
+
+
+def train_model(
+    rows: Sequence[Row],
+    *,
+    seed: int = 1997,
+    max_depth: int = 8,
+    min_leaf: int = 2,
+    max_rows: int = 50_000,
+) -> PredictabilityModel:
+    """Grow a decision tree over labeled feature vectors.
+
+    Rows are canonically sorted before training, so the result depends
+    only on the training *multiset* (and ``seed``), never on collection
+    order.  Oversized datasets are subsampled by an :class:`Lcg` seeded
+    from ``seed``.
+    """
+    if not rows:
+        raise ValueError("cannot train on an empty dataset")
+    for features, label in rows:
+        if len(features) != len(FEATURE_NAMES):
+            raise ValueError(
+                f"feature vector of width {len(features)} does not match "
+                f"schema v{FEATURE_SCHEMA_VERSION} ({len(FEATURE_NAMES)} features)"
+            )
+        if not 0 <= label < len(LABEL_NAMES):
+            raise ValueError(f"label {label!r} outside {LABEL_NAMES}")
+    telemetry = get_registry()
+    started = time.perf_counter()
+    canonical = sorted(rows)
+    if len(canonical) > max_rows:
+        canonical = sorted(_subsample(canonical, max_rows, Lcg(seed)))
+    tree = _grow(canonical, 0, max_depth, min_leaf)
+    model = PredictabilityModel(tree=tree, seed=seed, training_rows=len(canonical))
+    if telemetry.enabled:
+        telemetry.counter("classify.trained").add(1)
+        telemetry.timer("classify.train").add(time.perf_counter() - started)
+    return model
+
+
+# -- serialization -----------------------------------------------------------
+
+
+def _node_to_dict(node: Node) -> dict:
+    if isinstance(node, TreeLeaf):
+        return {"label": node.label, "counts": list(node.counts)}
+    return {
+        "feature": node.feature,
+        "threshold": node.threshold,
+        "left": _node_to_dict(node.left),
+        "right": _node_to_dict(node.right),
+    }
+
+
+def _node_from_dict(payload: dict) -> Node:
+    if "label" in payload:
+        return TreeLeaf(
+            label=int(payload["label"]),
+            counts=tuple(int(count) for count in payload["counts"]),
+        )
+    return TreeNode(
+        feature=int(payload["feature"]),
+        threshold=int(payload["threshold"]),
+        left=_node_from_dict(payload["left"]),
+        right=_node_from_dict(payload["right"]),
+    )
+
+
+def _model_body(model: PredictabilityModel) -> str:
+    payload = {
+        "feature_names": list(model.feature_names),
+        "labels": list(model.labels),
+        "schema_version": model.schema_version,
+        "seed": model.seed,
+        "training_rows": model.training_rows,
+        "tree": _node_to_dict(model.tree),
+    }
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def model_digest(model: PredictabilityModel) -> str:
+    """SHA-256 digest of the model's canonical serialized body."""
+    return hashlib.sha256(_model_body(model).encode("utf-8")).hexdigest()
+
+
+def dumps_model(model: PredictabilityModel) -> str:
+    """Serialize to the digest-stamped ``repro-classify-model/1`` format."""
+    body = _model_body(model)
+    digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    return f"{MODEL_MAGIC} sha256={digest}\n{body}"
+
+
+def loads_model(text: str) -> PredictabilityModel:
+    """Parse and verify a serialized model.
+
+    Raises:
+        ModelFormatError: on a bad header, a digest mismatch, an
+            unsupported format/schema version, or malformed JSON.
+    """
+    header, separator, body = text.partition("\n")
+    if not separator:
+        raise ModelFormatError("model file has no body")
+    fields = header.split()
+    if len(fields) != 2 or fields[0] != MODEL_MAGIC:
+        raise ModelFormatError(f"bad model header {header!r}")
+    prefix, _, digest = fields[1].partition("=")
+    if prefix != "sha256" or not digest:
+        raise ModelFormatError(f"bad digest field {fields[1]!r}")
+    actual = hashlib.sha256(body.encode("utf-8")).hexdigest()
+    if actual != digest:
+        raise ModelFormatError(
+            f"model digest mismatch: header says {digest[:12]}..., "
+            f"body hashes to {actual[:12]}..."
+        )
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as error:
+        raise ModelFormatError(f"malformed model body: {error}") from None
+    try:
+        schema_version = int(payload["schema_version"])
+        if schema_version != FEATURE_SCHEMA_VERSION:
+            raise ModelFormatError(
+                f"model uses feature schema v{schema_version}; this build "
+                f"extracts v{FEATURE_SCHEMA_VERSION}"
+            )
+        feature_names = tuple(str(name) for name in payload["feature_names"])
+        if feature_names != FEATURE_NAMES:
+            raise ModelFormatError("model feature names do not match the schema")
+        return PredictabilityModel(
+            tree=_node_from_dict(payload["tree"]),
+            seed=int(payload["seed"]),
+            training_rows=int(payload["training_rows"]),
+            schema_version=schema_version,
+            feature_names=feature_names,
+            labels=tuple(str(label) for label in payload["labels"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        if isinstance(error, ModelFormatError):
+            raise
+        raise ModelFormatError(f"malformed model payload: {error}") from None
+
+
+__all__ = [
+    "LABEL_LAST_VALUE",
+    "LABEL_NAMES",
+    "LABEL_NONE",
+    "LABEL_STRIDE",
+    "MODEL_FORMAT_VERSION",
+    "MODEL_MAGIC",
+    "ModelFormatError",
+    "Node",
+    "PredictabilityModel",
+    "Row",
+    "TreeLeaf",
+    "TreeNode",
+    "directive_label",
+    "dumps_model",
+    "label_directive",
+    "loads_model",
+    "model_digest",
+    "train_model",
+]

@@ -1,0 +1,53 @@
+"""Prediction-time helpers: score a binary with a trained model."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from ..isa import Directive, Program
+from ..telemetry import get_registry
+from .features import extract_features
+from .model import PredictabilityModel, label_directive
+
+
+def predict_labels(model: PredictabilityModel, program: Program) -> Dict[int, int]:
+    """address -> predicted label for every candidate instruction."""
+    telemetry = get_registry()
+    started = time.perf_counter()
+    labels = {
+        address: model.predict(features)
+        for address, features in extract_features(program).items()
+    }
+    if telemetry.enabled:
+        telemetry.counter("classify.predictions").add(len(labels))
+        telemetry.timer("classify.predict").add(time.perf_counter() - started)
+    return labels
+
+
+def predict_directives(
+    model: PredictabilityModel, program: Program
+) -> Dict[int, Directive]:
+    """address -> predicted directive for instructions the model tags."""
+    directives = {}
+    for address, label in predict_labels(model, program).items():
+        directive = label_directive(label)
+        if directive is not None:
+            directives[address] = directive
+    return directives
+
+
+def annotate_with_model(model: PredictabilityModel, program: Program) -> Program:
+    """A re-tagged binary carrying the model's predicted directives.
+
+    The model's verdict replaces any existing directive on every
+    candidate — the learned analogue of phase 3, which likewise only
+    re-tags opcodes and never moves code.
+    """
+    labels = predict_labels(model, program)
+    return program.with_directives(
+        {address: label_directive(label) for address, label in labels.items()}
+    )
+
+
+__all__ = ["annotate_with_model", "predict_directives", "predict_labels"]

@@ -26,6 +26,12 @@ and the correctness tooling (differential oracle + invariant lint)::
     python -m repro check
     python -m repro check --smoke
 
+plus the learned predictability classifier (profile-free phase 3)::
+
+    python -m repro classify train -o model.json
+    python -m repro classify predict model.json program.asm -o tagged.asm
+    python -m repro classify eval model.json
+
 plus the profiling service (one shared trace store, many tenants)::
 
     python -m repro serve --port 8750
@@ -502,6 +508,131 @@ def _command_report(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _classify_corpus(arguments: argparse.Namespace):
+    """The seeded corpus shared by ``classify train`` and ``classify eval``.
+
+    Returns ``(training slice, held-out slice)``; the split point is
+    ``--train-count``, so the two subcommands agree on which programs the
+    model has never seen.
+    """
+    from .workloads.corpus import DEFAULT_MIX, generate_corpus
+
+    workloads = generate_corpus(
+        arguments.corpus_seed, arguments.corpus_count, DEFAULT_MIX
+    )
+    cut = max(1, min(arguments.train_count, len(workloads) - 1))
+    return workloads[:cut], workloads[cut:]
+
+
+def _classify_policy(arguments: argparse.Namespace) -> AnnotationPolicy:
+    return AnnotationPolicy(
+        accuracy_threshold=arguments.threshold,
+        stride_threshold=arguments.stride_threshold,
+    )
+
+
+def _command_classify_train(arguments: argparse.Namespace) -> int:
+    """Train the predictability model on the corpus training slice."""
+    from .classify import (
+        build_dataset,
+        dataset_rows,
+        dumps_model,
+        model_digest,
+        train_model,
+    )
+
+    training, _held_out = _classify_corpus(arguments)
+    labeled = build_dataset(
+        training,
+        training_runs=arguments.training_runs,
+        scale=arguments.scale,
+        policy=_classify_policy(arguments),
+    )
+    rows = dataset_rows(labeled)
+    model = train_model(
+        rows,
+        seed=arguments.seed,
+        max_depth=arguments.max_depth,
+        min_leaf=arguments.min_leaf,
+    )
+    _write_output(dumps_model(model), arguments.output)
+    print(
+        f"trained on {len(labeled)} programs ({model.training_rows} rows): "
+        f"{model.node_count} nodes, depth {model.depth}, "
+        f"digest {model_digest(model)[:16]}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_classify_predict(arguments: argparse.Namespace) -> int:
+    """Re-tag a program with model-predicted directives (no profile)."""
+    from .classify import (
+        ModelFormatError,
+        annotate_with_model,
+        loads_model,
+        model_digest,
+    )
+
+    try:
+        model = loads_model(Path(arguments.model).read_text(encoding="utf-8"))
+    except ModelFormatError as error:
+        print(f"classify: bad model: {error}", file=sys.stderr)
+        return 2
+    program = _load_program(arguments.program)
+    annotated = annotate_with_model(model, program)
+    _write_output(disassemble(annotated), arguments.output)
+    print(
+        f"tagged {len(annotated.directives())} of "
+        f"{len(program.candidate_addresses)} candidates "
+        f"(model digest {model_digest(model)[:16]})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _command_classify_eval(arguments: argparse.Namespace) -> int:
+    """Held-out per-instruction label accuracy vs the majority baseline."""
+    from .classify import (
+        LABEL_NAMES,
+        ModelFormatError,
+        build_dataset,
+        dataset_rows,
+        loads_model,
+        majority_label,
+    )
+
+    try:
+        model = loads_model(Path(arguments.model).read_text(encoding="utf-8"))
+    except ModelFormatError as error:
+        print(f"classify: bad model: {error}", file=sys.stderr)
+        return 2
+    _training, held_out = _classify_corpus(arguments)
+    labeled = build_dataset(
+        held_out,
+        training_runs=arguments.training_runs,
+        scale=arguments.scale,
+        policy=_classify_policy(arguments),
+    )
+    rows = dataset_rows(labeled)
+    if not rows:
+        print("classify: held-out slice has no candidates", file=sys.stderr)
+        return 1
+    baseline = majority_label(rows)
+    learned = sum(1 for features, label in rows if model.predict(features) == label)
+    majority = sum(1 for _, label in rows if label == baseline)
+    print(
+        f"held-out: {len(held_out)} programs, {len(rows)} candidate "
+        f"instructions"
+    )
+    print(f"learned accuracy:  {100.0 * learned / len(rows):.1f}%")
+    print(
+        f"majority baseline: {100.0 * majority / len(rows):.1f}% "
+        f"(always {LABEL_NAMES[baseline]!r})"
+    )
+    return 0 if learned > majority else 1
+
+
 def _command_experiments(arguments: argparse.Namespace) -> int:
     from .experiments.runner import run_from_arguments
 
@@ -573,6 +704,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_check_arguments(check_parser)
     check_parser.set_defaults(handler=_command_check)
+
+    classify_parser = commands.add_parser(
+        "classify",
+        help="learned predictability classifier: train on profiled corpus "
+        "programs, re-tag binaries with no profile at all",
+    )
+    classify_commands = classify_parser.add_subparsers(
+        dest="classify_command", required=True
+    )
+
+    def add_classify_corpus_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--corpus-seed", type=int, default=1997,
+            help="seed of the generated corpus (default 1997)",
+        )
+        subparser.add_argument(
+            "--corpus-count", type=int, default=24,
+            help="corpus size (default 24)",
+        )
+        subparser.add_argument(
+            "--train-count", type=int, default=16,
+            help="corpus prefix used for training; the rest is the "
+            "held-out slice (default 16)",
+        )
+        subparser.add_argument(
+            "--training-runs", type=int, default=5,
+            help="profiling runs per program for labels (default 5)",
+        )
+        subparser.add_argument(
+            "--scale", type=float, default=1.0,
+            help="workload input scale (default 1.0)",
+        )
+        subparser.add_argument(
+            "--threshold", type=float, default=90.0,
+            help="label accuracy threshold [%%] (default 90)",
+        )
+        subparser.add_argument(
+            "--stride-threshold", type=float, default=50.0,
+            help="label stride-efficiency split [%%] (default 50)",
+        )
+
+    classify_train_parser = classify_commands.add_parser(
+        "train",
+        help="profile the corpus training slice and train the model",
+    )
+    add_classify_corpus_arguments(classify_train_parser)
+    classify_train_parser.add_argument(
+        "--seed", type=int, default=1997,
+        help="training seed for subsampling (default 1997)",
+    )
+    classify_train_parser.add_argument(
+        "--max-depth", type=int, default=8,
+        help="decision-tree depth limit (default 8)",
+    )
+    classify_train_parser.add_argument(
+        "--min-leaf", type=int, default=2,
+        help="minimum rows per leaf (default 2)",
+    )
+    classify_train_parser.add_argument(
+        "-o", "--output", help="model file (default stdout)"
+    )
+    classify_train_parser.set_defaults(handler=_command_classify_train)
+
+    classify_predict_parser = classify_commands.add_parser(
+        "predict",
+        help="insert model-predicted directives into a program (phase 3 "
+        "with no profile)",
+    )
+    classify_predict_parser.add_argument("model", help="trained model file")
+    classify_predict_parser.add_argument("program", help="assembly file")
+    classify_predict_parser.add_argument(
+        "-o", "--output", help="annotated assembly output (default stdout)"
+    )
+    classify_predict_parser.set_defaults(handler=_command_classify_predict)
+
+    classify_eval_parser = classify_commands.add_parser(
+        "eval",
+        help="held-out label accuracy vs the majority-class baseline "
+        "(non-zero exit when the model does not beat it)",
+    )
+    classify_eval_parser.add_argument("model", help="trained model file")
+    add_classify_corpus_arguments(classify_eval_parser)
+    classify_eval_parser.set_defaults(handler=_command_classify_eval)
 
     serve_parser = commands.add_parser(
         "serve",

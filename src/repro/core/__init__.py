@@ -6,6 +6,7 @@ hardware (saturating-counter) baseline.
 from .pipeline import (
     EvaluationScheme,
     HardwareScheme,
+    LearnedScheme,
     MethodologyResult,
     ProfileScheme,
     evaluate_scheme,
@@ -16,6 +17,7 @@ from .schemes import (
     AlwaysClassification,
     ClassificationScheme,
     HardwareClassification,
+    LearnedClassification,
     ProbeScheme,
     ProfileClassification,
 )
@@ -32,6 +34,8 @@ __all__ = [
     "EvaluationScheme",
     "HardwareClassification",
     "HardwareScheme",
+    "LearnedClassification",
+    "LearnedScheme",
     "MethodologyResult",
     "PredictionEngine",
     "PredictionStats",

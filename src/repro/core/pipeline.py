@@ -24,7 +24,12 @@ from ..lang import compile_source
 from ..profiling import ProfileImage, collect_profile, merge_profiles
 from ..predictors import StridePredictor
 from ..telemetry import Telemetry, use_registry
-from .schemes import ClassificationScheme, HardwareClassification, ProfileClassification
+from .schemes import (
+    ClassificationScheme,
+    HardwareClassification,
+    LearnedClassification,
+    ProfileClassification,
+)
 from .simulate import simulate_prediction
 from .results import PredictionStats
 
@@ -140,6 +145,23 @@ class HardwareScheme:
         return HardwareClassification(
             bits=self.bits, initial=self.initial, take_threshold=self.take_threshold
         )
+
+
+@dataclasses.dataclass(frozen=True)
+class LearnedScheme:
+    """A learned classifier as an evaluation scheme (``VP + Learned``).
+
+    Wraps a trained :class:`repro.classify.PredictabilityModel`: the
+    *unannotated* binary runs on the test inputs and the model's
+    predicted directive map is the entire classifier — the profile-free
+    analogue of :class:`ProfileScheme`.
+    """
+
+    program: Program
+    model: object  # repro.classify.PredictabilityModel; untyped to keep core light
+
+    def classification(self) -> ClassificationScheme:
+        return LearnedClassification.from_model(self.model, self.program)
 
 
 def evaluate_scheme(

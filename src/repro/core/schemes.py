@@ -135,3 +135,41 @@ class ProfileClassification(ClassificationScheme):
     @property
     def tagged_count(self) -> int:
         return len(self._directives)
+
+
+class LearnedClassification(ClassificationScheme):
+    """Model-predicted directive classification (learned, profile-free).
+
+    The modern successor question (PGO-without-Profiles): a
+    :class:`repro.classify.PredictabilityModel` predicts each candidate
+    instruction's directive from static features alone, and the
+    predicted directive map then behaves exactly like the paper's
+    profile scheme — untagged instructions are never allocated and never
+    predicted, tagged ones are always taken.  No profile, no counters.
+    """
+
+    def __init__(self, directives: Dict[int, Directive]) -> None:
+        self._directives: Dict[int, Directive] = dict(directives)
+
+    @classmethod
+    def from_model(cls, model, program: Program) -> "LearnedClassification":
+        """Score ``program`` with a trained model and keep its tags."""
+        # Imported lazily: repro.classify depends on repro.isa/analysis
+        # only, but pulling it in at module import would cost every core
+        # consumer the feature-extractor import.
+        from ..classify import predict_directives
+
+        return cls(predict_directives(model, program))
+
+    def may_allocate(self, address: int) -> bool:
+        return address in self._directives
+
+    def should_take(self, address: int) -> bool:
+        return address in self._directives
+
+    def directive_of(self, address: int) -> Optional[Directive]:
+        return self._directives.get(address)
+
+    @property
+    def tagged_count(self) -> int:
+        return len(self._directives)

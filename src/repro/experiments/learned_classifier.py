@@ -1,0 +1,235 @@
+"""Learned classifier vs. profile thresholds vs. saturating counters.
+
+The modern successor to the paper's question (PGO-without-Profiles,
+PAPERS.md): train a :mod:`repro.classify` model on one corpus split —
+each program labeled by its *own* phase-2 profile — then judge it on a
+held-out split it has never seen, head-to-head against the paper's
+threshold :class:`~repro.core.ProfileClassification` (which *does* get
+to profile the held-out programs) and the hardware
+:class:`~repro.core.HardwareClassification` baseline.
+
+Two views per held-out benchmark:
+
+* **static accuracy** — per-instruction 3-class label agreement
+  (none / last-value / stride) against the held-out program's own
+  profile labels, with the training corpus' majority class as the
+  baseline to beat;
+* **H2P-tail recovery** — following the hard-to-predict methodology of
+  *Branch Prediction Is Not a Solved Problem* (PAPERS.md): the tail is
+  the static instructions whose unbounded-predictor accuracy on the
+  test inputs falls below :data:`H2P_ACCURACY_CUTOFF`; each mechanism's
+  recovery is the share of the tail's would-be mispredictions its
+  take/avoid decisions suppress (measured under
+  :class:`~repro.core.ProbeScheme`, so every mechanism judges the
+  identical suggestion stream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..annotate import annotate_program
+from ..classify import (
+    LabeledProgram,
+    build_dataset,
+    dataset_rows,
+    extract_features,
+    label_program,
+    majority_label,
+    model_digest,
+    profile_workload,
+    train_model,
+)
+from ..core import (
+    HardwareClassification,
+    LearnedClassification,
+    PredictionEngine,
+    PredictionStats,
+    ProbeScheme,
+    ProfileClassification,
+    simulate_prediction_many,
+)
+from ..predictors import StridePredictor
+from ..workloads.corpus import generate_corpus
+from .context import ExperimentContext
+from .tables import ExperimentTable
+
+EXPERIMENT_ID = "learned-classifier"
+
+#: No shared cells: the corpus splits are private to this experiment.
+CELLS = ()
+
+#: Corpus geometry: programs 0..15 train the model, 16..23 are held out.
+CORPUS_SEED = 1997
+CORPUS_COUNT = 24
+TRAIN_COUNT = 16
+
+#: Seed for the model's Lcg (subsampling) and provenance stamp.
+MODEL_SEED = 1997
+
+#: The paper's headline profile threshold, reused for training labels.
+LABEL_THRESHOLD = 90.0
+
+#: Test-input accuracy below this marks an instruction hard-to-predict.
+H2P_ACCURACY_CUTOFF = 50.0
+
+#: Minimum test-input attempts before an instruction can join the tail.
+H2P_MIN_ATTEMPTS = 4
+
+_HEADERS = [
+    "benchmark",
+    "learned acc",
+    "majority acc",
+    "h2p insns",
+    "h2p miss share",
+    "learned recov",
+    "prof90 recov",
+    "fsm recov",
+]
+
+_ENGINES = ("learned", "prof90", "fsm")
+
+
+def _h2p_addresses(stats: PredictionStats) -> List[int]:
+    """The hard-to-predict tail, by unbounded would-be accuracy."""
+    tail = []
+    for address, record in sorted(stats.per_address.items()):
+        if record.attempts < H2P_MIN_ATTEMPTS:
+            continue
+        if 100.0 * record.would_correct / record.attempts < H2P_ACCURACY_CUTOFF:
+            tail.append(address)
+    return tail
+
+
+def _tail_recovery(stats: PredictionStats, tail: List[int]) -> Tuple[int, int]:
+    """(would-be mispredictions in the tail, how many were avoided)."""
+    would = avoided = 0
+    for address in tail:
+        record = stats.per_address.get(address)
+        if record is None:
+            continue
+        would += record.would_incorrect
+        avoided += record.would_incorrect - record.taken_incorrect
+    return would, avoided
+
+
+def _percent(part: float, whole: float) -> float:
+    return 100.0 * part / whole if whole else 100.0
+
+
+def run(context: ExperimentContext) -> ExperimentTable:
+    table = ExperimentTable(
+        experiment_id=EXPERIMENT_ID,
+        title="learned classifier vs profile/hardware on held-out corpus",
+        headers=_HEADERS,
+    )
+    corpus = generate_corpus(CORPUS_SEED, CORPUS_COUNT)
+    training, held_out = corpus[:TRAIN_COUNT], corpus[TRAIN_COUNT:]
+    policy = context.policy(LABEL_THRESHOLD)
+    labeled: List[LabeledProgram] = build_dataset(
+        training,
+        training_runs=context.training_runs,
+        scale=context.scale,
+        policy=policy,
+    )
+    rows = dataset_rows(labeled)
+    model = train_model(rows, seed=MODEL_SEED)
+    baseline = majority_label(rows)
+
+    total = {"n": 0, "learned": 0, "majority": 0, "tail": 0}
+    avoided_sum = {label: 0 for label in _ENGINES}
+    would_total = 0
+    tail_would = 0
+    for workload in held_out:
+        program, profile = profile_workload(
+            workload, training_runs=context.training_runs, scale=context.scale
+        )
+        features = extract_features(program)
+        labels = label_program(program, profile, policy)
+        predictions = {
+            address: model.predict(vector) for address, vector in features.items()
+        }
+        n = len(labels)
+        learned_hits = sum(
+            1 for address in labels if predictions[address] == labels[address]
+        )
+        majority_hits = sum(1 for label in labels.values() if label == baseline)
+
+        annotated = annotate_program(program, profile, policy)
+        engines: Dict[str, PredictionEngine] = {
+            "learned": PredictionEngine(
+                program,
+                predictor=StridePredictor(),
+                scheme=ProbeScheme(
+                    LearnedClassification.from_model(model, program)
+                ),
+            ),
+            "prof90": PredictionEngine(
+                program,
+                predictor=StridePredictor(),
+                scheme=ProbeScheme(ProfileClassification(annotated)),
+            ),
+            "fsm": PredictionEngine(
+                program,
+                predictor=StridePredictor(),
+                scheme=ProbeScheme(HardwareClassification()),
+            ),
+        }
+        stats = simulate_prediction_many(
+            program,
+            workload.test_inputs(scale=context.scale),
+            engines,
+            store=context.traces,
+        )
+        tail = _h2p_addresses(stats["fsm"])
+        would, _ = _tail_recovery(stats["fsm"], tail)
+        recoveries = {}
+        for label in _ENGINES:
+            tail_would_one, avoided = _tail_recovery(stats[label], tail)
+            recoveries[label] = _percent(avoided, tail_would_one)
+            avoided_sum[label] += avoided
+        table.add_row(
+            workload.name,
+            _percent(learned_hits, n),
+            _percent(majority_hits, n),
+            len(tail),
+            _percent(would, stats["fsm"].would_incorrect),
+            recoveries["learned"],
+            recoveries["prof90"],
+            recoveries["fsm"],
+        )
+        total["n"] += n
+        total["learned"] += learned_hits
+        total["majority"] += majority_hits
+        total["tail"] += len(tail)
+        tail_would += would
+        would_total += stats["fsm"].would_incorrect
+
+    table.add_row(
+        "overall",
+        _percent(total["learned"], total["n"]),
+        _percent(total["majority"], total["n"]),
+        total["tail"],
+        _percent(tail_would, would_total),
+        _percent(avoided_sum["learned"], tail_would),
+        _percent(avoided_sum["prof90"], tail_would),
+        _percent(avoided_sum["fsm"], tail_would),
+    )
+    table.notes.append(
+        f"corpus seed {CORPUS_SEED}: programs 0-{TRAIN_COUNT - 1} train, "
+        f"{TRAIN_COUNT}-{CORPUS_COUNT - 1} held out; labels at "
+        f"{LABEL_THRESHOLD:g}% threshold"
+    )
+    table.notes.append(
+        f"H2P tail: test-input accuracy < {H2P_ACCURACY_CUTOFF:g}% with >= "
+        f"{H2P_MIN_ATTEMPTS} attempts (unbounded probe predictor); recovery = "
+        "% of the tail's would-be mispredictions suppressed"
+    )
+    table.notes.append(
+        f"model: seed {MODEL_SEED}, {model.training_rows} rows, "
+        f"{model.node_count} nodes, sha256 {model_digest(model)[:16]}"
+    )
+    return table
+
+
+__all__ = ["CELLS", "EXPERIMENT_ID", "run"]

@@ -55,6 +55,7 @@ from . import (
     extension_critical_path,
     fig_5_3,
     fig_5_4,
+    learned_classifier,
     table_2_1,
     table_5_1,
     table_5_2,
@@ -87,6 +88,7 @@ _MODULES = (
     extension_critical_path,
     characterization,
     corpus_sampling,
+    learned_classifier,
 )
 
 #: Experiment id -> module (the engine reads ``CELLS`` declarations here).

@@ -14,7 +14,7 @@ paper's experiments — provided for the predictor-family ablation.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from .base import AccessResult, Number, ValuePredictor
 from .table import EvictionCallback, PredictionTable
@@ -53,6 +53,9 @@ class FcmPredictor(ValuePredictor):
         self.order = order
         self.table: PredictionTable[FcmEntry] = PredictionTable(entries, ways)
         self._values: Dict[Tuple[int, int], Number] = {}
+        # Per-address index of live second-level context keys, so eviction
+        # is O(contexts-of-address) instead of a scan of all of _values.
+        self._contexts: Dict[int, Set[int]] = {}
 
     def access(
         self,
@@ -69,6 +72,7 @@ class FcmPredictor(ValuePredictor):
             correct = hit and predicted == value
             # Learn: this context now leads to `value`.
             self._values[key] = value
+            self._contexts.setdefault(address, set()).add(entry.context)
             entry.push(value)
             if hit:
                 return AccessResult(
@@ -101,9 +105,8 @@ class FcmPredictor(ValuePredictor):
     ) -> Optional[EvictionCallback]:
         def _evict(address: int) -> None:
             # Drop the evicted instruction's second-level footprint.
-            stale = [key for key in self._values if key[0] == address]
-            for key in stale:
-                del self._values[key]
+            for context in self._contexts.pop(address, ()):
+                del self._values[(address, context)]
             if on_evict is not None:
                 on_evict(address)
 
@@ -118,3 +121,4 @@ class FcmPredictor(ValuePredictor):
     def clear(self) -> None:
         self.table.clear()
         self._values.clear()
+        self._contexts.clear()

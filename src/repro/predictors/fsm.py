@@ -88,8 +88,14 @@ class FsmClassifier:
         self._counters.pop(address, None)
 
     def state(self, address: int) -> int:
-        """Current counter state (allocating if absent) — for inspection."""
-        return self._counter(address).value
+        """Current counter state (``initial`` when absent) — pure inspection.
+
+        Inspection must never allocate: probing an evicted address would
+        otherwise silently resurrect its counter and change subsequent
+        :meth:`should_take` answers.
+        """
+        counter = self._counters.get(address)
+        return self.initial if counter is None else counter.value
 
     def clear(self) -> None:
         self._counters.clear()

@@ -3,8 +3,8 @@
 The paper's central economy is *profile once, reuse the result*; this
 package is that economy as a long-running service.  One process owns a
 shared :class:`~repro.machine.TraceStore` and artifact cache, accepts
-compile/trace/profile/annotate/experiment jobs from many tenants over
-HTTP, and multiplexes them onto the fault-tolerant runner.
+compile/trace/profile/annotate/classify/experiment jobs from many
+tenants over HTTP, and multiplexes them onto the fault-tolerant runner.
 
 Layering — the wire contract is the single source of truth:
 
@@ -27,6 +27,7 @@ from .api import (
     SCHEMA,
     AnnotateJob,
     ApiError,
+    ClassifyJob,
     CompileJob,
     ErrorInfo,
     ExperimentJob,
@@ -45,6 +46,7 @@ __all__ = [
     "SCHEMA",
     "AnnotateJob",
     "ApiError",
+    "ClassifyJob",
     "CompileJob",
     "ErrorInfo",
     "ExperimentJob",

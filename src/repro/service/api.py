@@ -398,7 +398,41 @@ class FuseJob:
         )
 
 
-Job = Union[CompileJob, TraceJob, ProfileJob, AnnotateJob, ExperimentJob, FuseJob]
+@dataclasses.dataclass(frozen=True)
+class ClassifyJob:
+    """Re-tag a binary with a learned predictability model.
+
+    ``model`` is a ``repro-classify-model/1`` file verbatim
+    (:mod:`repro.classify`); the result output is the annotated assembly,
+    byte-identical to ``repro classify predict`` over the same inputs.
+    """
+
+    program: str
+    model: str
+    name: str = "program"
+
+    KIND = "classify"
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.KIND,
+            "program": self.program,
+            "model": self.model,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ClassifyJob":
+        return cls(
+            program=_require_text(payload, "program", cls.KIND),
+            model=_require_text(payload, "model", cls.KIND),
+            name=str(payload.get("name", "program")),
+        )
+
+
+Job = Union[
+    CompileJob, TraceJob, ProfileJob, AnnotateJob, ExperimentJob, FuseJob, ClassifyJob
+]
 
 _JOB_TYPES = {
     cls.KIND: cls
@@ -409,6 +443,7 @@ _JOB_TYPES = {
         AnnotateJob,
         ExperimentJob,
         FuseJob,
+        ClassifyJob,
     )
 }
 
@@ -637,6 +672,7 @@ __all__ = [
     "AnnotateJob",
     "BAD_REQUEST",
     "CANCELLED",
+    "ClassifyJob",
     "CompileJob",
     "DEFAULT_TENANT",
     "DONE",

@@ -4,7 +4,7 @@
 SIGTERM or a client ``shutdown``), then prints the session's
 :class:`~repro.runner.retry.RunReport` summary and exits with its
 status.  ``client`` mirrors the batch toolchain commands one-for-one —
-``compile``/``trace``/``profile``/``annotate``/``experiment``/``fuse``
+``compile``/``trace``/``profile``/``annotate``/``classify``/``experiment``/``fuse``
 take the same flags and produce the same bytes, just computed by a
 daemon that shares one trace store across every caller — plus ``status``,
 ``result``, ``stats``, ``health`` and ``shutdown``.
@@ -27,6 +27,7 @@ from ..telemetry import enable as enable_telemetry
 from .api import (
     AnnotateJob,
     ApiError,
+    ClassifyJob,
     CompileJob,
     ExperimentJob,
     FuseJob,
@@ -246,6 +247,15 @@ def add_client_arguments(parser: argparse.ArgumentParser) -> None:
         "-o", "--output", help="merged profile output (default stdout)"
     )
 
+    classify_parser = actions.add_parser(
+        "classify", help="re-tag a binary with a learned model on the server"
+    )
+    classify_parser.add_argument("model", help="repro-classify-model file")
+    classify_parser.add_argument("program", help="assembly file")
+    classify_parser.add_argument(
+        "-o", "--output", help="annotated assembly output (default stdout)"
+    )
+
     status_parser = actions.add_parser("status", help="one job's lifecycle state")
     status_parser.add_argument("job_id")
 
@@ -307,6 +317,13 @@ def _build_job(arguments: argparse.Namespace):
             name=path.stem,
             accuracy_threshold=arguments.threshold,
             stride_threshold=arguments.stride_threshold,
+        )
+    if action == "classify":
+        path = Path(arguments.program)
+        return ClassifyJob(
+            program=path.read_text(encoding="utf-8"),
+            model=Path(arguments.model).read_text(encoding="utf-8"),
+            name=path.stem,
         )
     if action == "experiment":
         return ExperimentJob(

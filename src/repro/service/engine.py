@@ -53,6 +53,7 @@ from ..telemetry import get_registry
 from .api import (
     AnnotateJob,
     ApiError,
+    ClassifyJob,
     CompileJob,
     EXECUTION_ERROR,
     ExperimentJob,
@@ -117,6 +118,8 @@ class ServiceEngine:
                 result = self.run_experiment(job)
             elif isinstance(job, FuseJob):
                 result = self.run_fuse(job)
+            elif isinstance(job, ClassifyJob):
+                result = self.run_classify(job)
             else:  # pragma: no cover - decoding rejects unknown kinds
                 raise ApiError(INVALID_JOB, f"unsupported job type {type(job).__name__}")
         except ApiError:
@@ -223,6 +226,23 @@ class ServiceEngine:
             "candidates": report.candidates,
             "stride_tagged": report.stride_tagged,
             "last_value_tagged": report.last_value_tagged,
+        }
+        return disassemble(annotated), meta
+
+    def run_classify(self, job: ClassifyJob) -> Tuple[str, Dict[str, Any]]:
+        from ..classify import ModelFormatError, annotate_with_model, loads_model, model_digest
+
+        program = self._assemble(job.program, job.name)
+        try:
+            model = loads_model(job.model)
+        except ModelFormatError as error:
+            raise ApiError(INVALID_JOB, f"bad model: {error}") from error
+        annotated = annotate_with_model(model, program)
+        directives = annotated.directives()
+        meta = {
+            "candidates": len(program.candidate_addresses),
+            "tagged": len(directives),
+            "model_digest": model_digest(model),
         }
         return disassemble(annotated), meta
 

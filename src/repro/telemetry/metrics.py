@@ -72,6 +72,15 @@ KNOWN_METRICS: FrozenSet[str] = frozenset(
         "fusion.encode",
         "fusion.decode",
         "fusion.sketch_bytes",
+        # classify: the learned predictability classifier.
+        "classify.features",
+        "classify.extract",
+        "classify.programs",
+        "classify.dataset",
+        "classify.trained",
+        "classify.train",
+        "classify.predictions",
+        "classify.predict",
         # runner: the parallel experiment engine and its recovery paths.
         "runner.jobs",
         "runner.jobs_cached",

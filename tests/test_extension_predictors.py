@@ -123,6 +123,62 @@ def test_two_delta_perfect_on_arithmetic_after_warmup(start, stride, length):
             assert result.correct
 
 
+class _ScanEvictFcm(FcmPredictor):
+    """Reference twin: eviction by full scan of the second-level table.
+
+    The production predictor keeps a per-address index of live context
+    keys; this twin re-derives the same removal set the expensive way,
+    so the property below pins the index to the scan byte for byte.
+    """
+
+    def _wrap_evict(self, on_evict):
+        def _evict(address: int) -> None:
+            for key in [key for key in self._values if key[0] == address]:
+                del self._values[key]
+            self._contexts.pop(address, None)
+            if on_evict is not None:
+                on_evict(address)
+
+        return _evict
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),   # address
+            st.integers(min_value=0, max_value=3),   # value
+            st.booleans(),                           # allocate
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_fcm_eviction_index_matches_full_scan(ops):
+    """A tiny direct-mapped table makes eviction constant; the indexed
+    eviction path must stay observably identical to the full scan —
+    results, predictions, second-level contents and eviction callbacks."""
+    fast = FcmPredictor(entries=2, ways=1, order=1)
+    reference = _ScanEvictFcm(entries=2, ways=1, order=1)
+    fast_evicted, reference_evicted = [], []
+    for address, value, allocate in ops:
+        result = fast.access(
+            address, value, allocate=allocate, on_evict=fast_evicted.append
+        )
+        expected = reference.access(
+            address, value, allocate=allocate, on_evict=reference_evicted.append
+        )
+        assert result == expected
+        assert fast.lookup_prediction(address) == reference.lookup_prediction(address)
+        # The per-address index is exactly the live second-level key set.
+        live = {}
+        for entry_address, context in fast._values:
+            live.setdefault(entry_address, set()).add(context)
+        assert fast._contexts == live
+    assert fast._values == reference._values
+    assert fast_evicted == reference_evicted
+
+
 @settings(max_examples=60, deadline=None)
 @given(
     st.lists(st.integers(min_value=0, max_value=5), min_size=2, max_size=4),

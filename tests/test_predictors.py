@@ -233,3 +233,22 @@ class TestFsmClassifier:
         fsm.record(1, True)
         assert fsm.should_take(1)
         assert not fsm.should_take(2)
+
+    def test_evict_then_inspect_then_take(self):
+        # state() is a pure peek: probing an evicted address must not
+        # resurrect its counter, so the next should_take/record sequence
+        # starts from a genuinely fresh warm-up.
+        fsm = FsmClassifier()
+        fsm.record(5, True)
+        fsm.record(5, True)              # state 3
+        fsm.on_evict(5)
+        assert fsm.state(5) == 1         # reads as initial...
+        assert 5 not in fsm._counters    # ...without allocating
+        assert not fsm.should_take(5)    # fresh counter, below threshold
+        fsm.record(5, True)
+        assert fsm.should_take(5)
+
+    def test_state_never_allocates(self):
+        fsm = FsmClassifier()
+        assert fsm.state(9) == fsm.initial
+        assert fsm._counters == {}
